@@ -1,0 +1,83 @@
+"""Ablation: reconfiguration cost (Section V-A).
+
+The paper's argument: compute repartitioning costs ~1 M cycles of
+thread migration, while MoCA's memory repartition costs 5-10 cycles —
+so a policy that adapts through the memory path can reconfigure
+frequently where a compute-fission policy cannot.
+
+This bench runs Planaria with its real migration cost against a
+hypothetical free-migration Planaria, and MoCA with its real 8-cycle
+memory reconfig, quantifying how much of Planaria's SLA loss is the
+migration overhead itself.
+"""
+
+import pytest
+
+from repro.baselines.planaria import PlanariaPolicy
+from repro.config import DEFAULT_SOC
+from repro.core.policy import MoCAPolicy
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.metrics import summarize
+from repro.models.zoo import workload_set
+from repro.sim.engine import run_simulation
+from repro.sim.qos import QosLevel, QosModel
+from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+
+
+class _FreeMigrationPlanaria(PlanariaPolicy):
+    """Planaria with a hypothetical zero-cost thread migration."""
+
+    name = "planaria-free"
+    compute_reconfig_cycles = 0
+
+
+def _run(policy_factory, seed=1):
+    soc = DEFAULT_SOC
+    mem = MemoryHierarchy.from_soc(soc)
+    gen = WorkloadGenerator(soc, workload_set("A"), mem,
+                            QosModel(soc, slack_factor=2.0))
+    tasks = gen.generate(WorkloadConfig(
+        num_tasks=80, qos_level=QosLevel.HARD, load_factor=0.7, seed=seed,
+    ))
+    result = run_simulation(soc, tasks, policy_factory(), mem=mem)
+    return summarize(result.policy_name, result.results), result
+
+
+def test_reconfiguration_cost_ablation(benchmark):
+    planaria, planaria_res = benchmark.pedantic(
+        _run, args=(PlanariaPolicy,), rounds=1, iterations=1
+    )
+    free, _ = _run(_FreeMigrationPlanaria)
+    moca, moca_res = _run(MoCAPolicy)
+
+    stalls = sum(r.stall_cycles for r in planaria_res.results)
+    reparts = sum(r.tile_repartitions for r in planaria_res.results)
+    moca_mem_stalls = sum(
+        r.stall_cycles
+        for r in moca_res.results
+        if not r.tile_repartitions
+    )
+    moca_reconfigs = sum(r.bw_reconfigs for r in moca_res.results)
+
+    print()
+    print("Reconfiguration-cost ablation (Workload-A, QoS-H):")
+    print(f"  planaria (1M-cycle migrations): SLA {planaria.sla_rate:.3f}, "
+          f"{reparts} repartitions, {stalls / 1e6:.0f}M stall cycles")
+    print(f"  planaria (free migrations):     SLA {free.sla_rate:.3f}")
+    print(f"  moca (8-cycle mem reconfigs):   SLA {moca.sla_rate:.3f}, "
+          f"{moca_reconfigs} reconfigs, "
+          f"{moca_mem_stalls:.0f} stall cycles total")
+
+    # Shape: the migration cost is a real burden for Planaria.
+    assert free.sla_rate >= planaria.sla_rate
+    # Shape: Planaria actually pays on the order of 1M cycles per
+    # repartition (overlapping stalls on the same job merge, so the
+    # average sits slightly below the 1M charge).
+    if reparts:
+        assert stalls >= 0.6e6 * reparts
+    # Shape: MoCA reconfigures often yet pays almost nothing —
+    # 5-10 cycles per reconfiguration vs 1M per migration.
+    if moca_reconfigs:
+        assert moca_mem_stalls <= moca_reconfigs * 10
+    # Shape: MoCA beats real Planaria on this scenario.
+    assert moca.sla_rate > planaria.sla_rate

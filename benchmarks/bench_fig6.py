@@ -1,0 +1,42 @@
+"""Benchmark regenerating Figure 6: SLA satisfaction by priority group.
+
+Paper shapes to hold: satisfaction rises with priority for MoCA; MoCA's
+p-High rate dominates every baseline's p-High rate in aggregate; MoCA
+is the only system without catastrophic p-High failures.
+"""
+
+import pytest
+
+from repro.experiments.fig6_priority import format_fig6, group_rates
+from repro.experiments.runner import ScenarioSpec, run_scenario
+from repro.sim.qos import QosLevel
+
+
+def test_fig6_priority_breakdown(benchmark, paper_matrix):
+    spec = ScenarioSpec(workload_set="C", qos_level=QosLevel.MEDIUM,
+                        num_tasks=60, seeds=(1,))
+    benchmark.pedantic(run_scenario, args=(spec,), rounds=1, iterations=1)
+
+    print()
+    print(format_fig6(paper_matrix))
+    rates = group_rates(paper_matrix)
+
+    # Shape: aggregated over scenarios, MoCA p-High satisfaction beats
+    # every baseline's p-High satisfaction.
+    def mean_group(policy, group):
+        vals = [
+            rates[label][policy][group]
+            for label in rates
+            if group in rates[label][policy]
+        ]
+        return sum(vals) / len(vals)
+
+    moca_high = mean_group("moca", "p-High")
+    for baseline in ("prema", "static", "planaria"):
+        assert moca_high >= mean_group(baseline, "p-High") - 0.02, baseline
+
+    # Shape: MoCA favours high priority over low priority.
+    assert moca_high >= mean_group("moca", "p-Low")
+
+    # Shape: MoCA p-High satisfaction is strong in absolute terms.
+    assert moca_high > 0.7

@@ -1,0 +1,42 @@
+"""Benchmark regenerating Figure 7: STP normalized to Planaria.
+
+Paper shapes to hold: MoCA above 1.0 (better than Planaria) in every
+scenario; Prema's temporal multiplexing yields by far the lowest STP;
+MoCA beats the static partition everywhere.
+"""
+
+import pytest
+
+from repro.experiments.fig7_stp import (
+    format_fig7,
+    stp_normalized_to_planaria,
+)
+from repro.experiments.runner import (
+    ScenarioSpec,
+    geomean_improvement,
+    run_scenario,
+)
+from repro.sim.qos import QosLevel
+
+
+def test_fig7_stp(benchmark, paper_matrix):
+    spec = ScenarioSpec(workload_set="B", qos_level=QosLevel.MEDIUM,
+                        num_tasks=60, seeds=(1,))
+    benchmark.pedantic(run_scenario, args=(spec,), rounds=1, iterations=1)
+
+    print()
+    print(format_fig7(paper_matrix))
+    norm = stp_normalized_to_planaria(paper_matrix)
+
+    # Shape: MoCA >= Planaria everywhere.
+    for label, row in norm.items():
+        assert row["moca"] >= 0.98, label
+
+    # Shape: Prema clearly the lowest.
+    for label, row in norm.items():
+        assert row["prema"] <= row["moca"], label
+
+    # Shape: geomean improvements in the paper's direction.
+    assert geomean_improvement(paper_matrix, "stp", "prema") > 1.5
+    assert geomean_improvement(paper_matrix, "stp", "static") > 1.0
+    assert geomean_improvement(paper_matrix, "stp", "planaria") > 1.0

@@ -1,0 +1,45 @@
+"""Benchmark regenerating Figure 8: fairness normalized to Planaria.
+
+Paper shapes to hold: MoCA improves fairness over Prema and Planaria in
+aggregate, with the benefit most pronounced for Workload-B (memory-
+intensive layers starving co-runners without regulation).
+"""
+
+import pytest
+
+from repro.experiments.fig8_fairness import (
+    fairness_normalized_to_planaria,
+    format_fig8,
+)
+from repro.experiments.runner import (
+    ScenarioSpec,
+    geomean_improvement,
+    run_scenario,
+)
+from repro.models.layers import geomean
+from repro.sim.qos import QosLevel
+
+
+def test_fig8_fairness(benchmark, paper_matrix):
+    spec = ScenarioSpec(workload_set="B", qos_level=QosLevel.LIGHT,
+                        num_tasks=60, seeds=(1,))
+    benchmark.pedantic(run_scenario, args=(spec,), rounds=1, iterations=1)
+
+    print()
+    print(format_fig8(paper_matrix))
+    norm = fairness_normalized_to_planaria(paper_matrix)
+
+    # Shape: MoCA improves fairness over Planaria in geomean.
+    assert geomean_improvement(paper_matrix, "fairness", "planaria") > 1.0
+
+    # Shape: MoCA improves fairness over Prema in geomean.
+    assert geomean_improvement(paper_matrix, "fairness", "prema") > 1.0
+
+    # Shape: the fairness benefit over Planaria shows on Workload-B
+    # (memory-bound layers starve co-runners without regulation).
+    b_ratios = [
+        norm[label]["moca"]
+        for label in norm
+        if label.startswith("Workload-B")
+    ]
+    assert geomean(b_ratios) > 1.0

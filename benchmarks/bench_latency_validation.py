@@ -1,0 +1,24 @@
+"""Benchmark the Algorithm 1 validation (Section III-C's 10 % claim).
+
+Paper claim to hold: latency predictions within 10 % of measured
+runtimes across networks and layers.
+"""
+
+from repro.experiments.validation import (
+    format_validation,
+    run_validation,
+    summarize_validation,
+)
+
+
+def test_latency_model_validation(benchmark):
+    rows = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+    print()
+    print(format_validation(rows))
+
+    mean_err, max_err = summarize_validation(rows)
+    assert mean_err < 0.10
+    assert max_err < 0.10
+    # Every network and every tile allocation was validated.
+    assert len({r.network for r in rows}) == 7
+    assert len({r.tiles for r in rows}) == 4

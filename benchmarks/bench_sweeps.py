@@ -1,0 +1,51 @@
+"""Benchmark the artifact-appendix configuration sweeps (§F).
+
+Shapes to hold: MoCA beats static at every configuration; its
+advantage grows when DRAM bandwidth is scarce and shrinks when the
+channel is over-provisioned (regulation matters only under contention).
+"""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    format_sweep,
+    sweep_dram_bandwidth,
+    sweep_l2_capacity,
+    sweep_num_tiles,
+)
+
+
+def test_dram_bandwidth_sweep(benchmark):
+    points = benchmark.pedantic(sweep_dram_bandwidth, rounds=1, iterations=1)
+    print()
+    print(format_sweep("DRAM bandwidth sweep (Workload-C, QoS-H):", points))
+
+    # Shape: MoCA wins at the paper's 16 B/cycle configuration.
+    assert points[1].advantage >= 1.0
+    # Shape: MoCA's advantage is a contention phenomenon — it is
+    # larger when bandwidth is scarce than when the channel is
+    # over-provisioned (with 2x bandwidth there is little to regulate
+    # and the FCFS static baseline can even edge ahead).
+    assert points[0].advantage > points[-1].advantage
+    # Shape: absolute satisfaction improves with more bandwidth.
+    assert points[-1].moca_sla >= points[0].moca_sla
+
+
+def test_l2_capacity_sweep(benchmark):
+    points = benchmark.pedantic(sweep_l2_capacity, rounds=1, iterations=1)
+    print()
+    print(format_sweep("L2 capacity sweep (Workload-C, QoS-H):", points))
+    assert all(p.advantage >= 0.95 for p in points)
+
+
+def test_tile_count_sweep(benchmark):
+    points = benchmark.pedantic(sweep_num_tiles, rounds=1, iterations=1)
+    print()
+    print(format_sweep("Tile count sweep (Workload-C, QoS-H):", points))
+    # Shape: MoCA's advantage grows with the number of co-runners —
+    # more tiles behind the same 16 B/cycle DRAM (the bandwidth wall)
+    # means more contention for the runtime to regulate.
+    advantages = [p.advantage for p in points]
+    assert advantages == sorted(advantages)
+    # Shape: MoCA wins at the paper's 8-tile configuration and above.
+    assert all(p.advantage >= 1.0 for p in points[1:])

@@ -1,0 +1,25 @@
+"""Benchmark regenerating Table IV: tile area breakdown.
+
+Paper claims to hold: MoCA's hardware is 0.02 % of the tile area, and
+it grows only the memory interface (1.7 % of the tile) by a small
+fraction.
+"""
+
+import pytest
+
+from repro.experiments.table4_area import format_table4, run_table4
+
+
+def test_table4_area(benchmark):
+    model, headline = benchmark(run_table4)
+    print()
+    print(format_table4())
+
+    assert headline["moca_pct_of_tile"] == pytest.approx(0.02, abs=0.005)
+    assert headline["memory_interface_pct_of_tile"] == pytest.approx(
+        1.7, abs=0.1
+    )
+    assert headline["moca_pct_of_memory_interface"] < 5.0
+    # The MoCA engine is by far the smallest itemized component.
+    areas = model.component_map
+    assert areas["moca_hardware"] == min(areas.values())

@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+The Figure 5-8 benches reuse a single matrix run (they are different
+views of the same simulations, exactly as in the paper), computed once
+per session at a reduced-but-representative size.  Set
+``REPRO_BENCH_TASKS`` / ``REPRO_BENCH_SEEDS`` to scale up to the
+paper's full 250-task, multi-seed configuration.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import run_matrix, standard_matrix
+
+BENCH_TASKS = int(os.environ.get("REPRO_BENCH_TASKS", "120"))
+BENCH_SEEDS = tuple(
+    int(s) for s in os.environ.get("REPRO_BENCH_SEEDS", "1,2").split(",")
+)
+
+
+@pytest.fixture(scope="session")
+def paper_matrix():
+    """The nine-scenario evaluation matrix shared by Figures 5-8."""
+    specs = standard_matrix(num_tasks=BENCH_TASKS, seeds=BENCH_SEEDS)
+    return run_matrix(specs)

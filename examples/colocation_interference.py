@@ -1,0 +1,61 @@
+"""Co-location interference demo (the paper's Figure 1 motivation).
+
+Runs SqueezeNet alone, then co-located with progressively more memory-
+hungry neighbours on static 2-tile slots with unmanaged memory, showing
+how shared-L2 / DRAM contention stretches its latency — the problem
+MoCA exists to solve.
+
+Run:  python examples/colocation_interference.py
+"""
+
+from repro.baselines.static_partition import StaticPartitionPolicy
+from repro.config import DEFAULT_SOC
+from repro.core.latency import build_network_cost
+from repro.experiments.fig1_motivation import format_fig1, run_fig1
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.models.zoo import build_model
+from repro.sim.engine import run_simulation
+from repro.sim.job import Task
+
+
+def _task(task_id, name, dispatch, soc, mem, sharers):
+    cost = build_network_cost(build_model(name), soc, mem,
+                              num_sharers=sharers)
+    iso = cost.total_prediction(2, mem.dram_bandwidth, mem.l2_bandwidth,
+                                soc.overlap_f)
+    return Task(task_id=task_id, network_name=name, cost=cost,
+                dispatch_cycle=dispatch, priority=5,
+                qos_target_cycles=1e18, isolated_cycles=iso)
+
+
+def main() -> None:
+    soc = DEFAULT_SOC
+    mem = MemoryHierarchy.from_soc(soc)
+
+    print("Step-by-step: SqueezeNet vs increasingly hungry co-runners")
+    print(f"{'co-runners':<40s}{'runtime (ms)':>14s}{'slowdown':>10s}")
+    neighbours = [[], ["kws"], ["kws", "googlenet"],
+                  ["kws", "googlenet", "alexnet"]]
+    baseline = None
+    for co in neighbours:
+        sharers = 1 + len(co)
+        tasks = [_task("subject", "squeezenet", 0.0, soc, mem, sharers)]
+        for i, name in enumerate(co):
+            tasks.append(_task(f"co{i}", name, 0.0, soc, mem, sharers))
+        result = run_simulation(
+            soc, tasks, StaticPartitionPolicy(tiles_per_slot=2), mem=mem
+        )
+        runtime = result.result_for("subject").runtime
+        if baseline is None:
+            baseline = runtime
+        label = "+".join(co) if co else "(none: isolated)"
+        print(f"{label:<40s}{soc.cycles_to_ms(runtime):>14.3f}"
+              f"{runtime / baseline:>10.2f}x")
+
+    print()
+    print("Full randomized study (paper Figure 1, 300 trials):")
+    print(format_fig1(run_fig1(trials=300, seed=0)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Multi-tenant QoS scheduling: MoCA vs the paper's three baselines.
+
+Generates a mixed (Workload-C) scenario of prioritized inference
+queries with QoS-H targets, runs all four systems on identical task
+streams, and prints the Section IV-C metrics side by side — a compact
+version of the paper's Figures 5-8.
+
+Run:  python examples/qos_scheduling.py [num_tasks] [seed]
+"""
+
+import sys
+
+from repro.baselines import PlanariaPolicy, PremaPolicy, StaticPartitionPolicy
+from repro.config import DEFAULT_SOC
+from repro.core.policy import MoCAPolicy
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.metrics import summarize
+from repro.models.zoo import workload_set
+from repro.sim.engine import run_simulation
+from repro.sim.qos import QosLevel, QosModel
+from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+
+
+def main() -> None:
+    num_tasks = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    soc = DEFAULT_SOC
+    mem = MemoryHierarchy.from_soc(soc)
+    generator = WorkloadGenerator(
+        soc, workload_set("C"), mem, QosModel(soc, slack_factor=2.0)
+    )
+    tasks = generator.generate(WorkloadConfig(
+        num_tasks=num_tasks, qos_level=QosLevel.HARD, load_factor=0.7,
+        seed=seed,
+    ))
+    print(f"{num_tasks} queries over Workload-C at QoS-H "
+          f"(seed {seed}), priorities 0-11\n")
+
+    header = (f"{'system':<10s}{'SLA':>7s}{'p-Low':>8s}{'p-Mid':>8s}"
+              f"{'p-High':>8s}{'STP/n':>8s}{'fairness':>10s}"
+              f"{'reparts':>9s}{'reconfigs':>10s}")
+    print(header)
+    for factory in (PremaPolicy, StaticPartitionPolicy, PlanariaPolicy,
+                    MoCAPolicy):
+        policy = factory()
+        result = run_simulation(soc, tasks, policy, mem=mem)
+        s = summarize(policy.name, result.results)
+        reparts = sum(r.tile_repartitions for r in result.results)
+        reconfigs = sum(r.bw_reconfigs for r in result.results)
+        groups = s.sla_by_group
+        print(
+            f"{policy.name:<10s}{s.sla_rate:>7.2f}"
+            f"{groups.get('p-Low', float('nan')):>8.2f}"
+            f"{groups.get('p-Mid', float('nan')):>8.2f}"
+            f"{groups.get('p-High', float('nan')):>8.2f}"
+            f"{s.stp_normalized:>8.2f}{s.fairness:>10.4f}"
+            f"{reparts:>9d}{reconfigs:>10d}"
+        )
+
+    print(
+        "\nNote how MoCA reconfigures the *memory* path frequently "
+        "(cheap, 8 cycles) while compute repartitions stay rare, "
+        "whereas Planaria pays ~1M cycles per tile repartition."
+    )
+
+
+if __name__ == "__main__":
+    main()

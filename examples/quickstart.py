@@ -1,0 +1,83 @@
+"""Quickstart: estimate and simulate a DNN on the MoCA SoC.
+
+Walks the core public API end to end:
+
+1. build a benchmark network from the zoo;
+2. run Algorithm 1's latency estimator at different tile allocations;
+3. simulate the network running alone on the SoC and compare.
+
+Run:  python examples/quickstart.py [model]
+"""
+
+import sys
+
+from repro.config import DEFAULT_SOC
+from repro.core.latency import build_network_cost, estimate_network
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.models.zoo import build_model, model_names
+from repro.sim.engine import run_simulation
+from repro.sim.job import Task
+from repro.sim.policy import Policy
+
+
+class RunAlonePolicy(Policy):
+    """Simplest possible policy: give the one job every tile."""
+
+    name = "run-alone"
+
+    def on_event(self, sim):
+        if sim.ready and not sim.running:
+            sim.start_job(sim.ready[0], sim.soc.num_tiles)
+
+    def reset(self):
+        pass
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "resnet50"
+    if name not in model_names():
+        raise SystemExit(f"unknown model {name!r}; try one of {model_names()}")
+
+    soc = DEFAULT_SOC
+    mem = MemoryHierarchy.from_soc(soc)
+    network = build_model(name)
+
+    print(f"== {network.name} ({network.domain}) ==")
+    print(f"layers:  {len(network)}")
+    print(f"MACs:    {network.total_macs / 1e9:.3f} G")
+    print(f"params:  {network.total_weight_bytes / 1e6:.2f} MB")
+    print(f"traffic: {network.total_mem_bytes / 1e6:.2f} MB to the L2")
+    print()
+
+    print("Algorithm 1 latency estimates (no contention):")
+    for tiles in (1, 2, 4, 8):
+        total, _ = estimate_network(network, soc, mem, num_tiles=tiles)
+        print(f"  {tiles} tile(s): {total / 1e6:8.3f} M cycles "
+              f"= {soc.cycles_to_ms(total):7.3f} ms")
+    print()
+
+    cost = build_network_cost(network, soc, mem)
+    isolated = cost.total_prediction(
+        soc.num_tiles, mem.dram_bandwidth, mem.l2_bandwidth, soc.overlap_f
+    )
+    task = Task(
+        task_id="demo",
+        network_name=network.name,
+        cost=cost,
+        dispatch_cycle=0.0,
+        priority=5,
+        qos_target_cycles=3.0 * isolated,
+        isolated_cycles=isolated,
+    )
+    result = run_simulation(soc, [task], RunAlonePolicy(), mem=mem)
+    r = result.results[0]
+    print(f"simulated alone on {soc.num_tiles} tiles: "
+          f"{r.runtime / 1e6:.3f} M cycles "
+          f"({soc.cycles_to_ms(r.runtime):.3f} ms), "
+          f"met SLA: {r.met_sla}")
+    print(f"estimator vs simulator: "
+          f"{abs(r.runtime - isolated) / isolated * 100:.2f}% apart")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so ``pip install -e .`` works without the ``wheel`` package.
+
+The environment is offline and its setuptools cannot build editable
+wheels (no ``bdist_wheel``); ``python setup.py develop`` / legacy
+editable installs go through this shim instead.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""MoCA reproduction: memory-centric adaptive multi-tenant DNN execution.
+
+Python reproduction of Kim et al., "MoCA: Memory-Centric, Adaptive
+Execution for Multi-Tenant Deep Neural Networks" (HPCA 2023).  See
+README.md for the tour, DESIGN.md for the substitution argument, and
+EXPERIMENTS.md for paper-vs-measured results.
+
+The curated public API re-exported here covers the common workflow:
+configure an SoC, pick a workload, run policies, score the outcome.
+Deeper layers (the ISA substrate, the arbiter, per-figure experiments)
+are imported from their subpackages.
+"""
+
+from repro.baselines import PlanariaPolicy, PremaPolicy, StaticPartitionPolicy
+from repro.config import DEFAULT_SOC, SoCConfig, TileConfig
+from repro.core.latency import estimate_layer, estimate_network
+from repro.core.policy import MoCAPolicy
+from repro.core.runtime import MoCARuntime, RuntimeDecision
+from repro.core.scheduler import MoCAScheduler, SchedulerConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.metrics import MetricsSummary, summarize
+from repro.models.graph import Network
+from repro.models.zoo import build_model, model_names, workload_set
+from repro.sim.engine import SimResult, Simulator, run_simulation
+from repro.sim.job import Task, TaskResult
+from repro.sim.qos import QosLevel, QosModel
+from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_SOC",
+    "MemoryHierarchy",
+    "MetricsSummary",
+    "MoCAPolicy",
+    "MoCARuntime",
+    "MoCAScheduler",
+    "Network",
+    "PlanariaPolicy",
+    "PremaPolicy",
+    "QosLevel",
+    "QosModel",
+    "RuntimeDecision",
+    "SchedulerConfig",
+    "SimResult",
+    "Simulator",
+    "SoCConfig",
+    "StaticPartitionPolicy",
+    "Task",
+    "TaskResult",
+    "TileConfig",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "build_model",
+    "estimate_layer",
+    "estimate_network",
+    "model_names",
+    "run_simulation",
+    "summarize",
+    "workload_set",
+]

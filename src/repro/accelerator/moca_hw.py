@@ -1,0 +1,160 @@
+"""The MoCA hardware engine: access counter + thresholding module.
+
+Port of the paper's Section III-B.  The real hardware is a pair of
+lightweight finite-state machines in the accelerator's memory
+interface:
+
+- the **Access Counter** tracks memory requests issued during the
+  current monitoring window;
+- the **Thresholding Module** raises an alert once the count exceeds
+  the window's ``threshold_load`` and inserts "bubbles" — cycles during
+  which no further memory requests may issue — until the window
+  expires or the runtime reconfigures the engine.
+
+A ``(window, threshold_load)`` pair therefore enforces an average
+memory-access rate of ``threshold_load / window`` requests per cycle.
+``threshold_load == 0`` (with ``window == 0``) disables throttling
+entirely, matching Algorithm 2 line 23.
+
+The fluid simulator consumes only :meth:`MoCAHardwareEngine.allowed_rate`;
+the cycle-level ``step``/``try_issue`` API exists so the FSM semantics
+are testable against the paper's description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Cycles to apply a new (window, threshold) configuration — the paper
+#: reports 5-10 cycles to reconfigure the DMA's issue rate; we use 8.
+RECONFIG_CYCLES = 8
+
+
+class MoCAHardwareError(ValueError):
+    """Raised on invalid hardware configuration."""
+
+
+@dataclass
+class AccessCounter:
+    """Counts memory requests within the current monitoring window."""
+
+    count: int = 0
+
+    def record(self, requests: int = 1) -> None:
+        """Record issued memory requests."""
+        if requests < 0:
+            raise MoCAHardwareError("cannot record a negative request count")
+        self.count += requests
+
+    def reset(self) -> None:
+        """Reset at a window boundary."""
+        self.count = 0
+
+
+@dataclass
+class ThresholdingModule:
+    """Raises the throttle alert when the counter exceeds its budget.
+
+    Attributes:
+        threshold_load: Allowed requests per window; 0 disables.
+    """
+
+    threshold_load: int = 0
+
+    def alert(self, counter: AccessCounter) -> bool:
+        """Whether the accumulated count has exhausted the budget."""
+        if self.threshold_load <= 0:
+            return False
+        return counter.count >= self.threshold_load
+
+
+@dataclass
+class MoCAHardwareEngine:
+    """The per-tile monitoring and throttling engine.
+
+    The engine is driven one cycle at a time: the accelerator calls
+    :meth:`try_issue` when it wants to send a memory request and
+    :meth:`step` at the end of every cycle.  Between runtime
+    reconfigurations it enforces at most ``threshold_load`` requests in
+    every ``window``-cycle period.
+
+    Attributes:
+        window: Monitoring window length in cycles (0 = disabled).
+        counter: The access counter FSM.
+        thresholder: The thresholding FSM.
+        cycles_into_window: Position within the current window.
+        stalled: Whether the engine is currently inserting bubbles.
+        total_issued: Lifetime requests issued (for validation).
+        total_bubbles: Lifetime stall cycles inserted (for validation).
+    """
+
+    window: int = 0
+    counter: AccessCounter = field(default_factory=AccessCounter)
+    thresholder: ThresholdingModule = field(default_factory=ThresholdingModule)
+    cycles_into_window: int = 0
+    stalled: bool = False
+    total_issued: int = 0
+    total_bubbles: int = 0
+
+    def configure(self, window: int, threshold_load: int) -> None:
+        """Runtime reconfiguration (Algorithm 2 line 26).
+
+        Resets the window and clears any active stall — the runtime has
+        just granted a fresh budget.
+
+        Args:
+            window: New monitoring window in cycles; 0 disables
+                throttling (then ``threshold_load`` must also be 0).
+            threshold_load: Allowed requests per window.
+        """
+        if window < 0 or threshold_load < 0:
+            raise MoCAHardwareError("window and threshold must be >= 0")
+        if (window == 0) != (threshold_load == 0):
+            raise MoCAHardwareError(
+                "window and threshold_load must be enabled/disabled together"
+            )
+        self.window = window
+        self.thresholder.threshold_load = threshold_load
+        self.counter.reset()
+        self.cycles_into_window = 0
+        self.stalled = False
+
+    @property
+    def enabled(self) -> bool:
+        """Whether throttling is active."""
+        return self.window > 0 and self.thresholder.threshold_load > 0
+
+    def allowed_rate(self) -> float:
+        """Average allowed requests per cycle (inf when disabled)."""
+        if not self.enabled:
+            return float("inf")
+        return self.thresholder.threshold_load / self.window
+
+    def try_issue(self, requests: int = 1) -> bool:
+        """Attempt to issue memory requests this cycle.
+
+        Returns True and records the requests if the engine is not
+        stalling; returns False (a bubble) otherwise.
+        """
+        if self.enabled and self.stalled:
+            return False
+        self.counter.record(requests)
+        self.total_issued += requests
+        if self.enabled and self.thresholder.alert(self.counter):
+            self.stalled = True
+        return True
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance time; roll the window and lift stalls at boundaries."""
+        if cycles < 0:
+            raise MoCAHardwareError("cannot step a negative cycle count")
+        if not self.enabled:
+            return
+        for _ in range(cycles):
+            if self.stalled:
+                self.total_bubbles += 1
+            self.cycles_into_window += 1
+            if self.cycles_into_window >= self.window:
+                self.cycles_into_window = 0
+                self.counter.reset()
+                self.stalled = False

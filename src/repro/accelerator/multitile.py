@@ -1,0 +1,193 @@
+"""Multi-tenant instruction-level co-simulation.
+
+Runs several tiles' instruction streams concurrently against the
+shared DRAM: at every instruction boundary the active ``mvin``/``mvout``
+transfers split the channel bandwidth (demand-proportionally, or capped
+by per-app MoCA throttles), while ``compute`` instructions proceed
+independently on each tile's array — the decoupled access/execute
+behaviour at instruction granularity.
+
+Purpose: an independent cross-check of the *fluid* engine's contention
+model.  Both abstractions must agree on how much co-location stretches
+memory-bound execution (see ``tests/test_multitile.py``), which is the
+quantity every headline result rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.accelerator.isa import Instruction, Opcode, compute_rate_for
+from repro.config import SoCConfig
+from repro.memory.arbiter import allocate_bandwidth
+from repro.models.layers import Layer
+
+_EPS = 1e-9
+
+
+@dataclass
+class _AppState:
+    """Progress of one co-running application's stream."""
+
+    layer: Layer
+    instructions: Sequence[Instruction]
+    pc: int = 0
+    remaining: float = 0.0          # bytes or MACs left in current ins
+    load_done: Dict[int, bool] = field(default_factory=dict)
+    compute_done: Dict[int, bool] = field(default_factory=dict)
+    finish_time: Optional[float] = None
+
+    def current(self) -> Optional[Instruction]:
+        if self.pc >= len(self.instructions):
+            return None
+        return self.instructions[self.pc]
+
+
+@dataclass(frozen=True)
+class CoSimResult:
+    """Per-application outcome of a co-simulation.
+
+    Attributes:
+        finish_times: App id -> completion cycle.
+        makespan: Cycle the last app finished.
+    """
+
+    finish_times: Dict[str, float]
+    makespan: float
+
+
+class MultiTenantPipelineSim:
+    """Instruction-granular co-simulation of tiles sharing DRAM.
+
+    The model is deliberately simple — each app executes its stream in
+    order, one instruction at a time, with transfers sharing the DRAM —
+    because its job is validation, not speed.  For whole-scenario runs
+    use :mod:`repro.sim.engine`.
+
+    Attributes:
+        soc: SoC configuration.
+        dram_bandwidth: Shared channel bandwidth, bytes/cycle.
+    """
+
+    def __init__(self, soc: SoCConfig, dram_bandwidth: float) -> None:
+        if dram_bandwidth <= 0:
+            raise ValueError("dram_bandwidth must be positive")
+        self.soc = soc
+        self.dram_bandwidth = dram_bandwidth
+
+    def run(
+        self,
+        apps: Mapping[str, tuple],
+        caps: Optional[Mapping[str, float]] = None,
+        max_events: int = 1_000_000,
+    ) -> CoSimResult:
+        """Co-run instruction streams to completion.
+
+        Args:
+            apps: App id -> ``(layer, instructions)``.
+            caps: Optional per-app DRAM bandwidth caps (MoCA throttles).
+            max_events: Safety bound on simulation events.
+
+        Returns:
+            The :class:`CoSimResult`.
+        """
+        if not apps:
+            raise ValueError("no apps to simulate")
+        states = {
+            app: _AppState(layer=layer, instructions=list(stream))
+            for app, (layer, stream) in apps.items()
+        }
+        for state in states.values():
+            self._arm(state)
+
+        now = 0.0
+        events = 0
+        while any(s.finish_time is None for s in states.values()):
+            events += 1
+            if events > max_events:
+                raise RuntimeError("co-simulation exceeded event budget")
+
+            # Current rates: DMA instructions share the DRAM; computes
+            # run at their tile's array rate.
+            demands: Dict[str, float] = {}
+            for app, state in states.items():
+                ins = state.current()
+                if ins is not None and ins.op is not Opcode.COMPUTE:
+                    demands[app] = self.dram_bandwidth
+            shares = (
+                allocate_bandwidth(demands, self.dram_bandwidth, caps)
+                if demands else {}
+            )
+
+            # Time to each app's next instruction completion.
+            dt = float("inf")
+            for app, state in states.items():
+                ins = state.current()
+                if ins is None:
+                    continue
+                rate = self._rate(app, state, ins, shares)
+                if rate <= 0:
+                    continue
+                dt = min(dt, state.remaining / rate)
+            if dt == float("inf"):
+                raise RuntimeError("co-simulation stalled")
+            dt = max(dt, _EPS)
+
+            # Advance everyone.
+            now += dt
+            for app, state in states.items():
+                ins = state.current()
+                if ins is None:
+                    continue
+                rate = self._rate(app, state, ins, shares)
+                state.remaining -= rate * dt
+                if state.remaining <= _EPS:
+                    self._retire(state, ins)
+                    self._arm(state)
+                    if state.current() is None:
+                        state.finish_time = now
+        finish = {app: s.finish_time for app, s in states.items()}
+        return CoSimResult(finish_times=finish, makespan=max(finish.values()))
+
+    def _rate(self, app: str, state: _AppState, ins: Instruction,
+              shares: Mapping[str, float]) -> float:
+        if ins.op is Opcode.COMPUTE:
+            return compute_rate_for(state.layer, self.soc)
+        return shares.get(app, 0.0)
+
+    @staticmethod
+    def _retire(state: _AppState, ins: Instruction) -> None:
+        if ins.op is Opcode.MVIN:
+            state.load_done[ins.tile_index] = True
+        elif ins.op is Opcode.COMPUTE:
+            state.compute_done[ins.tile_index] = True
+        state.pc += 1
+
+    @staticmethod
+    def _arm(state: _AppState) -> None:
+        ins = state.current()
+        if ins is None:
+            return
+        state.remaining = float(
+            ins.macs if ins.op is Opcode.COMPUTE else ins.num_bytes
+        )
+        if state.remaining <= 0:
+            state.pc += 1
+            MultiTenantPipelineSim._arm(state)
+
+
+def co_run_layers(
+    soc: SoCConfig,
+    dram_bandwidth: float,
+    layers: Mapping[str, Layer],
+    caps: Optional[Mapping[str, float]] = None,
+) -> CoSimResult:
+    """Convenience wrapper: lower each layer and co-run the streams."""
+    from repro.accelerator.isa import lower_layer
+
+    apps = {
+        app: (layer, lower_layer(layer, soc))
+        for app, layer in layers.items()
+    }
+    return MultiTenantPipelineSim(soc, dram_bandwidth).run(apps, caps)

@@ -1,0 +1,59 @@
+"""Compute model of a Gemmini-style weight-stationary systolic tile.
+
+A 16x16 weight-stationary array performs up to 256 MACs/cycle.  Real
+utilization depends on how a layer's dimensions map onto the array
+(:func:`repro.models.layers.effective_pe_utilization`) and on the
+pipeline-fill / tiling-edge derate (:attr:`TileConfig.compute_efficiency`).
+Multiple tiles cooperating on one layer split the output space; the
+split is near-linear for large layers but is capped by how much
+parallel work the layer actually exposes.
+"""
+
+from __future__ import annotations
+
+from repro.config import SoCConfig
+from repro.models.layers import Layer, LayerKind, effective_pe_utilization
+
+#: Minimum MACs a tile needs per assignment for multi-tile splitting to
+#: pay off (below this, fill/drain dominates and extra tiles are idle).
+_MIN_MACS_PER_TILE = 64 * 1024
+
+
+def max_useful_tiles(layer: Layer, soc: SoCConfig) -> int:
+    """How many tiles a layer can productively occupy.
+
+    MEM layers are executed by a single tile's DMA (their time is
+    bandwidth-bound anyway).  COMPUTE layers scale until the per-tile
+    share of work drops below the fill/drain break-even point.
+    """
+    if layer.kind is LayerKind.MEM:
+        return 1
+    useful = max(1, layer.macs // _MIN_MACS_PER_TILE)
+    return min(soc.num_tiles, useful)
+
+
+def layer_compute_cycles(layer: Layer, soc: SoCConfig, num_tiles: int) -> float:
+    """Ideal compute-only cycles for ``layer`` on ``num_tiles`` tiles.
+
+    This is Algorithm 1's ``Compute_ideal = Total_MAC / num_PEs`` with
+    the PE count derated by array utilization and compute efficiency,
+    and the tile count clipped to what the layer can use.
+    """
+    if num_tiles <= 0:
+        raise ValueError("num_tiles must be positive")
+    if layer.kind is LayerKind.MEM or layer.macs == 0:
+        return 0.0
+    tiles = min(num_tiles, max_useful_tiles(layer, soc))
+    util = effective_pe_utilization(
+        layer, soc.tile.array_rows, soc.tile.array_cols
+    )
+    # Multi-tile cooperation scales sublinearly (input replication,
+    # synchronization): speedup = tiles ** multi_tile_alpha.
+    speedup = tiles ** soc.multi_tile_alpha
+    macs_per_cycle = speedup * soc.tile.effective_macs_per_cycle * util
+    return layer.macs / macs_per_cycle
+
+
+def compute_cycles(layers, soc: SoCConfig, num_tiles: int) -> float:
+    """Ideal compute-only cycles for a sequence of layers."""
+    return sum(layer_compute_cycles(l, soc, num_tiles) for l in layers)

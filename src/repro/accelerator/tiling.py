@@ -1,0 +1,146 @@
+"""Scratchpad tiling of DNN layers.
+
+A layer whose working set exceeds the tile's private scratchpad must be
+processed in multiple *data tiles* staged through the shared L2.
+Algorithm 1 consumes two quantities from this plan:
+
+- ``per_tile_bytes`` — the working set of one data tile (compared with
+  the shared-L2 capacity on line 10: if a single data tile exceeds the
+  L2, intermediate reuse is lost and the tile's traffic goes to DRAM);
+- ``tiling_factor`` — how many data tiles the layer is broken into
+  (the multiplier on the refetched traffic on line 11).
+
+The plan mirrors Gemmini's output-stationary-at-the-tile-level loop
+ordering: outputs are partitioned into tiles, each tile loads its
+weight slice and input patch, accumulates, and writes back.  Input
+halos for convolutions are a second-order effect we fold into the
+refetch fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SoCConfig
+from repro.models.layers import (
+    ConvLayer,
+    DenseLayer,
+    Layer,
+    LayerKind,
+    ceil_div,
+)
+
+
+@dataclass(frozen=True)
+class TilingPlan:
+    """How one layer is staged through a tile's scratchpad.
+
+    Attributes:
+        per_tile_bytes: Working-set bytes of a single data tile
+            (weights slice + input patch + output slice).
+        tiling_factor: Number of data tiles the layer splits into.
+        refetch_bytes: Input-activation bytes loaded more than once
+            because successive output tiles revisit the same inputs.
+    """
+
+    per_tile_bytes: int
+    tiling_factor: int
+    refetch_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.per_tile_bytes < 0 or self.refetch_bytes < 0:
+            raise ValueError("tiling byte counts must be non-negative")
+        if self.tiling_factor < 1:
+            raise ValueError("tiling_factor must be at least 1")
+
+
+def plan_tiling(layer: Layer, soc: SoCConfig) -> TilingPlan:
+    """Compute the scratchpad tiling plan for ``layer``.
+
+    MEM layers stream through the DMA without scratchpad blocking, so
+    they get a trivial single-tile plan.
+    """
+    if layer.kind is LayerKind.MEM:
+        return TilingPlan(
+            per_tile_bytes=layer.total_mem_bytes, tiling_factor=1,
+            refetch_bytes=0,
+        )
+
+    capacity = soc.tile.scratchpad_bytes
+    working_set = layer.weight_bytes + layer.input_bytes + layer.output_bytes
+    if working_set <= capacity:
+        return TilingPlan(
+            per_tile_bytes=working_set, tiling_factor=1, refetch_bytes=0
+        )
+
+    if isinstance(layer, DenseLayer):
+        return _plan_dense(layer, capacity)
+    if isinstance(layer, ConvLayer):
+        return _plan_conv(layer, capacity)
+    # Unknown compute layer: fall back to uniform splitting.
+    factor = ceil_div(working_set, capacity)
+    return TilingPlan(
+        per_tile_bytes=capacity, tiling_factor=factor, refetch_bytes=0
+    )
+
+
+def _plan_dense(layer: DenseLayer, capacity: int) -> TilingPlan:
+    """Tile a fully-connected layer over output features.
+
+    The input vector stays resident; each tile holds a slice of the
+    weight matrix plus its output slice.  Weights stream exactly once,
+    so there is no refetch traffic.
+    """
+    resident = layer.input_bytes
+    budget = max(capacity - resident, capacity // 4)
+    per_out_feature = layer.weight_bytes // layer.out_features + 1
+    out_per_tile = max(1, budget // per_out_feature)
+    factor = ceil_div(layer.out_features, out_per_tile)
+    per_tile = resident + out_per_tile * per_out_feature
+    return TilingPlan(
+        per_tile_bytes=min(per_tile, capacity),
+        tiling_factor=factor,
+        refetch_bytes=0,
+    )
+
+
+def _plan_conv(layer: ConvLayer, capacity: int) -> TilingPlan:
+    """Tile a convolution over output rows and output channels.
+
+    Preference order (matching Gemmini's mapper): keep all weights
+    resident and tile the spatial extent; if the weights alone exceed
+    the scratchpad, additionally tile output channels, which forces the
+    input patch to be refetched once per channel tile.
+    """
+    if layer.weight_bytes <= capacity // 2:
+        # Weights resident; split output rows.
+        budget = capacity - layer.weight_bytes
+        bytes_per_out_row = (
+            layer.out_w * layer.out_ch
+            + layer.in_w * layer.in_ch * layer.stride
+        )
+        rows_per_tile = max(1, budget // max(bytes_per_out_row, 1))
+        factor = ceil_div(layer.out_h, rows_per_tile)
+        per_tile = layer.weight_bytes + rows_per_tile * bytes_per_out_row
+        return TilingPlan(
+            per_tile_bytes=min(per_tile, capacity),
+            tiling_factor=factor,
+            refetch_bytes=0,
+        )
+
+    # Weights do not fit: tile output channels; each channel tile
+    # re-reads the input activations.
+    ch_tiles = ceil_div(layer.weight_bytes, capacity // 2)
+    out_ch_per_tile = ceil_div(layer.out_ch, ch_tiles)
+    weights_per_tile = (layer.weight_bytes * out_ch_per_tile) // layer.out_ch
+    # Spatial split may still be needed for the activations.
+    act_bytes = layer.input_bytes + (
+        layer.output_bytes * out_ch_per_tile
+    ) // layer.out_ch
+    spatial_tiles = max(1, ceil_div(act_bytes, max(capacity - weights_per_tile, capacity // 4)))
+    factor = ch_tiles * spatial_tiles
+    per_tile = min(capacity, weights_per_tile + ceil_div(act_bytes, spatial_tiles))
+    refetch = layer.input_bytes * (ch_tiles - 1)
+    return TilingPlan(
+        per_tile_bytes=per_tile, tiling_factor=factor, refetch_bytes=refetch
+    )

@@ -1,0 +1,7 @@
+"""Baseline multi-tenancy policies the paper compares against."""
+
+from repro.baselines.planaria import PlanariaPolicy
+from repro.baselines.prema import PremaPolicy
+from repro.baselines.static_partition import StaticPartitionPolicy
+
+__all__ = ["PlanariaPolicy", "PremaPolicy", "StaticPartitionPolicy"]

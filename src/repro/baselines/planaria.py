@@ -1,0 +1,173 @@
+"""Planaria baseline (Ghodrati et al., MICRO 2020) — baseline 3.
+
+Planaria spatially co-locates DNNs by *dynamic architecture fission*:
+the accelerator's compute fabric is split into pods and the split is
+re-derived whenever task urgency or the running set changes, driven by
+each task's priority and deadline slack.  Memory resources are not
+managed — each pod's DRAM share is whatever unmanaged interleaving
+yields — and every repartition of a running task costs a
+thread-migration stall (~1 M cycles, Section V-A), the overhead that
+dominates light-model scenarios in the paper's Figure 5.
+
+Reproduction notes: pods map to Gemmini tiles; the fission heuristic
+is priority x urgency weighted apportionment with a minimum of one
+tile per admitted task, re-evaluated at every scheduling event with
+urgency quantized into buckets so repartitions fire at discrete
+urgency transitions (as Planaria's epoch-based scheduler does).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.prediction import RemainingPrediction
+from repro.sim.policy import Policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.job import Job
+
+
+class PlanariaPolicy(Policy):
+    """Dynamic compute-only spatial partitioning.
+
+    Attributes:
+        max_concurrent: Most tasks co-located at once.
+        min_tiles: Smallest pod granted to an admitted task.
+    """
+
+    name = "planaria"
+
+    def __init__(self, max_concurrent: int = 4, min_tiles: int = 1) -> None:
+        if max_concurrent <= 0:
+            raise ValueError("max_concurrent must be positive")
+        if min_tiles <= 0:
+            raise ValueError("min_tiles must be positive")
+        self.max_concurrent = max_concurrent
+        self.min_tiles = min_tiles
+        self._predictor: Optional[RemainingPrediction] = None
+        self._last_signature: tuple = ()
+
+    # ------------------------------------------------------------------
+
+    def on_event(self, sim: "Simulator") -> None:
+        """Admit by priority, then re-derive and apply the fission."""
+        if self._predictor is None:
+            self._predictor = RemainingPrediction(sim.soc, sim.mem)
+
+        admit = self._admission_order(sim)
+        incumbents = list(sim.running)
+        candidates = incumbents + admit
+        if not candidates:
+            return
+
+        # Fission is re-derived only when its inputs change: the set of
+        # co-running tasks, or a task becoming deadline-critical
+        # (Planaria's scheduler runs on task events and deadline
+        # epochs; re-deriving on every simulator event would cascade
+        # the migration stalls unboundedly).
+        signature = tuple(
+            sorted(
+                (j.job_id, self._urgency_bucket(sim, j)) for j in candidates
+            )
+        )
+        if signature == self._last_signature and not admit:
+            return
+        self._last_signature = signature
+
+        desired = self._fission_shares(sim, candidates)
+
+        def wants_change(job: "Job") -> bool:
+            # Pod-granularity hysteresis: a one-tile shrink is not
+            # worth a 1 M-cycle migration; grows follow urgency.
+            delta = desired[job.job_id] - job.tiles
+            if delta == 0:
+                return False
+            if abs(delta) >= 2:
+                return True
+            return delta > 0 and self._urgency_bucket(sim, job) >= 2.0
+
+        # Apply shrinks on running jobs first so tiles free up, then
+        # admit newcomers, then apply grows.
+        for job in incumbents:
+            if desired[job.job_id] < job.tiles and wants_change(job):
+                sim.set_tiles(job, desired[job.job_id])
+        for job in admit:
+            share = min(desired[job.job_id], sim.free_tiles)
+            if share >= self.min_tiles:
+                sim.start_job(job, share)
+        for job in incumbents:
+            if desired[job.job_id] > job.tiles and wants_change(job):
+                grant = min(desired[job.job_id], job.tiles + sim.free_tiles)
+                if grant != job.tiles:
+                    sim.set_tiles(job, grant)
+
+    def _admission_order(self, sim: "Simulator") -> List["Job"]:
+        """Waiting tasks to admit, best priority/age first."""
+        slots = self.max_concurrent - len(sim.running)
+        if slots <= 0 or not sim.ready:
+            return []
+        ranked = sorted(
+            sim.ready,
+            key=lambda j: (
+                -(j.task.priority + 1),
+                j.task.dispatch_cycle,
+                j.job_id,
+            ),
+        )
+        return ranked[:slots]
+
+    # ------------------------------------------------------------------
+
+    def _urgency_bucket(self, sim: "Simulator", job: "Job") -> float:
+        """Quantized urgency from deadline slack vs remaining work."""
+        assert self._predictor is not None
+        tiles = max(job.tiles, self.min_tiles)
+        remain = self._predictor.remaining(
+            job.task.cost, job.block_idx, tiles
+        )
+        slack = job.task.deadline - sim.now
+        if slack <= 0 or remain <= 0:
+            return 4.0
+        ratio = slack / remain
+        if ratio < 1.0:
+            return 4.0
+        if ratio < 2.0:
+            return 2.0
+        return 1.0
+
+    def _fission_shares(
+        self, sim: "Simulator", candidates: List["Job"]
+    ) -> Dict[str, int]:
+        """Apportion all tiles by priority x urgency (min 1 each)."""
+        total = sim.soc.num_tiles
+        weights = {
+            j.job_id: (j.task.priority + 1) * self._urgency_bucket(sim, j)
+            for j in candidates
+        }
+        weight_sum = sum(weights.values())
+        # Largest-remainder apportionment with a floor of min_tiles.
+        shares = {jid: self.min_tiles for jid in weights}
+        spare = total - self.min_tiles * len(candidates)
+        if spare < 0:
+            # More candidates than tiles: the lowest-weight newcomers
+            # simply wait (handled by the admission cap upstream).
+            return shares
+        quotas = {
+            jid: spare * w / weight_sum for jid, w in weights.items()
+        }
+        for jid, quota in quotas.items():
+            shares[jid] += int(quota)
+        leftovers = spare - sum(int(q) for q in quotas.values())
+        by_remainder = sorted(
+            quotas, key=lambda jid: (quotas[jid] - int(quotas[jid]), jid),
+            reverse=True,
+        )
+        for jid in by_remainder[:leftovers]:
+            shares[jid] += 1
+        return shares
+
+    def reset(self) -> None:
+        """Drop the prediction cache (new simulation)."""
+        self._predictor = None
+        self._last_signature = ()

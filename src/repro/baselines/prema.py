@@ -1,0 +1,107 @@
+"""PREMA baseline (Choi & Rhu, HPCA 2020) — Section IV-D, baseline 1.
+
+PREMA time-multiplexes the whole accelerator across DNNs with a
+predictive, token-based priority scheduler:
+
+- every waiting task accumulates *tokens* proportionally to its static
+  priority and the time it has waited;
+- when the accelerator becomes free (or a preemption fires), the task
+  with the most tokens runs next on **all** compute resources;
+- a running task is preempted at a layer (here: block) checkpoint when
+  a waiting task's token count exceeds its own by the preemption
+  threshold, paying the checkpoint/restore overhead.
+
+Because execution is strictly temporal, co-location never causes
+bandwidth contention — but short tasks queue behind long ones, which
+is why PREMA trails every spatial scheme on SLA and STP in Figures
+5-8.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.policy import Policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.job import Job
+
+#: Cycles to checkpoint + restore accelerator state on a preemption
+#: (scratchpad/accumulator flush and refill over the memory system).
+PREEMPTION_OVERHEAD_CYCLES = 50_000
+
+
+class PremaPolicy(Policy):
+    """Token-based temporal multiplexing of the full accelerator.
+
+    Attributes:
+        preemption_threshold: A waiting task preempts when its tokens
+            exceed the running task's by this multiplicative factor.
+        preemption_overhead: Checkpoint/restore stall charged to the
+            incoming task on a preemptive switch.
+    """
+
+    name = "prema"
+
+    def __init__(
+        self,
+        preemption_threshold: float = 2.0,
+        preemption_overhead: int = PREEMPTION_OVERHEAD_CYCLES,
+    ) -> None:
+        if preemption_threshold < 1.0:
+            raise ValueError("preemption_threshold must be >= 1")
+        if preemption_overhead < 0:
+            raise ValueError("preemption_overhead must be >= 0")
+        self.preemption_threshold = preemption_threshold
+        self.preemption_overhead = preemption_overhead
+        self._preempted_by_us = False
+
+    def tokens(self, job: "Job", now: float) -> float:
+        """PREMA token count: tokens accrue proportionally to the
+        task's priority for every cycle it waits (the paper's scheme —
+        tokens are not normalized by job length, which is why short
+        tasks queue behind long high-priority ones)."""
+        waited = max(0.0, now - job.task.dispatch_cycle)
+        return (job.task.priority + 1) * waited
+
+    def on_event(self, sim: "Simulator") -> None:
+        """Keep exactly one job running; preempt at block checkpoints."""
+        if sim.running:
+            runner = sim.running[0]
+            challenger = self._best_waiting(sim)
+            if (
+                challenger is not None
+                and runner.at_block_boundary
+                and not runner.is_stalled(sim.now)
+                and self.tokens(challenger, sim.now)
+                > self.preemption_threshold
+                * max(self.tokens(runner, sim.now), 1e-12)
+            ):
+                sim.preempt(runner)
+                sim.start_job(challenger, sim.soc.num_tiles)
+                sim.stall_job(challenger, self.preemption_overhead)
+            return
+        nxt = self._best_waiting(sim)
+        if nxt is not None:
+            was_preempted = nxt.preemptions > 0
+            sim.start_job(nxt, sim.soc.num_tiles)
+            if was_preempted:
+                sim.stall_job(nxt, self.preemption_overhead)
+
+    def _best_waiting(self, sim: "Simulator") -> Optional["Job"]:
+        """The waiting job with the most tokens (stable tie-break)."""
+        if not sim.ready:
+            return None
+        return max(
+            sim.ready,
+            key=lambda j: (
+                self.tokens(j, sim.now),
+                j.task.priority,
+                -j.task.dispatch_cycle,
+                j.job_id,
+            ),
+        )
+
+    def reset(self) -> None:
+        """Stateless between runs."""

@@ -1,0 +1,46 @@
+"""Static compute partitioning baseline (Section IV-D, baseline 2).
+
+The SoC's tiles are carved into fixed, equal slots at boot; each
+arriving task occupies one free slot first-come-first-served and runs
+to completion.  Nothing is ever repartitioned and the shared memory
+system is left unmanaged — under contention each job's DRAM share is
+whatever demand-proportional interleaving gives it.
+
+This is also the "unmanaged co-location" configuration behind the
+motivation study (Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.policy import Policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.job import Job
+
+
+class StaticPartitionPolicy(Policy):
+    """Fixed equal tile slots, FCFS admission, no runtime management.
+
+    Attributes:
+        tiles_per_slot: Tiles in each static slot (default 2, giving
+            four co-running workloads on the Table II SoC).
+    """
+
+    name = "static"
+
+    def __init__(self, tiles_per_slot: int = 2) -> None:
+        if tiles_per_slot <= 0:
+            raise ValueError("tiles_per_slot must be positive")
+        self.tiles_per_slot = tiles_per_slot
+
+    def on_event(self, sim: "Simulator") -> None:
+        """Admit waiting tasks into free slots in dispatch order."""
+        while sim.ready and sim.free_tiles >= self.tiles_per_slot:
+            job = sim.ready[0]
+            sim.start_job(job, self.tiles_per_slot)
+
+    def reset(self) -> None:
+        """Stateless policy; nothing to clear."""

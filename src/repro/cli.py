@@ -1,0 +1,142 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Usage::
+
+    python -m repro.cli fig1 [--trials 300]
+    python -m repro.cli fig5 [--tasks 250] [--seeds 1,2,3]
+    python -m repro.cli fig6 | fig7 | fig8
+    python -m repro.cli table4
+    python -m repro.cli validate
+    python -m repro.cli all       # everything, EXPERIMENTS.md style
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Tuple
+
+from repro.experiments.fig1_motivation import format_fig1, run_fig1
+from repro.experiments.fig5_sla import format_fig5, run_fig5
+from repro.experiments.fig6_priority import format_fig6
+from repro.experiments.fig7_stp import format_fig7
+from repro.experiments.fig8_fairness import format_fig8
+from repro.experiments.table4_area import format_table4
+from repro.experiments.validation import format_validation, run_validation
+
+
+def _parse_seeds(text: str) -> Tuple[int, ...]:
+    return tuple(int(s) for s in text.split(",") if s)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MoCA (HPCA 2023) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig1 = sub.add_parser("fig1", help="motivation: co-location slowdown")
+    p_fig1.add_argument("--trials", type=int, default=300)
+    p_fig1.add_argument("--seed", type=int, default=0)
+
+    for name in ("fig5", "fig6", "fig7", "fig8"):
+        p = sub.add_parser(name, help=f"paper {name} matrix")
+        p.add_argument("--tasks", type=int, default=250)
+        p.add_argument("--seeds", type=_parse_seeds, default=(1, 2, 3))
+
+    sub.add_parser("table4", help="area breakdown")
+    sub.add_parser("validate", help="latency-model validation")
+    sub.add_parser("models", help="list the benchmark DNN zoo (Table III)")
+
+    p_sweeps = sub.add_parser(
+        "sweeps", help="SoC configuration sensitivity sweeps (appendix F)"
+    )
+    p_sweeps.add_argument("--tasks", type=int, default=80)
+    p_sweeps.add_argument("--seeds", type=_parse_seeds, default=(1, 2))
+
+    p_all = sub.add_parser("all", help="run every experiment")
+    p_all.add_argument("--tasks", type=int, default=250)
+    p_all.add_argument("--seeds", type=_parse_seeds, default=(1, 2, 3))
+    p_all.add_argument("--trials", type=int, default=300)
+    return parser
+
+
+def _format_models() -> str:
+    """Table III as text: the zoo with sizes and workload sets."""
+    from repro.models.zoo import WORKLOAD_SETS, build_model, model_names
+
+    lines = [
+        f"{'model':<12s}{'domain':<24s}{'layers':>7s}{'GMACs':>8s}"
+        f"{'params MB':>11s}{'sets':>7s}"
+    ]
+    for name in model_names():
+        net = build_model(name)
+        sets = "".join(
+            s for s, members in WORKLOAD_SETS.items() if name in members
+        )
+        lines.append(
+            f"{name:<12s}{net.domain:<24s}{len(net):>7d}"
+            f"{net.total_macs / 1e9:>8.2f}"
+            f"{net.total_weight_bytes / 1e6:>11.2f}{sets:>7s}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    start = time.time()
+
+    if args.command == "fig1":
+        print(format_fig1(run_fig1(trials=args.trials, seed=args.seed)))
+    elif args.command in ("fig5", "fig6", "fig7", "fig8"):
+        matrix = run_fig5(num_tasks=args.tasks, seeds=args.seeds)
+        formatter = {
+            "fig5": format_fig5,
+            "fig6": format_fig6,
+            "fig7": format_fig7,
+            "fig8": format_fig8,
+        }[args.command]
+        print(formatter(matrix))
+    elif args.command == "table4":
+        print(format_table4())
+    elif args.command == "validate":
+        print(format_validation(run_validation()))
+    elif args.command == "models":
+        print(_format_models())
+    elif args.command == "sweeps":
+        from repro.experiments.sweeps import (
+            format_sweep,
+            sweep_dram_bandwidth,
+            sweep_l2_capacity,
+            sweep_num_tiles,
+        )
+
+        for title, sweep in (
+            ("DRAM bandwidth sweep:", sweep_dram_bandwidth),
+            ("L2 capacity sweep:", sweep_l2_capacity),
+            ("Tile count sweep:", sweep_num_tiles),
+        ):
+            print(format_sweep(
+                title,
+                sweep(num_tasks=args.tasks, seeds=args.seeds),
+            ))
+            print()
+    elif args.command == "all":
+        print(format_fig1(run_fig1(trials=args.trials)))
+        print()
+        matrix = run_fig5(num_tasks=args.tasks, seeds=args.seeds)
+        for fmt in (format_fig5, format_fig6, format_fig7, format_fig8):
+            print(fmt(matrix))
+            print()
+        print(format_table4())
+        print()
+        print(format_validation(run_validation()))
+    print(f"\n[{args.command} completed in {time.time() - start:.1f}s]",
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

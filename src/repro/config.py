@@ -1,0 +1,168 @@
+"""SoC configuration for the MoCA reproduction.
+
+This module encodes Table II of the paper (the SoC configuration used in
+the evaluation) plus the unit conventions the rest of the library relies
+on.  All simulator time is measured in **cycles** of the 1 GHz SoC clock,
+all data volumes in **bytes**, and all bandwidths in **bytes per cycle**.
+
+Table II of the paper:
+
+====================================  =========
+Parameter                             Value
+====================================  =========
+Systolic array dimension (per tile)   16x16
+Scratchpad size (per tile)            128 KiB
+Accumulator size (per tile)           64 KiB
+# of accelerator tiles                8
+Shared L2 size                        2 MB
+Shared L2 banks                       8
+DRAM bandwidth                        16 GB/s
+Frequency                             1 GHz
+====================================  =========
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Bytes used to store a single activation / weight element.  Gemmini's
+#: default datatype is int8.
+ELEM_BYTES = 1
+
+#: Bytes used to store a partial sum in the accumulator (int32).
+ACC_BYTES = 4
+
+
+class ConfigError(ValueError):
+    """Raised when an SoC configuration is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Configuration of a single Gemmini-style accelerator tile.
+
+    Attributes:
+        array_rows: Rows of the weight-stationary systolic array.
+        array_cols: Columns of the weight-stationary systolic array.
+        scratchpad_bytes: Private scratchpad capacity (weights + input
+            activations + output activations).
+        accumulator_bytes: Private accumulator SRAM capacity.
+        compute_efficiency: Fraction of peak MACs/cycle that dense layers
+            sustain once pipeline fill/drain and tiling edge effects are
+            accounted for.  Gemmini sustains high utilization on large
+            GEMMs; edge tiles lower it.
+    """
+
+    array_rows: int = 16
+    array_cols: int = 16
+    scratchpad_bytes: int = 128 * KIB
+    accumulator_bytes: int = 64 * KIB
+    compute_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.array_rows <= 0 or self.array_cols <= 0:
+            raise ConfigError("systolic array dimensions must be positive")
+        if self.scratchpad_bytes <= 0 or self.accumulator_bytes <= 0:
+            raise ConfigError("tile SRAM capacities must be positive")
+        if not 0.0 < self.compute_efficiency <= 1.0:
+            raise ConfigError("compute_efficiency must be in (0, 1]")
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """Peak multiply-accumulates per cycle (one per PE)."""
+        return self.array_rows * self.array_cols
+
+    @property
+    def effective_macs_per_cycle(self) -> float:
+        """Sustained MACs per cycle after the efficiency derate."""
+        return self.peak_macs_per_cycle * self.compute_efficiency
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """Full SoC configuration (Table II).
+
+    Attributes:
+        tile: Per-tile configuration.
+        num_tiles: Number of homogeneous accelerator tiles on the SoC.
+        l2_bytes: Shared L2 (system-level cache) capacity.
+        l2_banks: Number of L2 banks; each bank supplies
+            ``l2_bytes_per_bank_cycle`` bytes per cycle of peak bandwidth.
+        l2_bytes_per_bank_cycle: Peak per-bank L2 bandwidth.
+        dram_bandwidth_bytes_per_cycle: Peak DRAM bandwidth.  16 GB/s at
+            1 GHz is 16 bytes per cycle (the paper's GB are decimal in
+            DRAM-vendor convention; at this granularity the distinction
+            is immaterial and we use 16 B/cycle).
+        frequency_hz: SoC clock frequency, used only to convert cycles to
+            wall-clock time for reporting.
+        overlap_f: Algorithm 1's compute/memory overlap factor.  0 means
+            compute and memory fully overlap (latency = max of the two);
+            1 means fully serialized (latency = sum).  The paper tunes
+            this per SoC; :mod:`repro.core.tuning` provides the utility.
+        multi_tile_alpha: Parallel-scaling exponent when k tiles
+            cooperate on one layer: speedup = k**alpha.  Splitting a
+            layer across tiles replicates input fetches and loses
+            synchronization slack, so scaling is sublinear — the reason
+            time-multiplexing the whole array (Prema) underutilizes it.
+    """
+
+    tile: TileConfig = dataclasses.field(default_factory=TileConfig)
+    num_tiles: int = 8
+    l2_bytes: int = 2 * MIB
+    l2_banks: int = 8
+    l2_bytes_per_bank_cycle: int = 16
+    dram_bandwidth_bytes_per_cycle: float = 16.0
+    frequency_hz: float = 1e9
+    overlap_f: float = 0.15
+    multi_tile_alpha: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.num_tiles <= 0:
+            raise ConfigError("num_tiles must be positive")
+        if self.l2_bytes <= 0 or self.l2_banks <= 0:
+            raise ConfigError("L2 capacity and banks must be positive")
+        if self.l2_bytes_per_bank_cycle <= 0:
+            raise ConfigError("L2 bank bandwidth must be positive")
+        if self.dram_bandwidth_bytes_per_cycle <= 0:
+            raise ConfigError("DRAM bandwidth must be positive")
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        if not 0.0 <= self.overlap_f <= 1.0:
+            raise ConfigError("overlap_f must be in [0, 1]")
+        if not 0.0 < self.multi_tile_alpha <= 1.0:
+            raise ConfigError("multi_tile_alpha must be in (0, 1]")
+
+    @property
+    def l2_bandwidth_bytes_per_cycle(self) -> float:
+        """Aggregate peak L2 bandwidth across all banks."""
+        return float(self.l2_banks * self.l2_bytes_per_bank_cycle)
+
+    @property
+    def total_peak_macs_per_cycle(self) -> int:
+        """Peak MACs per cycle across every tile on the SoC."""
+        return self.num_tiles * self.tile.peak_macs_per_cycle
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds at the SoC clock."""
+        return cycles / self.frequency_hz
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count to milliseconds at the SoC clock."""
+        return self.cycles_to_seconds(cycles) * 1e3
+
+    def with_overlap(self, overlap_f: float) -> "SoCConfig":
+        """Return a copy of this configuration with a new ``overlap_f``."""
+        return dataclasses.replace(self, overlap_f=overlap_f)
+
+    def with_tiles(self, num_tiles: int) -> "SoCConfig":
+        """Return a copy of this configuration with a new tile count."""
+        return dataclasses.replace(self, num_tiles=num_tiles)
+
+
+#: The paper's evaluation SoC (Table II), used as the default everywhere.
+DEFAULT_SOC = SoCConfig()

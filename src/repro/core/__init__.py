@@ -1,0 +1,29 @@
+"""MoCA's core contribution: latency model, runtime, scheduler, policy."""
+
+from repro.core.latency import (
+    BlockCost,
+    LayerEstimate,
+    NetworkCost,
+    build_block_cost,
+    build_network_cost,
+    estimate_layer,
+    estimate_network,
+)
+from repro.core.runtime import MoCARuntime, RuntimeDecision
+from repro.core.scheduler import MoCAScheduler, SchedulerConfig
+from repro.core.scoreboard import Scoreboard
+
+__all__ = [
+    "BlockCost",
+    "LayerEstimate",
+    "MoCARuntime",
+    "MoCAScheduler",
+    "NetworkCost",
+    "RuntimeDecision",
+    "SchedulerConfig",
+    "Scoreboard",
+    "build_block_cost",
+    "build_network_cost",
+    "estimate_layer",
+    "estimate_network",
+]

@@ -1,0 +1,369 @@
+"""Algorithm 1: latency and memory-traffic estimation.
+
+The MoCA runtime predicts a layer's latency from first principles:
+
+- **COMPUTE layers** (convolutions, fully-connected): the ideal compute
+  time is ``Total_MAC / num_PEs``; the ideal memory time accounts for
+  data movement across the *full* memory system — everything transits
+  the shared L2 (``Total_MEM / L2_BW``) and the subset that misses
+  (weights, outputs, biases, plus inputs and data tiles that cannot
+  stay resident) pays DRAM bandwidth (``From_DRAM / DRAM_BW``).  The
+  two overlap according to the SoC's ``overlap_f`` ability:
+  ``Prediction = max(C, M) + min(C, M) * overlap_f`` — ``overlap_f = 0``
+  models perfectly decoupled access/execute, ``1`` full serialization.
+- **MEM layers** (residual adds, unfused poolings): no compute term;
+  latency is the sum of DRAM and L2 transit time for their traffic.
+
+The paper validates this estimator within 10 % of FireSim RTL
+measurements; our benchmark ``bench_latency_validation`` replays that
+check against the fluid simulator.
+
+Besides the per-layer API, this module precomputes *block costs* — the
+static shape numbers of a layer block — so the simulator and runtime
+can re-evaluate predictions under changing resource allocations
+(tiles, bandwidth share) in O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.accelerator.tile import max_useful_tiles
+from repro.accelerator.tiling import plan_tiling
+from repro.config import SoCConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.models.blocks import LayerBlock, partition_into_blocks
+from repro.models.graph import Network
+from repro.models.layers import (
+    Layer,
+    LayerKind,
+    PoolLayer,
+    ConcatLayer,
+    ResidualAddLayer,
+    effective_pe_utilization,
+)
+
+
+class EstimationError(ValueError):
+    """Raised on invalid estimation inputs."""
+
+
+@dataclass(frozen=True)
+class LayerEstimate:
+    """Algorithm 1's outputs for one layer.
+
+    Attributes:
+        name: Layer name.
+        kind: COMPUTE or MEM.
+        compute_ideal: Ideal compute-only cycles (0 for MEM layers).
+        memory_ideal: Ideal memory-only cycles.
+        from_dram_bytes: Traffic that reaches DRAM.
+        total_mem_bytes: Traffic that reaches the shared L2.
+        prediction: Estimated latency in cycles.
+        bw_demand: DRAM bandwidth demand in bytes/cycle
+            (``From_DRAM / Prediction``, Algorithm 2 line 4).
+    """
+
+    name: str
+    kind: LayerKind
+    compute_ideal: float
+    memory_ideal: float
+    from_dram_bytes: float
+    total_mem_bytes: float
+    prediction: float
+    bw_demand: float
+
+
+def _dram_input_bytes(
+    layer: Layer, mem: MemoryHierarchy, num_sharers: int
+) -> float:
+    """DRAM-side input traffic of a MEM layer (Alg. 1 line 21).
+
+    The residual add's skip operand (``InputB``) was produced many
+    layers earlier and always refetches from DRAM.  Pooling / concat
+    inputs were just produced; they refetch only if they cannot stay
+    L2-resident.
+    """
+    if isinstance(layer, ResidualAddLayer):
+        return float(layer.skip_operand_bytes)
+    if isinstance(layer, (PoolLayer, ConcatLayer)):
+        if mem.input_cached(layer.input_bytes, num_sharers):
+            return 0.0
+        return float(layer.input_bytes)
+    # Unknown MEM layer: be conservative, refetch everything.
+    return float(layer.input_bytes)
+
+
+def estimate_layer(
+    layer: Layer,
+    soc: SoCConfig,
+    mem: Optional[MemoryHierarchy] = None,
+    num_tiles: int = 1,
+    num_sharers: int = 1,
+    dram_bw: Optional[float] = None,
+) -> LayerEstimate:
+    """Run Algorithm 1 on a single layer.
+
+    Args:
+        layer: The layer to estimate.
+        soc: SoC configuration (PE counts, overlap_f).
+        mem: Memory hierarchy; built from ``soc`` when omitted.
+        num_tiles: Accelerator tiles assigned to this layer.
+        num_sharers: Applications sharing the L2 (capacity pressure).
+        dram_bw: DRAM bandwidth available to this layer in bytes/cycle;
+            defaults to the hierarchy's full usable bandwidth.
+
+    Returns:
+        The populated :class:`LayerEstimate`.
+    """
+    if num_tiles <= 0:
+        raise EstimationError("num_tiles must be positive")
+    if num_sharers <= 0:
+        raise EstimationError("num_sharers must be positive")
+    if mem is None:
+        mem = MemoryHierarchy.from_soc(soc)
+    bw = mem.dram_bandwidth if dram_bw is None else dram_bw
+    if bw <= 0:
+        raise EstimationError("dram_bw must be positive")
+    l2_bw = mem.l2_bandwidth
+
+    if layer.kind is LayerKind.COMPUTE:
+        # Compute-only time at 100 % of the assigned PEs (derated by
+        # array utilization for thin layers and by the sublinear
+        # multi-tile speedup).
+        tiles = min(num_tiles, max_useful_tiles(layer, soc))
+        util = effective_pe_utilization(
+            layer, soc.tile.array_rows, soc.tile.array_cols
+        )
+        compute_ideal = layer.macs / (
+            tiles ** soc.multi_tile_alpha
+            * soc.tile.effective_macs_per_cycle
+            * util
+        )
+
+        plan = plan_tiling(layer, soc)
+        total_mem = float(layer.total_mem_bytes + plan.refetch_bytes)
+        from_dram = float(
+            layer.weight_bytes + layer.output_bytes + layer.bias_bytes
+        )
+        if not mem.input_cached(layer.input_bytes, num_sharers):
+            from_dram += layer.input_bytes
+        if not mem.tile_cached(plan.per_tile_bytes, num_sharers):
+            from_dram += plan.tiling_factor * plan.per_tile_bytes
+
+        memory_ideal = from_dram / bw + total_mem / l2_bw
+        hi = max(compute_ideal, memory_ideal)
+        lo = min(compute_ideal, memory_ideal)
+        prediction = hi + lo * soc.overlap_f
+    else:
+        compute_ideal = 0.0
+        total_mem = float(layer.total_mem_bytes)
+        from_dram = _dram_input_bytes(layer, mem, num_sharers) + float(
+            layer.output_bytes
+        )
+        memory_ideal = from_dram / bw + total_mem / l2_bw
+        prediction = memory_ideal
+
+    bw_demand = from_dram / prediction if prediction > 0 else 0.0
+    return LayerEstimate(
+        name=layer.name,
+        kind=layer.kind,
+        compute_ideal=compute_ideal,
+        memory_ideal=memory_ideal,
+        from_dram_bytes=from_dram,
+        total_mem_bytes=total_mem,
+        prediction=prediction,
+        bw_demand=bw_demand,
+    )
+
+
+@dataclass(frozen=True)
+class BlockCost:
+    """Static shape accounting of a layer block, reusable across
+    resource allocations.
+
+    ``compute_terms`` stores, per COMPUTE layer, the cycles the layer
+    needs on a single tile and the maximum tile count it can exploit,
+    so :meth:`compute_ideal` evaluates any allocation in O(layers).
+
+    Attributes:
+        name: Block name (first..last layer).
+        kind: COMPUTE if the block computes at all, else MEM.
+        compute_terms: ``(single_tile_cycles, max_useful_tiles)`` pairs.
+        from_dram_bytes: DRAM traffic of the whole block.
+        total_mem_bytes: L2 traffic of the whole block.
+        scaling_alpha: Multi-tile speedup exponent (from the SoC).
+    """
+
+    name: str
+    kind: LayerKind
+    compute_terms: Tuple[Tuple[float, int], ...]
+    from_dram_bytes: float
+    total_mem_bytes: float
+    scaling_alpha: float = 1.0
+
+    def compute_ideal(self, num_tiles: int) -> float:
+        """Ideal compute cycles on ``num_tiles`` tiles."""
+        if num_tiles <= 0:
+            raise EstimationError("num_tiles must be positive")
+        return sum(
+            cycles / min(num_tiles, max_tiles) ** self.scaling_alpha
+            for cycles, max_tiles in self.compute_terms
+        )
+
+    def memory_ideal(self, dram_bw: float, l2_bw: float) -> float:
+        """Ideal memory cycles at the given bandwidths."""
+        if dram_bw <= 0 or l2_bw <= 0:
+            raise EstimationError("bandwidths must be positive")
+        return self.from_dram_bytes / dram_bw + self.total_mem_bytes / l2_bw
+
+    def predict(
+        self, num_tiles: int, dram_bw: float, l2_bw: float, overlap_f: float
+    ) -> float:
+        """Algorithm 1 latency for this block under an allocation."""
+        compute = self.compute_ideal(num_tiles)
+        memory = self.memory_ideal(dram_bw, l2_bw)
+        hi = max(compute, memory)
+        lo = min(compute, memory)
+        return hi + lo * overlap_f
+
+    def bw_demand(
+        self, num_tiles: int, dram_bw: float, l2_bw: float, overlap_f: float
+    ) -> float:
+        """Unconstrained DRAM demand (Alg. 2 line 4) in bytes/cycle."""
+        prediction = self.predict(num_tiles, dram_bw, l2_bw, overlap_f)
+        if prediction <= 0:
+            return 0.0
+        return self.from_dram_bytes / prediction
+
+
+def build_block_cost(
+    block: LayerBlock,
+    soc: SoCConfig,
+    mem: Optional[MemoryHierarchy] = None,
+    num_sharers: int = 1,
+) -> BlockCost:
+    """Aggregate Algorithm 1's accounting over a layer block."""
+    if mem is None:
+        mem = MemoryHierarchy.from_soc(soc)
+    terms = []
+    from_dram = 0.0
+    total_mem = 0.0
+    for layer in block.layers:
+        est = estimate_layer(
+            layer, soc, mem, num_tiles=1, num_sharers=num_sharers
+        )
+        from_dram += est.from_dram_bytes
+        total_mem += est.total_mem_bytes
+        if layer.kind is LayerKind.COMPUTE:
+            terms.append((est.compute_ideal, max_useful_tiles(layer, soc)))
+    return BlockCost(
+        name=block.name,
+        kind=block.kind,
+        compute_terms=tuple(terms),
+        from_dram_bytes=from_dram,
+        total_mem_bytes=total_mem,
+        scaling_alpha=soc.multi_tile_alpha,
+    )
+
+
+@dataclass(frozen=True)
+class NetworkCost:
+    """Per-block costs of a whole network, ready for the simulator.
+
+    Attributes:
+        network_name: Source network.
+        blocks: Block costs in execution order.
+    """
+
+    network_name: str
+    blocks: Tuple[BlockCost, ...]
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise EstimationError("network cost needs at least one block")
+
+    def total_prediction(
+        self, num_tiles: int, dram_bw: float, l2_bw: float, overlap_f: float
+    ) -> float:
+        """End-to-end latency estimate under a fixed allocation."""
+        return sum(
+            b.predict(num_tiles, dram_bw, l2_bw, overlap_f)
+            for b in self.blocks
+        )
+
+    def total_from_dram(self) -> float:
+        """Whole-network DRAM traffic in bytes."""
+        return sum(b.from_dram_bytes for b in self.blocks)
+
+    def avg_bw_demand(
+        self, num_tiles: int, dram_bw: float, l2_bw: float, overlap_f: float
+    ) -> float:
+        """Network-average DRAM demand (Alg. 3 line 7's EstimatedAvg_BW)."""
+        total = self.total_prediction(num_tiles, dram_bw, l2_bw, overlap_f)
+        if total <= 0:
+            return 0.0
+        return self.total_from_dram() / total
+
+
+_NETWORK_COST_CACHE: Dict[Tuple[str, int, float, int], NetworkCost] = {}
+
+
+def build_network_cost(
+    network: Network,
+    soc: SoCConfig,
+    mem: Optional[MemoryHierarchy] = None,
+    num_sharers: int = 1,
+    max_layers_per_block: int = 6,
+) -> NetworkCost:
+    """Partition a network into blocks and compute their costs.
+
+    Results are cached on (network name, SoC shape) because the
+    experiment harness builds costs for the same seven networks
+    thousands of times.
+    """
+    key = (
+        network.name,
+        soc.num_tiles,
+        soc.tile.compute_efficiency,
+        soc.multi_tile_alpha,
+        num_sharers,
+    )
+    if key in _NETWORK_COST_CACHE:
+        return _NETWORK_COST_CACHE[key]
+    if mem is None:
+        mem = MemoryHierarchy.from_soc(soc)
+    blocks = partition_into_blocks(
+        network, max_layers_per_block=max_layers_per_block
+    )
+    cost = NetworkCost(
+        network_name=network.name,
+        blocks=tuple(
+            build_block_cost(b, soc, mem, num_sharers) for b in blocks
+        ),
+    )
+    _NETWORK_COST_CACHE[key] = cost
+    return cost
+
+
+def estimate_network(
+    network: Network,
+    soc: SoCConfig,
+    mem: Optional[MemoryHierarchy] = None,
+    num_tiles: int = 1,
+    num_sharers: int = 1,
+    dram_bw: Optional[float] = None,
+) -> Tuple[float, Sequence[LayerEstimate]]:
+    """Estimate every layer of a network under a fixed allocation.
+
+    Returns:
+        ``(total_cycles, per_layer_estimates)``.
+    """
+    if mem is None:
+        mem = MemoryHierarchy.from_soc(soc)
+    estimates = [
+        estimate_layer(layer, soc, mem, num_tiles, num_sharers, dram_bw)
+        for layer in network.layers
+    ]
+    return sum(e.prediction for e in estimates), estimates

@@ -1,0 +1,116 @@
+"""The MoCA runtime's scoreboard.
+
+Section IV-A: *"MoCA uses a lightweight software look-up table for the
+scoreboard that is used to manage the bandwidth usage of each
+application"*.  Each entry tracks an application's current DRAM
+bandwidth rate (``BW_rate``, bytes/cycle) and its dynamic priority
+score; Algorithm 2 reads co-runners' entries when deciding how to
+shed overflow bandwidth and writes its own entry back
+(``UpdateScoreboard``) after each layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class ScoreboardEntry:
+    """One application's published state.
+
+    Attributes:
+        bw_rate: Currently allocated DRAM bandwidth rate, bytes/cycle.
+        demand: Unthrottled DRAM bandwidth demand, bytes/cycle.
+        score: Dynamic priority score (Alg. 2 line 6).
+    """
+
+    bw_rate: float = 0.0
+    demand: float = 0.0
+    score: float = 0.0
+
+
+class Scoreboard:
+    """Lookup table of per-application bandwidth usage and scores."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, ScoreboardEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, app_id: str) -> bool:
+        return app_id in self._entries
+
+    def update(
+        self, app_id: str, bw_rate: float, score: float,
+        demand: Optional[float] = None,
+    ) -> None:
+        """Publish an application's bandwidth state and dynamic score."""
+        if bw_rate < 0:
+            raise ValueError("bw_rate must be non-negative")
+        if demand is None:
+            demand = bw_rate
+        if demand < 0:
+            raise ValueError("demand must be non-negative")
+        self._entries[app_id] = ScoreboardEntry(
+            bw_rate=bw_rate, demand=demand, score=score
+        )
+
+    def remove(self, app_id: str) -> None:
+        """Drop an application (it finished or was preempted)."""
+        self._entries.pop(app_id, None)
+
+    def entry(self, app_id: str) -> ScoreboardEntry:
+        """Fetch one application's entry."""
+        if app_id not in self._entries:
+            raise KeyError(f"no scoreboard entry for {app_id!r}")
+        return self._entries[app_id]
+
+    def mem_bw(self, app_id: str) -> float:
+        """``MEM_BW(App_j)`` — an app's published bandwidth rate."""
+        return self.entry(app_id).bw_rate
+
+    def score(self, app_id: str) -> float:
+        """``score(App_j)`` — an app's published dynamic score."""
+        return self.entry(app_id).score
+
+    def apps(self) -> List[str]:
+        """All registered application ids."""
+        return list(self._entries)
+
+    def other_apps(self, app_id: str) -> List[str]:
+        """Co-runners of ``app_id`` (Alg. 2's other_Running_Apps)."""
+        return [a for a in self._entries if a != app_id]
+
+    def other_totals(self, app_id: str) -> Tuple[float, float]:
+        """Aggregate co-runner state for Algorithm 2 lines 9-12.
+
+        Returns:
+            ``(other_bw_rate, weight_sum)`` where ``other_bw_rate`` is
+            the summed bandwidth of co-runners and ``weight_sum`` their
+            score-weighted bandwidth sum.
+        """
+        other_bw = 0.0
+        weight_sum = 0.0
+        for app in self.other_apps(app_id):
+            entry = self._entries[app]
+            other_bw += entry.bw_rate
+            weight_sum += entry.score * entry.bw_rate
+        return other_bw, weight_sum
+
+    def demands(self) -> Dict[str, float]:
+        """All published demands, keyed by app id."""
+        return {a: e.demand for a, e in self._entries.items()}
+
+    def scores(self) -> Dict[str, float]:
+        """All published dynamic scores, keyed by app id."""
+        return {a: e.score for a, e in self._entries.items()}
+
+    def total_bw(self) -> float:
+        """Total published bandwidth across all applications."""
+        return sum(e.bw_rate for e in self._entries.values())
+
+    def clear(self) -> None:
+        """Drop every entry (simulation reset)."""
+        self._entries.clear()

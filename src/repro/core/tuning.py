@@ -1,0 +1,106 @@
+"""The ``overlap_f`` tuning utility.
+
+Section III-C: *"We provide a tuning utility that determines the
+optimal value of f for an SoC using data collected by running a few DNN
+layers before starting inference queries."*
+
+The utility takes a measurement callable (on the real system: run the
+layer and time it; in this reproduction: the fluid simulator or any
+user-supplied oracle), runs the probe layers, and picks the ``overlap_f``
+minimizing mean relative error of Algorithm 1's predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.config import SoCConfig
+from repro.core.latency import estimate_layer
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.models.layers import Layer
+
+MeasureFn = Callable[[Layer], float]
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of an ``overlap_f`` sweep.
+
+    Attributes:
+        best_overlap_f: The error-minimizing value.
+        best_error: Mean relative error at the best value.
+        sweep: ``(overlap_f, mean_relative_error)`` pairs evaluated.
+    """
+
+    best_overlap_f: float
+    best_error: float
+    sweep: Tuple[Tuple[float, float], ...]
+
+
+def mean_relative_error(
+    layers: Sequence[Layer],
+    measure: MeasureFn,
+    soc: SoCConfig,
+    mem: Optional[MemoryHierarchy] = None,
+    num_tiles: int = 1,
+) -> float:
+    """Mean |prediction - measurement| / measurement over probe layers."""
+    if not layers:
+        raise ValueError("need at least one probe layer")
+    if mem is None:
+        mem = MemoryHierarchy.from_soc(soc)
+    total = 0.0
+    for layer in layers:
+        measured = measure(layer)
+        if measured <= 0:
+            raise ValueError(f"{layer.name}: measurement must be positive")
+        predicted = estimate_layer(
+            layer, soc, mem, num_tiles=num_tiles
+        ).prediction
+        total += abs(predicted - measured) / measured
+    return total / len(layers)
+
+
+def tune_overlap_f(
+    layers: Sequence[Layer],
+    measure: MeasureFn,
+    soc: SoCConfig,
+    mem: Optional[MemoryHierarchy] = None,
+    num_tiles: int = 1,
+    candidates: Optional[Sequence[float]] = None,
+) -> TuningResult:
+    """Sweep ``overlap_f`` candidates and return the best fit.
+
+    Args:
+        layers: Probe layers ("a few DNN layers before starting
+            inference queries").
+        measure: Callable returning the measured latency in cycles.
+        soc: Base SoC configuration (its overlap_f is ignored).
+        mem: Memory hierarchy; built from ``soc`` when omitted.
+        num_tiles: Tile allocation used for the probes.
+        candidates: Values to sweep; default 0.0 .. 1.0 in steps of 0.05.
+
+    Returns:
+        The :class:`TuningResult`.
+    """
+    if candidates is None:
+        candidates = [round(0.05 * i, 2) for i in range(21)]
+    if not candidates:
+        raise ValueError("need at least one candidate overlap_f")
+    for f in candidates:
+        if not 0.0 <= f <= 1.0:
+            raise ValueError(f"overlap_f candidate {f} outside [0, 1]")
+    if mem is None:
+        mem = MemoryHierarchy.from_soc(soc)
+
+    sweep = []
+    for f in candidates:
+        err = mean_relative_error(
+            layers, measure, soc.with_overlap(f), mem, num_tiles
+        )
+        sweep.append((f, err))
+    best_f, best_err = min(sweep, key=lambda pair: pair[1])
+    return TuningResult(
+        best_overlap_f=best_f, best_error=best_err, sweep=tuple(sweep)
+    )

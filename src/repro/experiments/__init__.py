@@ -1,0 +1,19 @@
+"""Experiment harness: one module per paper figure/table (DESIGN.md §3)."""
+
+from repro.experiments.runner import (
+    PolicyFactory,
+    ScenarioResult,
+    ScenarioSpec,
+    default_policies,
+    run_matrix,
+    run_scenario,
+)
+
+__all__ = [
+    "PolicyFactory",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "default_policies",
+    "run_matrix",
+    "run_scenario",
+]

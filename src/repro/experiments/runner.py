@@ -1,0 +1,226 @@
+"""Shared experiment machinery.
+
+Every figure experiment runs the same matrix: policies x workload sets
+x QoS levels, each scenario repeated over several seeds, metrics
+aggregated.  This module owns scenario definition, execution and
+aggregation; the per-figure modules select slices of the matrix and
+format the paper's rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import PlanariaPolicy, PremaPolicy, StaticPartitionPolicy
+from repro.config import DEFAULT_SOC, SoCConfig
+from repro.core.policy import MoCAPolicy
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.metrics import MetricsSummary, summarize
+from repro.models.graph import Network
+from repro.models.layers import geomean
+from repro.models.zoo import workload_set
+from repro.sim.engine import run_simulation
+from repro.sim.policy import Policy
+from repro.sim.qos import QosLevel, QosModel
+from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+
+PolicyFactory = Callable[[], Policy]
+
+#: The four systems of the paper's evaluation, in presentation order.
+POLICY_ORDER: Tuple[str, ...] = ("prema", "static", "planaria", "moca")
+
+
+def default_policies() -> Dict[str, PolicyFactory]:
+    """Factories for the paper's four evaluated systems."""
+    return {
+        "prema": PremaPolicy,
+        "static": StaticPartitionPolicy,
+        "planaria": PlanariaPolicy,
+        "moca": MoCAPolicy,
+    }
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One evaluation scenario (a cell of the paper's matrix).
+
+    Attributes:
+        workload_set: Table III set name ('A', 'B' or 'C').
+        qos_level: SLA tightness.
+        num_tasks: Queries per run (paper: 200-500).
+        seeds: RNG seeds to aggregate over.
+        load_factor: Offered load relative to slot capacity.
+        slack_factor: QoS baseline slack (see :class:`QosModel`).
+    """
+
+    workload_set: str = "C"
+    qos_level: QosLevel = QosLevel.MEDIUM
+    num_tasks: int = 250
+    seeds: Tuple[int, ...] = (1, 2, 3)
+    load_factor: float = 0.7
+    slack_factor: float = 2.0
+
+    @property
+    def label(self) -> str:
+        return f"Workload-{self.workload_set}/{self.qos_level.value}"
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Aggregated outcome of one (policy, scenario) cell.
+
+    Attributes:
+        policy: Policy name.
+        spec: The scenario.
+        per_seed: Metric summaries per seed.
+    """
+
+    policy: str
+    spec: ScenarioSpec
+    per_seed: Tuple[MetricsSummary, ...]
+
+    def _mean(self, getter: Callable[[MetricsSummary], float]) -> float:
+        vals = [getter(s) for s in self.per_seed]
+        return sum(vals) / len(vals)
+
+    @property
+    def sla_rate(self) -> float:
+        return self._mean(lambda s: s.sla_rate)
+
+    @property
+    def stp(self) -> float:
+        return self._mean(lambda s: s.stp)
+
+    @property
+    def stp_normalized(self) -> float:
+        return self._mean(lambda s: s.stp_normalized)
+
+    @property
+    def fairness(self) -> float:
+        return self._mean(lambda s: s.fairness)
+
+    def sla_group(self, group: str) -> float:
+        vals = [
+            s.sla_by_group[group]
+            for s in self.per_seed
+            if group in s.sla_by_group
+        ]
+        if not vals:
+            raise KeyError(f"no tasks in group {group!r}")
+        return sum(vals) / len(vals)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    policies: Optional[Dict[str, PolicyFactory]] = None,
+    soc: Optional[SoCConfig] = None,
+) -> Dict[str, ScenarioResult]:
+    """Run one scenario for every policy across all seeds."""
+    if policies is None:
+        policies = default_policies()
+    if soc is None:
+        soc = DEFAULT_SOC
+    mem = MemoryHierarchy.from_soc(soc)
+    qos = QosModel(soc, slack_factor=spec.slack_factor)
+    networks: List[Network] = workload_set(spec.workload_set)
+    gen = WorkloadGenerator(soc, networks, mem, qos)
+
+    out: Dict[str, ScenarioResult] = {}
+    for name, factory in policies.items():
+        summaries = []
+        for seed in spec.seeds:
+            tasks = gen.generate(
+                WorkloadConfig(
+                    num_tasks=spec.num_tasks,
+                    qos_level=spec.qos_level,
+                    load_factor=spec.load_factor,
+                    seed=seed,
+                )
+            )
+            result = run_simulation(soc, tasks, factory(), mem=mem)
+            summaries.append(summarize(name, result.results))
+        out[name] = ScenarioResult(
+            policy=name, spec=spec, per_seed=tuple(summaries)
+        )
+    return out
+
+
+def standard_matrix(
+    num_tasks: int = 250,
+    seeds: Tuple[int, ...] = (1, 2, 3),
+    load_factor: float = 0.7,
+    slack_factor: float = 2.0,
+) -> List[ScenarioSpec]:
+    """The paper's nine scenarios: 3 workload sets x 3 QoS levels."""
+    base = ScenarioSpec(
+        num_tasks=num_tasks,
+        seeds=seeds,
+        load_factor=load_factor,
+        slack_factor=slack_factor,
+    )
+    specs = []
+    for set_name in ("A", "B", "C"):
+        for level in (QosLevel.HARD, QosLevel.MEDIUM, QosLevel.LIGHT):
+            specs.append(
+                replace(base, workload_set=set_name, qos_level=level)
+            )
+    return specs
+
+
+def run_matrix(
+    specs: Sequence[ScenarioSpec],
+    policies: Optional[Dict[str, PolicyFactory]] = None,
+    soc: Optional[SoCConfig] = None,
+) -> Dict[str, Dict[str, ScenarioResult]]:
+    """Run every scenario; returns ``{scenario label: {policy: result}}``."""
+    return {
+        spec.label: run_scenario(spec, policies, soc) for spec in specs
+    }
+
+
+def improvement_ratios(
+    matrix: Dict[str, Dict[str, ScenarioResult]],
+    metric: str,
+    over: str,
+    of: str = "moca",
+) -> Dict[str, float]:
+    """Per-scenario ratio of ``of``'s metric over ``over``'s."""
+    ratios = {}
+    for label, cell in matrix.items():
+        denom = getattr(cell[over], metric)
+        num = getattr(cell[of], metric)
+        if denom > 0:
+            ratios[label] = num / denom
+    return ratios
+
+
+def geomean_improvement(
+    matrix: Dict[str, Dict[str, ScenarioResult]],
+    metric: str,
+    over: str,
+    of: str = "moca",
+) -> float:
+    """Geometric-mean improvement of ``of`` over ``over`` on a metric."""
+    ratios = improvement_ratios(matrix, metric, over, of)
+    return geomean(ratios.values())
+
+
+def format_matrix_table(
+    matrix: Dict[str, Dict[str, ScenarioResult]],
+    metric: str,
+    title: str,
+) -> str:
+    """Render one metric across the whole matrix as aligned text."""
+    lines = [title, f"{'scenario':<22s}" + "".join(
+        f"{p:>10s}" for p in POLICY_ORDER
+    )]
+    for label, cell in matrix.items():
+        row = f"{label:<22s}"
+        for policy in POLICY_ORDER:
+            if policy in cell:
+                row += f"{getattr(cell[policy], metric):>10.3f}"
+            else:
+                row += f"{'-':>10s}"
+        lines.append(row)
+    return "\n".join(lines)

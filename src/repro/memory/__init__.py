@@ -1,0 +1,14 @@
+"""Shared memory-system substrate: L2, DRAM and the bandwidth arbiter."""
+
+from repro.memory.arbiter import AllocationError, allocate_bandwidth
+from repro.memory.dram import DramModel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.l2 import L2Model
+
+__all__ = [
+    "AllocationError",
+    "DramModel",
+    "L2Model",
+    "MemoryHierarchy",
+    "allocate_bandwidth",
+]

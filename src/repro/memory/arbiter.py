@@ -1,0 +1,136 @@
+"""DRAM bandwidth arbitration across co-running accelerator tiles.
+
+Two allocation regimes matter for the reproduction:
+
+- **Unmanaged** (all baselines): the memory controller interleaves
+  requests from all requestors, so under saturation each requestor's
+  achieved bandwidth is proportional to its issue rate (its demand).
+  This is the behaviour whose worst cases motivate the paper (Fig. 1).
+- **Regulated** (MoCA): each tile's achieved bandwidth is additionally
+  clamped by the throttle cap its runtime configured
+  (``threshold_load / window``); bandwidth freed by the caps is
+  redistributed demand-proportionally to uncapped requestors.
+
+:func:`allocate_bandwidth` implements both as capped proportional
+water-filling and guarantees conservation (never allocates more than
+the total), cap-respect and demand-respect.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional
+
+_REL_TOL = 1e-12
+
+
+class AllocationError(ValueError):
+    """Raised on malformed allocation inputs."""
+
+
+def allocate_bandwidth(
+    demands: Mapping[str, float],
+    total: float,
+    caps: Optional[Mapping[str, float]] = None,
+    weights: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """Split ``total`` bandwidth among requestors.
+
+    Args:
+        demands: Requestor id -> desired bandwidth (bytes/cycle). A
+            demand is the rate the requestor would consume if alone.
+        total: Total bandwidth available.
+        caps: Optional requestor id -> regulation cap. Missing ids are
+            uncapped. ``float('inf')`` and ``None`` values mean uncapped.
+        weights: Optional requestor id -> sharing weight used when the
+            bandwidth is oversubscribed.  Defaults to the demands
+            themselves, which models unmanaged demand-proportional
+            interleaving; MoCA's runtime passes its dynamic priority
+            scores instead.
+
+    Returns:
+        Requestor id -> granted bandwidth, satisfying:
+
+        - ``0 <= grant[i] <= min(demand[i], cap[i])``;
+        - ``sum(grants) <= total`` (within floating tolerance);
+        - if ``sum(min(demand, cap)) <= total``, every requestor gets
+          its full (capped) demand;
+        - otherwise the shortfall is shed by weighted water-filling:
+          requestors whose (capped) want fits inside their weighted
+          fair share keep it, the rest split the remainder
+          proportionally to their weights.
+
+    Raises:
+        AllocationError: On invalid demands/caps/weights or total.
+    """
+    if total <= 0:
+        raise AllocationError("total bandwidth must be positive")
+    for key, demand in demands.items():
+        if demand < 0 or math.isnan(demand):
+            raise AllocationError(f"demand for {key!r} must be >= 0")
+    effective_caps: Dict[str, float] = {}
+    for key in demands:
+        cap = None if caps is None else caps.get(key)
+        if cap is None:
+            effective_caps[key] = float("inf")
+        else:
+            if cap < 0 or math.isnan(cap):
+                raise AllocationError(f"cap for {key!r} must be >= 0")
+            effective_caps[key] = cap
+    if weights is None:
+        share_weights = dict(demands)
+    else:
+        share_weights = {}
+        for key in demands:
+            w = weights.get(key, 0.0)
+            if w < 0 or math.isnan(w):
+                raise AllocationError(f"weight for {key!r} must be >= 0")
+            # Denormal weights make the water-fill numerically unstable
+            # (scale overflows); treat them as zero.
+            share_weights[key] = w if w > 1e-9 else 0.0
+
+    # Each requestor can never usefully receive more than min(demand, cap).
+    wants = {k: min(demands[k], effective_caps[k]) for k in demands}
+    grants = dict(wants)
+    if sum(grants.values()) <= total * (1 + _REL_TOL):
+        return grants
+
+    # Oversubscribed: weighted water-filling. Requestors whose capped
+    # want fits inside their weighted fair share keep it; the rest
+    # split the remaining bandwidth proportionally to weight.
+    frozen: Dict[str, float] = {}
+    active = dict(wants)
+    remaining = total
+    while active:
+        weight_sum = sum(share_weights[k] for k in active)
+        if weight_sum <= 0:
+            # Degenerate: no weights; fall back to equal split capped
+            # at want.
+            equal = remaining / len(active)
+            for k, want in active.items():
+                frozen[k] = min(want, equal)
+            break
+        scale = remaining / weight_sum
+        newly_frozen = {
+            k: want
+            for k, want in active.items()
+            if want <= share_weights[k] * scale * (1 + _REL_TOL)
+        }
+        if not newly_frozen:
+            for k in active:
+                frozen[k] = share_weights[k] * scale
+            break
+        for k, want in newly_frozen.items():
+            frozen[k] = want
+            remaining -= want
+            del active[k]
+        if remaining <= 0:
+            for k in active:
+                frozen[k] = 0.0
+            break
+    # Final conservation clamp against floating-point drift.
+    granted = sum(frozen.values())
+    if granted > total:
+        factor = total / granted
+        frozen = {k: v * factor for k, v in frozen.items()}
+    return frozen

@@ -1,0 +1,87 @@
+"""DRAM bandwidth model.
+
+DRAM is the second — and in the paper's evaluation the dominant —
+shared resource.  MoCA's whole premise is that execution latency of
+DNN layers is highly correlated with the number of in-flight memory
+requests, so a bandwidth model (peak rate plus an efficiency derate
+for row-buffer and refresh overheads under multi-requestor interleave)
+is the level of fidelity the runtime itself reasons at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SoCConfig
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """Bandwidth model with multi-requestor contention efficiency.
+
+    A single well-formed DMA stream achieves close to peak bandwidth
+    (long sequential bursts keep row buffers open).  When several
+    requestors *oversubscribe* the channel, the controller interleaves
+    their bursts: row-buffer locality is destroyed, bank conflicts and
+    read/write turnarounds multiply, and the *achieved* total bandwidth
+    drops well below the pin rate — this is the super-linear
+    degradation behind Figure 1's worst cases, and avoiding it (by
+    regulating total demand below the peak) is precisely the leverage
+    of MoCA's throttling.
+
+    Attributes:
+        peak_bytes_per_cycle: Pin bandwidth in bytes per SoC cycle.
+        efficiency: Achievable fraction of pin bandwidth for a single
+            stream (row misses, refresh).
+        contention_penalty: Maximum fractional bandwidth loss when many
+            streams oversubscribe the channel.  The loss ramps as
+            ``contention_penalty * (1 - 1/n)`` for ``n`` competing
+            streams, i.e. 0 for one stream, approaching the full
+            penalty for many.
+    """
+
+    peak_bytes_per_cycle: float
+    efficiency: float = 1.0
+    contention_penalty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.peak_bytes_per_cycle <= 0:
+            raise ValueError("DRAM bandwidth must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+        if not 0.0 <= self.contention_penalty < 1.0:
+            raise ValueError("contention_penalty must be in [0, 1)")
+
+    @classmethod
+    def from_soc(cls, soc: SoCConfig) -> "DramModel":
+        """Build the DRAM model from an SoC configuration (Table II)."""
+        return cls(peak_bytes_per_cycle=soc.dram_bandwidth_bytes_per_cycle)
+
+    @property
+    def usable_bandwidth(self) -> float:
+        """Single-stream achievable bandwidth in bytes per cycle."""
+        return self.peak_bytes_per_cycle * self.efficiency
+
+    def effective_bandwidth(
+        self, num_streams: int, oversubscribed: bool
+    ) -> float:
+        """Achieved total bandwidth for ``num_streams`` requestors.
+
+        The interleaving penalty applies only when the streams'
+        combined demand exceeds what the channel can deliver — a
+        regulated system whose total demand fits under the peak keeps
+        single-stream efficiency.
+        """
+        if num_streams < 0:
+            raise ValueError("num_streams must be non-negative")
+        base = self.usable_bandwidth
+        if not oversubscribed or num_streams <= 1:
+            return base
+        loss = self.contention_penalty * (1.0 - 1.0 / num_streams)
+        return base * (1.0 - loss)
+
+    def transfer_cycles(self, num_bytes: float) -> float:
+        """Cycles to move ``num_bytes`` at the usable bandwidth."""
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return num_bytes / self.usable_bandwidth

@@ -1,0 +1,74 @@
+"""Shared L2 (system-level cache) model.
+
+The L2 is the first shared resource co-located accelerator tiles
+compete for.  Algorithm 1 uses it in two ways: capacity (can an input
+activation or a data tile stay resident between uses?) and bandwidth
+(every load/store transits the L2 at the banked peak rate).  Capacity
+decisions also depend on how many applications currently share the
+cache — with co-runners, each application effectively owns a fraction
+of the capacity, which is how contention turns reuse into DRAM traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SoCConfig
+
+
+@dataclass(frozen=True)
+class L2Model:
+    """Capacity/bandwidth model of the shared L2.
+
+    Attributes:
+        capacity_bytes: Total cache capacity.
+        banks: Number of independently addressable banks.
+        bytes_per_bank_cycle: Peak bandwidth of one bank.
+        residency_fraction: Fraction of the capacity usefully available
+            to DNN tensors once code, metadata and conflict misses are
+            accounted for.
+    """
+
+    capacity_bytes: int
+    banks: int
+    bytes_per_bank_cycle: int
+    residency_fraction: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("L2 capacity must be positive")
+        if self.banks <= 0 or self.bytes_per_bank_cycle <= 0:
+            raise ValueError("L2 bank parameters must be positive")
+        if not 0.0 < self.residency_fraction <= 1.0:
+            raise ValueError("residency_fraction must be in (0, 1]")
+
+    @classmethod
+    def from_soc(cls, soc: SoCConfig) -> "L2Model":
+        """Build the L2 model from an SoC configuration (Table II)."""
+        return cls(
+            capacity_bytes=soc.l2_bytes,
+            banks=soc.l2_banks,
+            bytes_per_bank_cycle=soc.l2_bytes_per_bank_cycle,
+        )
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Aggregate peak L2 bandwidth in bytes/cycle."""
+        return float(self.banks * self.bytes_per_bank_cycle)
+
+    def effective_capacity(self, num_sharers: int = 1) -> float:
+        """Capacity one application can rely on with ``num_sharers``.
+
+        Capacity partitions evenly among sharers — the pessimistic but
+        robust assumption MoCA's runtime makes when predicting whether
+        reuse survives co-location.
+        """
+        if num_sharers <= 0:
+            raise ValueError("num_sharers must be positive")
+        return self.capacity_bytes * self.residency_fraction / num_sharers
+
+    def fits(self, num_bytes: int, num_sharers: int = 1) -> bool:
+        """Whether ``num_bytes`` stays resident given ``num_sharers``."""
+        if num_bytes < 0:
+            raise ValueError("byte count must be non-negative")
+        return num_bytes <= self.effective_capacity(num_sharers)

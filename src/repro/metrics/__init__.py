@@ -1,0 +1,16 @@
+"""Evaluation metrics (Section IV-C): SLA, STP, fairness."""
+
+from repro.metrics.fairness import fairness, proportional_progress
+from repro.metrics.sla import sla_by_priority_group, sla_satisfaction_rate
+from repro.metrics.summary import MetricsSummary, summarize
+from repro.metrics.throughput import system_throughput
+
+__all__ = [
+    "MetricsSummary",
+    "fairness",
+    "proportional_progress",
+    "sla_by_priority_group",
+    "sla_satisfaction_rate",
+    "summarize",
+    "system_throughput",
+]

@@ -1,0 +1,44 @@
+"""Fairness (Section IV-C b, Equation 1).
+
+The paper uses priority-weighted *proportional progress*:
+
+    PP_i = (C_single_i / C_MT_i) / (Priority_i / sum_j Priority_j)
+
+    Fairness = min_{i,j} PP_i / PP_j  =  min(PP) / max(PP)
+
+A fairness of 1 means every program progressed exactly in proportion
+to its priority share; values below 1 quantify the worst imbalance.
+
+Reproduction note: the paper's priority scale starts at 0, which would
+zero a task's fair share; we weight by ``priority + 1`` (documented in
+DESIGN.md §6) so every task owns a positive share, matching how the
+Prema/Planaria fairness studies handle their lowest level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.sim.job import TaskResult
+
+
+def proportional_progress(
+    results: Sequence[TaskResult],
+) -> Dict[str, float]:
+    """Per-task PP_i values keyed by task id."""
+    if not results:
+        raise ValueError("no results to score")
+    weight_sum = float(sum(r.priority + 1 for r in results))
+    pp: Dict[str, float] = {}
+    for r in results:
+        progress = r.isolated_cycles / r.latency
+        share = (r.priority + 1) / weight_sum
+        pp[r.task_id] = progress / share
+    return pp
+
+
+def fairness(results: Sequence[TaskResult]) -> float:
+    """Equation 1: min-over-pairs ratio of proportional progress."""
+    pp = proportional_progress(results)
+    values = list(pp.values())
+    return min(values) / max(values)

@@ -1,0 +1,43 @@
+"""SLA satisfaction rate (Section IV-C a).
+
+A task satisfies its SLA when its dispatch-to-commit latency — queue
+wait plus runtime — is within its QoS target.  Besides the overall
+rate, Figure 6 reports the rate per priority group (p-Low 0-2,
+p-Mid 3-8, p-High 9-11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.sim.job import TaskResult
+from repro.sim.workload import PRIORITY_GROUPS, priority_group
+
+
+def sla_satisfaction_rate(results: Sequence[TaskResult]) -> float:
+    """Fraction of tasks that met their SLA target."""
+    if not results:
+        raise ValueError("no results to score")
+    met = sum(1 for r in results if r.met_sla)
+    return met / len(results)
+
+
+def sla_by_priority_group(
+    results: Sequence[TaskResult],
+) -> Dict[str, float]:
+    """SLA satisfaction rate per Figure 6 priority group.
+
+    Groups with no tasks are omitted from the result.
+    """
+    if not results:
+        raise ValueError("no results to score")
+    counts: Dict[str, int] = {g: 0 for g in PRIORITY_GROUPS}
+    met: Dict[str, int] = {g: 0 for g in PRIORITY_GROUPS}
+    for r in results:
+        group = priority_group(r.priority)
+        counts[group] += 1
+        if r.met_sla:
+            met[group] += 1
+    return {
+        g: met[g] / counts[g] for g in PRIORITY_GROUPS if counts[g] > 0
+    }

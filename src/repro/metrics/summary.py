@@ -1,0 +1,63 @@
+"""Scenario-level metric bundle used by every experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.metrics.fairness import fairness
+from repro.metrics.sla import sla_by_priority_group, sla_satisfaction_rate
+from repro.metrics.throughput import normalized_progress_mean, system_throughput
+from repro.sim.job import TaskResult
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """All Section IV-C metrics for one simulated scenario.
+
+    Attributes:
+        policy: Policy name.
+        num_tasks: Tasks evaluated.
+        sla_rate: Overall SLA satisfaction rate.
+        sla_by_group: SLA satisfaction per priority group.
+        stp: Raw Equation 2 system throughput.
+        stp_normalized: STP divided by task count (mean normalized
+            progress), comparable across scenario sizes.
+        fairness: Equation 1 fairness.
+        mean_slowdown: Mean multi-tenant slowdown vs isolated.
+        p99_slowdown: 99th-percentile slowdown.
+    """
+
+    policy: str
+    num_tasks: int
+    sla_rate: float
+    sla_by_group: Dict[str, float]
+    stp: float
+    stp_normalized: float
+    fairness: float
+    mean_slowdown: float
+    p99_slowdown: float
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted values."""
+    if not sorted_values:
+        raise ValueError("no values")
+    idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[idx]
+
+
+def summarize(policy: str, results: Sequence[TaskResult]) -> MetricsSummary:
+    """Compute the full metric bundle for one run."""
+    slowdowns = sorted(r.slowdown for r in results)
+    return MetricsSummary(
+        policy=policy,
+        num_tasks=len(results),
+        sla_rate=sla_satisfaction_rate(results),
+        sla_by_group=sla_by_priority_group(results),
+        stp=system_throughput(results),
+        stp_normalized=normalized_progress_mean(results),
+        fairness=fairness(results),
+        mean_slowdown=sum(slowdowns) / len(slowdowns),
+        p99_slowdown=_percentile(slowdowns, 0.99),
+    )

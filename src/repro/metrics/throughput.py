@@ -1,0 +1,32 @@
+"""System throughput — STP (Section IV-C c, Equation 2).
+
+``STP = sum_i C_single_i / C_MT_i``: each program's normalized
+progress, summed over the co-located programs.  ``C_single`` is the
+task's latency running alone on the SoC; ``C_MT`` its measured
+multi-tenant latency (queue wait included, as the paper measures from
+dispatch to commit).  STP ranges from ~1 (fully serialized) towards n
+(perfect co-location of n programs).
+
+For scenario-level reporting across hundreds of sequential queries we
+normalize the sum to the *average concurrency* the scenario offers, so
+numbers are comparable across scenarios of different length; the raw
+Equation 2 sum is also available.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.job import TaskResult
+
+
+def system_throughput(results: Sequence[TaskResult]) -> float:
+    """Raw Equation 2: summed normalized progress."""
+    if not results:
+        raise ValueError("no results to score")
+    return sum(r.isolated_cycles / r.latency for r in results)
+
+
+def normalized_progress_mean(results: Sequence[TaskResult]) -> float:
+    """Mean per-task normalized progress (STP / n)."""
+    return system_throughput(results) / len(results)

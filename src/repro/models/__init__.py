@@ -1,0 +1,26 @@
+"""DNN workload substrate: layers, graphs, blocks, and the model zoo."""
+
+from repro.models.blocks import LayerBlock, partition_into_blocks
+from repro.models.graph import Network
+from repro.models.layers import (
+    ConcatLayer,
+    ConvLayer,
+    DenseLayer,
+    Layer,
+    LayerKind,
+    PoolLayer,
+    ResidualAddLayer,
+)
+
+__all__ = [
+    "ConcatLayer",
+    "ConvLayer",
+    "DenseLayer",
+    "Layer",
+    "LayerBlock",
+    "LayerKind",
+    "Network",
+    "PoolLayer",
+    "ResidualAddLayer",
+    "partition_into_blocks",
+]

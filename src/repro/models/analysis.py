@@ -1,0 +1,133 @@
+"""Roofline-style workload analysis.
+
+MoCA's scheduler classifies tasks by bandwidth appetite and its runtime
+by compute-to-memory ratio; this module exposes that analysis for any
+network: per-layer operational intensity against the SoC's machine
+balance, the memory-bound fraction of runtime, and the per-network
+summary Table III's "compute-to-memory trade-offs" refers to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import SoCConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.models.graph import Network
+from repro.models.layers import Layer, LayerKind
+
+
+def machine_balance(soc: SoCConfig,
+                    mem: Optional[MemoryHierarchy] = None) -> float:
+    """MACs per DRAM byte at which one tile's roofline bends.
+
+    Layers with operational intensity below this are memory-bound on
+    the tile; above it, compute-bound.
+    """
+    if mem is None:
+        mem = MemoryHierarchy.from_soc(soc)
+    return soc.tile.effective_macs_per_cycle / mem.dram_bandwidth
+
+
+@dataclass(frozen=True)
+class LayerRoofline:
+    """One layer's position on the roofline.
+
+    Attributes:
+        name: Layer name.
+        kind: COMPUTE or MEM.
+        intensity: MACs per byte of shared-memory traffic.
+        memory_bound: Whether the layer sits left of the machine
+            balance point (its time is bandwidth-limited).
+    """
+
+    name: str
+    kind: LayerKind
+    intensity: float
+    memory_bound: bool
+
+
+@dataclass(frozen=True)
+class NetworkRoofline:
+    """Whole-network roofline summary.
+
+    Attributes:
+        network: Model name.
+        balance: The SoC's machine balance (MACs/byte).
+        layers: Per-layer positions.
+        memory_bound_fraction: Fraction of *predicted runtime* spent in
+            memory-bound layers — the quantity that decides how much a
+            network suffers from (and causes) contention.
+    """
+
+    network: str
+    balance: float
+    layers: Tuple[LayerRoofline, ...]
+    memory_bound_fraction: float
+
+    @property
+    def memory_bound_layer_count(self) -> int:
+        return sum(1 for l in self.layers if l.memory_bound)
+
+
+def analyze_network(
+    network: Network,
+    soc: SoCConfig,
+    mem: Optional[MemoryHierarchy] = None,
+    num_tiles: int = 1,
+) -> NetworkRoofline:
+    """Place every layer of ``network`` on the tile roofline."""
+    from repro.core.latency import estimate_layer
+
+    if mem is None:
+        mem = MemoryHierarchy.from_soc(soc)
+    balance = machine_balance(soc, mem)
+
+    rows: List[LayerRoofline] = []
+    bound_time = 0.0
+    total_time = 0.0
+    for layer in network.layers:
+        est = estimate_layer(layer, soc, mem, num_tiles=num_tiles)
+        intensity = (
+            layer.macs / est.from_dram_bytes if est.from_dram_bytes else
+            float("inf")
+        )
+        memory_bound = est.memory_ideal >= est.compute_ideal
+        rows.append(
+            LayerRoofline(
+                name=layer.name,
+                kind=layer.kind,
+                intensity=intensity,
+                memory_bound=memory_bound,
+            )
+        )
+        total_time += est.prediction
+        if memory_bound:
+            bound_time += est.prediction
+    return NetworkRoofline(
+        network=network.name,
+        balance=balance,
+        layers=tuple(rows),
+        memory_bound_fraction=bound_time / total_time if total_time else 0.0,
+    )
+
+
+def format_roofline(summary: NetworkRoofline, top: int = 10) -> str:
+    """Render the analysis: balance point, fraction, worst offenders."""
+    lines = [
+        f"Roofline of {summary.network}: machine balance "
+        f"{summary.balance:.1f} MAC/B",
+        f"memory-bound runtime fraction: "
+        f"{100 * summary.memory_bound_fraction:.1f}% "
+        f"({summary.memory_bound_layer_count}/{len(summary.layers)} layers)",
+        f"{'layer':<28s}{'kind':>9s}{'MAC/B':>10s}{'bound':>7s}",
+    ]
+    ranked = sorted(summary.layers, key=lambda l: l.intensity)[:top]
+    for l in ranked:
+        intensity = "inf" if l.intensity == float("inf") else f"{l.intensity:.1f}"
+        lines.append(
+            f"{l.name:<28s}{l.kind.value:>9s}{intensity:>10s}"
+            f"{'mem' if l.memory_bound else 'comp':>7s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Layer-block grouping.
+
+Section IV-D of the paper: *"instead of the layerwise granularity to
+reconfigure resources, we break down DNN networks into layer blocks,
+which consist of multiple layers, and reconfigure at the layer-block
+granularity, as recent work demonstrates layer-block granularity
+delivers supreme performance [Veltair]"*.
+
+A block groups consecutive layers with similar compute-to-memory
+character so that the runtime/scheduler reconfigures at block
+boundaries rather than at every layer.  The grouping here follows the
+paper's criterion: split when the compute-vs-MEM classification flips
+or when the arithmetic intensity changes by more than a configurable
+factor, with a cap on layers per block so long uniform stretches still
+give the runtime periodic reconfiguration points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.models.graph import Network
+from repro.models.layers import Layer, LayerKind
+
+
+@dataclass(frozen=True)
+class LayerBlock:
+    """A group of consecutive layers scheduled as one unit.
+
+    Attributes:
+        index: Block position within the network.
+        layers: The grouped layers, in execution order.
+        kind: COMPUTE if any layer in the block computes, else MEM.
+    """
+
+    index: int
+    layers: Tuple[Layer, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("layer block cannot be empty")
+
+    @property
+    def kind(self) -> LayerKind:
+        if any(l.kind is LayerKind.COMPUTE for l in self.layers):
+            return LayerKind.COMPUTE
+        return LayerKind.MEM
+
+    @property
+    def macs(self) -> int:
+        return sum(l.macs for l in self.layers)
+
+    @property
+    def weight_bytes(self) -> int:
+        return sum(l.weight_bytes for l in self.layers)
+
+    @property
+    def bias_bytes(self) -> int:
+        return sum(l.bias_bytes for l in self.layers)
+
+    @property
+    def input_bytes(self) -> int:
+        return self.layers[0].input_bytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.layers[-1].output_bytes
+
+    @property
+    def total_load_bytes(self) -> int:
+        return sum(l.total_load_bytes for l in self.layers)
+
+    @property
+    def total_store_bytes(self) -> int:
+        return sum(l.total_store_bytes for l in self.layers)
+
+    @property
+    def total_mem_bytes(self) -> int:
+        return sum(l.total_mem_bytes for l in self.layers)
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        mem = self.total_mem_bytes
+        return self.macs / mem if mem else 0.0
+
+    @property
+    def name(self) -> str:
+        if len(self.layers) == 1:
+            return self.layers[0].name
+        return f"{self.layers[0].name}..{self.layers[-1].name}"
+
+
+def partition_into_blocks(
+    network: Network,
+    max_layers_per_block: int = 6,
+    intensity_split_factor: float = 4.0,
+) -> List[LayerBlock]:
+    """Group a network's layers into reconfiguration blocks.
+
+    Consecutive layers join the same block while (a) their COMPUTE/MEM
+    classification matches the block's, (b) their arithmetic intensity
+    stays within ``intensity_split_factor`` of the block's running
+    geometric mean, and (c) the block holds fewer than
+    ``max_layers_per_block`` layers.
+
+    Args:
+        network: The network to partition.
+        max_layers_per_block: Upper bound on layers per block.
+        intensity_split_factor: Split when a layer's arithmetic
+            intensity differs from the block mean by more than this
+            multiplicative factor.
+
+    Returns:
+        The blocks, covering every layer exactly once, in order.
+    """
+    if max_layers_per_block <= 0:
+        raise ValueError("max_layers_per_block must be positive")
+    if intensity_split_factor < 1.0:
+        raise ValueError("intensity_split_factor must be >= 1")
+
+    blocks: List[LayerBlock] = []
+    current: List[Layer] = []
+
+    def flush() -> None:
+        if current:
+            blocks.append(LayerBlock(index=len(blocks), layers=tuple(current)))
+            current.clear()
+
+    for layer in network.layers:
+        if not current:
+            current.append(layer)
+            continue
+        same_kind = layer.kind is current[0].kind
+        within_cap = len(current) < max_layers_per_block
+        intensity_ok = True
+        if layer.kind is LayerKind.COMPUTE and current[0].kind is LayerKind.COMPUTE:
+            block_ai = _mean_intensity(current)
+            layer_ai = layer.arithmetic_intensity
+            if block_ai > 0 and layer_ai > 0:
+                ratio = max(block_ai / layer_ai, layer_ai / block_ai)
+                intensity_ok = ratio <= intensity_split_factor
+        if same_kind and within_cap and intensity_ok:
+            current.append(layer)
+        else:
+            flush()
+            current.append(layer)
+    flush()
+    return blocks
+
+
+def _mean_intensity(layers: List[Layer]) -> float:
+    """Geometric mean arithmetic intensity of COMPUTE layers."""
+    import math
+
+    vals = [l.arithmetic_intensity for l in layers if l.arithmetic_intensity > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def blocks_cover_network(blocks: List[LayerBlock], network: Network) -> bool:
+    """Whether ``blocks`` partition ``network``'s layers exactly."""
+    covered = [layer for block in blocks for layer in block.layers]
+    return covered == list(network.layers)

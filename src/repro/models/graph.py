@@ -1,0 +1,134 @@
+"""Network graphs: ordered layer sequences with shape accounting.
+
+MoCA executes networks layer by layer (or layer-block by layer-block) on
+accelerator tiles, so the graph abstraction the system needs is an
+ordered sequence of :class:`repro.models.layers.Layer` objects plus
+aggregate accounting.  Branchy topologies (inception modules, residual
+blocks) are linearized in execution order — which is exactly what a
+single-accelerator schedule does with them — with the data-movement
+consequences of branches (skip-operand reloads, concatenation traffic)
+captured by the MEM layers in the sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.models.layers import Layer, LayerKind
+
+
+class GraphError(ValueError):
+    """Raised for malformed network definitions."""
+
+
+@dataclass(frozen=True)
+class Network:
+    """An ordered DNN layer graph.
+
+    Attributes:
+        name: Model name (e.g. ``"resnet50"``).
+        layers: Execution-ordered layers.
+        input_bytes: Size of the network input (the "image" of Alg. 1
+            line 7), used for the input-caching decision.
+        domain: Application domain, for reporting (Table III).
+    """
+
+    name: str
+    layers: Tuple[Layer, ...] = field(default_factory=tuple)
+    input_bytes: int = 0
+    domain: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("network needs a name")
+        if not self.layers:
+            raise GraphError(f"{self.name}: network has no layers")
+        if self.input_bytes <= 0:
+            raise GraphError(f"{self.name}: input_bytes must be positive")
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise GraphError(f"{self.name}: duplicate layer names {dupes}")
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __getitem__(self, idx: int) -> Layer:
+        return self.layers[idx]
+
+    @property
+    def total_macs(self) -> int:
+        """Total multiply-accumulates over the whole network."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weight_bytes(self) -> int:
+        """Total parameter footprint (the model size)."""
+        return sum(layer.weight_bytes + layer.bias_bytes for layer in self.layers)
+
+    @property
+    def total_mem_bytes(self) -> int:
+        """Total shared-memory traffic summed over layers."""
+        return sum(layer.total_mem_bytes for layer in self.layers)
+
+    @property
+    def compute_layers(self) -> Tuple[Layer, ...]:
+        return tuple(l for l in self.layers if l.kind is LayerKind.COMPUTE)
+
+    @property
+    def mem_layers(self) -> Tuple[Layer, ...]:
+        return tuple(l for l in self.layers if l.kind is LayerKind.MEM)
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Whole-network MACs per byte of shared-memory traffic."""
+        mem = self.total_mem_bytes
+        return self.total_macs / mem if mem else 0.0
+
+    def layer_index(self, name: str) -> int:
+        """Index of the layer named ``name`` (raises if absent)."""
+        for i, layer in enumerate(self.layers):
+            if layer.name == name:
+                return i
+        raise KeyError(f"{self.name}: no layer named {name!r}")
+
+    def summary(self) -> str:
+        """Multi-line summary: per-layer lines plus totals."""
+        from repro.models.layers import layer_summary, pretty_bytes
+
+        lines = [f"Network {self.name} ({self.domain}): {len(self)} layers"]
+        lines.extend("  " + layer_summary(layer) for layer in self.layers)
+        lines.append(
+            f"  total: {self.total_macs / 1e9:.3f} GMACs, "
+            f"params {pretty_bytes(self.total_weight_bytes)}, "
+            f"traffic {pretty_bytes(self.total_mem_bytes)}"
+        )
+        return "\n".join(lines)
+
+
+def validate_chain(layers: Sequence[Layer]) -> List[str]:
+    """Best-effort shape-chaining check for linearized graphs.
+
+    Returns a list of human-readable warnings for adjacent layers whose
+    output/input footprints are wildly inconsistent.  Linearized branchy
+    graphs legitimately break strict equality (a concat's input is the
+    union of several earlier outputs), so this is a heuristic lint used
+    by the model zoo's tests, not a hard validator.
+    """
+    warnings: List[str] = []
+    for prev, curr in zip(layers, layers[1:]):
+        prev_out = prev.output_bytes
+        curr_in = curr.input_bytes
+        if prev_out == 0 or curr_in == 0:
+            continue
+        ratio = curr_in / prev_out
+        if ratio > 8.0 or ratio < 1.0 / 8.0:
+            warnings.append(
+                f"{prev.name} -> {curr.name}: output {prev_out} B vs "
+                f"input {curr_in} B (ratio {ratio:.2f})"
+            )
+    return warnings

@@ -1,0 +1,493 @@
+"""Layer-level description of DNN workloads.
+
+MoCA's runtime (Algorithm 1) reasons about DNN layers purely through
+their *shapes*: the number of multiply-accumulate operations, the sizes
+of the weight / input-activation / output-activation tensors, and
+whether the operator is compute-bound (CONV, FC) or memory-bound
+(residual additions, poolings that cannot be fused).  This module
+provides the layer dataclasses and the shape accounting that everything
+above it (the latency model, the simulator, the schedulers) consumes.
+
+All tensor sizes are reported in **bytes** assuming Gemmini's int8
+datatype (:data:`repro.config.ELEM_BYTES`).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.config import ELEM_BYTES
+
+
+class LayerKind(enum.Enum):
+    """Operator classification used by Algorithm 1.
+
+    ``COMPUTE`` layers have high arithmetic intensity (convolutions,
+    fully-connected layers).  ``MEM`` layers exhibit little data reuse
+    and are bandwidth-bound (residual additions, max-poolings that
+    cannot be fused with a preceding CONV).
+    """
+
+    COMPUTE = "compute"
+    MEM = "mem"
+
+
+class LayerError(ValueError):
+    """Raised when a layer is constructed with inconsistent dimensions."""
+
+
+def conv_out_dim(in_dim: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output dimension of a convolution/pooling window."""
+    out = (in_dim + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise LayerError(
+            f"window (k={kernel}, s={stride}, p={padding}) does not fit "
+            f"input dim {in_dim}"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class Layer:
+    """Base class for all layer descriptions.
+
+    Subclasses fill in the shape accounting.  Every quantity a consumer
+    may need is exposed as a property so that the rest of the library
+    never re-derives shapes:
+
+    - :attr:`macs` — multiply-accumulate count (0 for MEM layers).
+    - :attr:`weight_bytes`, :attr:`input_bytes`, :attr:`output_bytes`,
+      :attr:`bias_bytes` — tensor footprints.
+    - :attr:`kind` — COMPUTE vs MEM per Algorithm 1.
+    """
+
+    name: str
+
+    @property
+    def kind(self) -> LayerKind:
+        raise NotImplementedError
+
+    @property
+    def macs(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def weight_bytes(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def input_bytes(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def output_bytes(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def bias_bytes(self) -> int:
+        return 0
+
+    @property
+    def total_load_bytes(self) -> int:
+        """Bytes loaded from the shared memory system (L2-visible)."""
+        return self.weight_bytes + self.input_bytes + self.bias_bytes
+
+    @property
+    def total_store_bytes(self) -> int:
+        """Bytes stored to the shared memory system (L2-visible)."""
+        return self.output_bytes
+
+    @property
+    def total_mem_bytes(self) -> int:
+        """Total traffic to the shared L2 (Alg. 1 line 5)."""
+        return self.total_load_bytes + self.total_store_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """MACs per byte of shared-memory traffic."""
+        mem = self.total_mem_bytes
+        return self.macs / mem if mem else 0.0
+
+
+@dataclass(frozen=True)
+class ConvLayer(Layer):
+    """2-D convolution (optionally depthwise or grouped).
+
+    Attributes:
+        in_h, in_w: Input spatial dimensions.
+        in_ch: Input channels.
+        out_ch: Output channels.
+        kernel: Square kernel size.
+        stride: Stride (same in both dimensions).
+        padding: Zero padding (same on all sides).
+        groups: Channel groups; ``groups == in_ch == out_ch`` gives a
+            depthwise convolution.
+        has_bias: Whether a per-output-channel bias is loaded.
+    """
+
+    in_h: int = 1
+    in_w: int = 1
+    in_ch: int = 1
+    out_ch: int = 1
+    kernel: int = 1
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+    has_bias: bool = True
+
+    def __post_init__(self) -> None:
+        for attr in ("in_h", "in_w", "in_ch", "out_ch", "kernel", "stride"):
+            if getattr(self, attr) <= 0:
+                raise LayerError(f"{self.name}: {attr} must be positive")
+        if self.padding < 0:
+            raise LayerError(f"{self.name}: padding must be non-negative")
+        if self.groups <= 0:
+            raise LayerError(f"{self.name}: groups must be positive")
+        if self.in_ch % self.groups or self.out_ch % self.groups:
+            raise LayerError(
+                f"{self.name}: channels ({self.in_ch}->{self.out_ch}) not "
+                f"divisible by groups ({self.groups})"
+            )
+        # Validate output dims eagerly so bad shapes fail at model build.
+        conv_out_dim(self.in_h, self.kernel, self.stride, self.padding)
+        conv_out_dim(self.in_w, self.kernel, self.stride, self.padding)
+
+    @property
+    def out_h(self) -> int:
+        return conv_out_dim(self.in_h, self.kernel, self.stride, self.padding)
+
+    @property
+    def out_w(self) -> int:
+        return conv_out_dim(self.in_w, self.kernel, self.stride, self.padding)
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.COMPUTE
+
+    @property
+    def macs(self) -> int:
+        per_group_in = self.in_ch // self.groups
+        return (
+            self.out_h
+            * self.out_w
+            * self.out_ch
+            * self.kernel
+            * self.kernel
+            * per_group_in
+        )
+
+    @property
+    def weight_bytes(self) -> int:
+        per_group_in = self.in_ch // self.groups
+        return (
+            self.kernel * self.kernel * per_group_in * self.out_ch * ELEM_BYTES
+        )
+
+    @property
+    def input_bytes(self) -> int:
+        return self.in_h * self.in_w * self.in_ch * ELEM_BYTES
+
+    @property
+    def output_bytes(self) -> int:
+        return self.out_h * self.out_w * self.out_ch * ELEM_BYTES
+
+    @property
+    def bias_bytes(self) -> int:
+        from repro.config import ACC_BYTES
+
+        return self.out_ch * ACC_BYTES if self.has_bias else 0
+
+
+@dataclass(frozen=True)
+class DenseLayer(Layer):
+    """Fully-connected layer (GEMV for batch 1).
+
+    Attributes:
+        in_features: Input feature count.
+        out_features: Output feature count.
+        has_bias: Whether a bias vector is loaded.
+    """
+
+    in_features: int = 1
+    out_features: int = 1
+    has_bias: bool = True
+
+    def __post_init__(self) -> None:
+        if self.in_features <= 0 or self.out_features <= 0:
+            raise LayerError(f"{self.name}: feature counts must be positive")
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.COMPUTE
+
+    @property
+    def macs(self) -> int:
+        return self.in_features * self.out_features
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.in_features * self.out_features * ELEM_BYTES
+
+    @property
+    def input_bytes(self) -> int:
+        return self.in_features * ELEM_BYTES
+
+    @property
+    def output_bytes(self) -> int:
+        return self.out_features * ELEM_BYTES
+
+    @property
+    def bias_bytes(self) -> int:
+        from repro.config import ACC_BYTES
+
+        return self.out_features * ACC_BYTES if self.has_bias else 0
+
+
+@dataclass(frozen=True)
+class PoolLayer(Layer):
+    """Max/average pooling treated as a MEM layer (Alg. 1).
+
+    Pooling performs comparisons rather than MACs and streams its input
+    once, so Algorithm 1 classifies it as memory-bound.
+
+    Attributes:
+        in_h, in_w, channels: Input tensor shape.
+        kernel, stride, padding: Pooling window.
+        global_pool: If True, pool over the whole spatial extent
+            (kernel/stride are ignored, output is 1x1).
+    """
+
+    in_h: int = 1
+    in_w: int = 1
+    channels: int = 1
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+    global_pool: bool = False
+
+    def __post_init__(self) -> None:
+        for attr in ("in_h", "in_w", "channels"):
+            if getattr(self, attr) <= 0:
+                raise LayerError(f"{self.name}: {attr} must be positive")
+        if not self.global_pool:
+            conv_out_dim(self.in_h, self.kernel, self.stride, self.padding)
+            conv_out_dim(self.in_w, self.kernel, self.stride, self.padding)
+
+    @property
+    def out_h(self) -> int:
+        if self.global_pool:
+            return 1
+        return conv_out_dim(self.in_h, self.kernel, self.stride, self.padding)
+
+    @property
+    def out_w(self) -> int:
+        if self.global_pool:
+            return 1
+        return conv_out_dim(self.in_w, self.kernel, self.stride, self.padding)
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.MEM
+
+    @property
+    def macs(self) -> int:
+        return 0
+
+    @property
+    def weight_bytes(self) -> int:
+        return 0
+
+    @property
+    def input_bytes(self) -> int:
+        return self.in_h * self.in_w * self.channels * ELEM_BYTES
+
+    @property
+    def output_bytes(self) -> int:
+        return self.out_h * self.out_w * self.channels * ELEM_BYTES
+
+
+@dataclass(frozen=True)
+class ResidualAddLayer(Layer):
+    """Element-wise residual addition — the canonical MEM layer.
+
+    Reads two operand tensors (A from the main path, B from the skip
+    connection) and writes one.  Algorithm 1's MEM path distinguishes
+    the operand that may still be cached (A, just produced) from the one
+    fetched from DRAM (B, produced many layers earlier).
+
+    Attributes:
+        h, w, channels: Tensor shape (both operands and output).
+    """
+
+    h: int = 1
+    w: int = 1
+    channels: int = 1
+
+    def __post_init__(self) -> None:
+        for attr in ("h", "w", "channels"):
+            if getattr(self, attr) <= 0:
+                raise LayerError(f"{self.name}: {attr} must be positive")
+
+    @property
+    def tensor_bytes(self) -> int:
+        return self.h * self.w * self.channels * ELEM_BYTES
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.MEM
+
+    @property
+    def macs(self) -> int:
+        return 0
+
+    @property
+    def weight_bytes(self) -> int:
+        return 0
+
+    @property
+    def input_bytes(self) -> int:
+        # Two input operands (A and B).
+        return 2 * self.tensor_bytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.tensor_bytes
+
+    @property
+    def skip_operand_bytes(self) -> int:
+        """Bytes of the long-lived skip operand (Alg. 1's InputB)."""
+        return self.tensor_bytes
+
+
+@dataclass(frozen=True)
+class ConcatLayer(Layer):
+    """Channel-wise concatenation (GoogLeNet inception outputs, YOLO
+    route layers).  Pure data movement, hence a MEM layer.
+
+    Attributes:
+        h, w: Spatial dimensions shared by all inputs.
+        in_channels: Channel counts of each concatenated input.
+    """
+
+    h: int = 1
+    w: int = 1
+    in_channels: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.h <= 0 or self.w <= 0:
+            raise LayerError(f"{self.name}: spatial dims must be positive")
+        if not self.in_channels or any(c <= 0 for c in self.in_channels):
+            raise LayerError(f"{self.name}: need positive input channels")
+
+    @property
+    def out_channels(self) -> int:
+        return sum(self.in_channels)
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.MEM
+
+    @property
+    def macs(self) -> int:
+        return 0
+
+    @property
+    def weight_bytes(self) -> int:
+        return 0
+
+    @property
+    def input_bytes(self) -> int:
+        return self.h * self.w * self.out_channels * ELEM_BYTES
+
+    @property
+    def output_bytes(self) -> int:
+        return self.h * self.w * self.out_channels * ELEM_BYTES
+
+
+def macs_to_flops(macs: int) -> int:
+    """Convert a MAC count to the FLOP count papers commonly report."""
+    return 2 * macs
+
+
+def layer_summary(layer: Layer) -> str:
+    """One-line human-readable summary of a layer's shape accounting."""
+    return (
+        f"{layer.name}: {layer.kind.value}, "
+        f"{layer.macs / 1e6:.2f} MMACs, "
+        f"W={layer.weight_bytes / 1024:.1f} KiB, "
+        f"IA={layer.input_bytes / 1024:.1f} KiB, "
+        f"OA={layer.output_bytes / 1024:.1f} KiB, "
+        f"AI={layer.arithmetic_intensity:.2f} MAC/B"
+    )
+
+
+def is_depthwise(layer: Layer) -> bool:
+    """Whether ``layer`` is a depthwise convolution."""
+    return (
+        isinstance(layer, ConvLayer)
+        and layer.groups > 1
+        and layer.groups == layer.in_ch == layer.out_ch
+    )
+
+
+def effective_pe_utilization(layer: Layer, array_rows: int, array_cols: int) -> float:
+    """Fraction of the systolic array a layer can keep busy.
+
+    A weight-stationary 16x16 array maps (in-channel x out-channel)
+    slices onto (rows x cols).  Layers with fewer channels than the
+    array dimension strand PEs; depthwise convolutions map one channel
+    per column.  This mirrors how Gemmini's im2col-based mapping loses
+    utilization on thin layers and feeds the compute-time estimate.
+    """
+    if layer.kind is LayerKind.MEM:
+        return 0.0
+    if isinstance(layer, ConvLayer):
+        if is_depthwise(layer):
+            # Depthwise: no in-channel reduction to spread across rows.
+            return min(1.0, layer.out_ch / (array_rows * array_cols))
+        rows = min(1.0, (layer.in_ch // layer.groups) / array_rows)
+        cols = min(1.0, (layer.out_ch // layer.groups) / array_cols)
+        # im2col lets spatial positions fill the reduction dimension when
+        # channels are thin (e.g. the 3-channel first layer), recovering
+        # most of the row utilization.
+        if layer.in_ch < array_rows:
+            rows = min(
+                1.0, (layer.kernel * layer.kernel * layer.in_ch) / array_rows
+            )
+        return max(rows * cols, 1.0 / (array_rows * array_cols))
+    if isinstance(layer, DenseLayer):
+        rows = min(1.0, layer.in_features / array_rows)
+        cols = min(1.0, layer.out_features / array_cols)
+        return max(rows * cols, 1.0 / (array_rows * array_cols))
+    return 1.0
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division, used throughout tiling arithmetic."""
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)
+
+
+def pretty_bytes(n: float) -> str:
+    """Render a byte count with a binary-prefix unit."""
+    if n >= 1024**3:
+        return f"{n / 1024**3:.2f} GiB"
+    if n >= 1024**2:
+        return f"{n / 1024**2:.2f} MiB"
+    if n >= 1024:
+        return f"{n / 1024:.2f} KiB"
+    return f"{n:.0f} B"
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values (paper-style summary stat)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

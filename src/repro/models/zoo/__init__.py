@@ -1,0 +1,88 @@
+"""Benchmark DNN model zoo (Table III).
+
+Seven inference models spanning image classification, object detection
+and speech processing, grouped into the paper's workload sets:
+
+- **Workload set A** (light models): SqueezeNet, YOLO-LITE, KWS.
+- **Workload set B** (heavy models): GoogLeNet, AlexNet, ResNet-50,
+  YOLOv2.
+- **Workload set C** (mixed): the union of A and B.
+
+Networks are built lazily and cached — layer graphs are immutable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.models.graph import Network
+from repro.models.zoo.alexnet import build_alexnet
+from repro.models.zoo.googlenet import build_googlenet
+from repro.models.zoo.kws import build_kws
+from repro.models.zoo.resnet50 import build_resnet50
+from repro.models.zoo.squeezenet import build_squeezenet
+from repro.models.zoo.yolo_lite import build_yolo_lite
+from repro.models.zoo.yolov2 import build_yolov2
+
+MODEL_BUILDERS: Dict[str, Callable[[], Network]] = {
+    "squeezenet": build_squeezenet,
+    "yolo_lite": build_yolo_lite,
+    "kws": build_kws,
+    "googlenet": build_googlenet,
+    "alexnet": build_alexnet,
+    "resnet50": build_resnet50,
+    "yolov2": build_yolov2,
+}
+
+#: Table III workload sets.
+WORKLOAD_SET_A: Tuple[str, ...] = ("squeezenet", "yolo_lite", "kws")
+WORKLOAD_SET_B: Tuple[str, ...] = ("googlenet", "alexnet", "resnet50", "yolov2")
+WORKLOAD_SET_C: Tuple[str, ...] = WORKLOAD_SET_A + WORKLOAD_SET_B
+
+WORKLOAD_SETS: Dict[str, Tuple[str, ...]] = {
+    "A": WORKLOAD_SET_A,
+    "B": WORKLOAD_SET_B,
+    "C": WORKLOAD_SET_C,
+}
+
+_CACHE: Dict[str, Network] = {}
+
+
+def model_names() -> List[str]:
+    """All model names in the zoo, in registry order."""
+    return list(MODEL_BUILDERS)
+
+
+def build_model(name: str) -> Network:
+    """Build (or fetch the cached) network by name.
+
+    Raises:
+        KeyError: If ``name`` is not in the zoo.
+    """
+    if name not in MODEL_BUILDERS:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}"
+        )
+    if name not in _CACHE:
+        _CACHE[name] = MODEL_BUILDERS[name]()
+    return _CACHE[name]
+
+
+def workload_set(set_name: str) -> List[Network]:
+    """Networks of a Table III workload set ('A', 'B' or 'C')."""
+    key = set_name.upper()
+    if key not in WORKLOAD_SETS:
+        raise KeyError(f"unknown workload set {set_name!r}; use A, B or C")
+    return [build_model(n) for n in WORKLOAD_SETS[key]]
+
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "WORKLOAD_SETS",
+    "WORKLOAD_SET_A",
+    "WORKLOAD_SET_B",
+    "WORKLOAD_SET_C",
+    "build_model",
+    "model_names",
+    "workload_set",
+]

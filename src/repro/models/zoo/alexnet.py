@@ -1,0 +1,41 @@
+"""AlexNet (Krizhevsky et al., NeurIPS 2012) — Table III, Workload set B.
+
+The classic 5-conv / 3-FC ImageNet network with the original 227x227
+input and the two-group convolutions of the dual-GPU formulation.  Its
+latency is dominated by the memory-intensive fully-connected layers,
+which is why the paper singles it out as the most contention-sensitive
+workload (Figure 1a).
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import Network
+from repro.models.layers import ConvLayer, DenseLayer, PoolLayer
+
+
+def build_alexnet() -> Network:
+    """Build the AlexNet layer graph."""
+    layers = (
+        ConvLayer("conv1", in_h=227, in_w=227, in_ch=3, out_ch=96,
+                  kernel=11, stride=4, padding=0),
+        PoolLayer("pool1", in_h=55, in_w=55, channels=96, kernel=3, stride=2),
+        ConvLayer("conv2", in_h=27, in_w=27, in_ch=96, out_ch=256,
+                  kernel=5, stride=1, padding=2, groups=2),
+        PoolLayer("pool2", in_h=27, in_w=27, channels=256, kernel=3, stride=2),
+        ConvLayer("conv3", in_h=13, in_w=13, in_ch=256, out_ch=384,
+                  kernel=3, stride=1, padding=1),
+        ConvLayer("conv4", in_h=13, in_w=13, in_ch=384, out_ch=384,
+                  kernel=3, stride=1, padding=1, groups=2),
+        ConvLayer("conv5", in_h=13, in_w=13, in_ch=384, out_ch=256,
+                  kernel=3, stride=1, padding=1, groups=2),
+        PoolLayer("pool5", in_h=13, in_w=13, channels=256, kernel=3, stride=2),
+        DenseLayer("fc6", in_features=6 * 6 * 256, out_features=4096),
+        DenseLayer("fc7", in_features=4096, out_features=4096),
+        DenseLayer("fc8", in_features=4096, out_features=1000),
+    )
+    return Network(
+        name="alexnet",
+        layers=layers,
+        input_bytes=227 * 227 * 3,
+        domain="image classification",
+    )

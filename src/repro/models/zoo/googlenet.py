@@ -1,0 +1,83 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al., CVPR 2015) — Workload set B.
+
+Nine inception modules over a 224x224 input.  Each module's four
+branches are linearized in execution order; the pool-projection branch
+contributes its 3x3 stride-1 pooling as a MEM layer and the module ends
+with a channel concatenation (pure data movement).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.graph import Network
+from repro.models.layers import ConcatLayer, ConvLayer, Layer, PoolLayer
+
+
+def _inception(name: str, h: int, w: int, in_ch: int, c1: int,
+               c3r: int, c3: int, c5r: int, c5: int, pp: int) -> List[Layer]:
+    """An inception module: 1x1 / 3x3 / 5x5 / pool-proj branches."""
+    return [
+        ConvLayer(f"{name}_1x1", in_h=h, in_w=w, in_ch=in_ch, out_ch=c1,
+                  kernel=1),
+        ConvLayer(f"{name}_3x3_reduce", in_h=h, in_w=w, in_ch=in_ch,
+                  out_ch=c3r, kernel=1),
+        ConvLayer(f"{name}_3x3", in_h=h, in_w=w, in_ch=c3r, out_ch=c3,
+                  kernel=3, padding=1),
+        ConvLayer(f"{name}_5x5_reduce", in_h=h, in_w=w, in_ch=in_ch,
+                  out_ch=c5r, kernel=1),
+        ConvLayer(f"{name}_5x5", in_h=h, in_w=w, in_ch=c5r, out_ch=c5,
+                  kernel=5, padding=2),
+        PoolLayer(f"{name}_pool", in_h=h, in_w=w, channels=in_ch,
+                  kernel=3, stride=1, padding=1),
+        ConvLayer(f"{name}_pool_proj", in_h=h, in_w=w, in_ch=in_ch,
+                  out_ch=pp, kernel=1),
+        ConcatLayer(f"{name}_concat", h=h, w=w, in_channels=(c1, c3, c5, pp)),
+    ]
+
+
+def build_googlenet() -> Network:
+    """Build the GoogLeNet (Inception-v1) layer graph."""
+    layers: List[Layer] = [
+        ConvLayer("conv1", in_h=224, in_w=224, in_ch=3, out_ch=64,
+                  kernel=7, stride=2, padding=3),
+        PoolLayer("pool1", in_h=112, in_w=112, channels=64, kernel=3,
+                  stride=2, padding=1),
+        ConvLayer("conv2_reduce", in_h=56, in_w=56, in_ch=64, out_ch=64,
+                  kernel=1),
+        ConvLayer("conv2", in_h=56, in_w=56, in_ch=64, out_ch=192,
+                  kernel=3, padding=1),
+        PoolLayer("pool2", in_h=56, in_w=56, channels=192, kernel=3,
+                  stride=2, padding=1),
+    ]
+    layers += _inception("inception_3a", 28, 28, 192, 64, 96, 128, 16, 32, 32)
+    layers += _inception("inception_3b", 28, 28, 256, 128, 128, 192, 32, 96, 64)
+    layers.append(
+        PoolLayer("pool3", in_h=28, in_w=28, channels=480, kernel=3,
+                  stride=2, padding=1)
+    )
+    layers += _inception("inception_4a", 14, 14, 480, 192, 96, 208, 16, 48, 64)
+    layers += _inception("inception_4b", 14, 14, 512, 160, 112, 224, 24, 64, 64)
+    layers += _inception("inception_4c", 14, 14, 512, 128, 128, 256, 24, 64, 64)
+    layers += _inception("inception_4d", 14, 14, 512, 112, 144, 288, 32, 64, 64)
+    layers += _inception("inception_4e", 14, 14, 528, 256, 160, 320, 32, 128,
+                         128)
+    layers.append(
+        PoolLayer("pool4", in_h=14, in_w=14, channels=832, kernel=3,
+                  stride=2, padding=1)
+    )
+    layers += _inception("inception_5a", 7, 7, 832, 256, 160, 320, 32, 128, 128)
+    layers += _inception("inception_5b", 7, 7, 832, 384, 192, 384, 48, 128, 128)
+    layers += [
+        PoolLayer("global_pool", in_h=7, in_w=7, channels=1024,
+                  global_pool=True),
+    ]
+    from repro.models.layers import DenseLayer
+
+    layers.append(DenseLayer("fc", in_features=1024, out_features=1000))
+    return Network(
+        name="googlenet",
+        layers=tuple(layers),
+        input_bytes=224 * 224 * 3,
+        domain="image classification",
+    )

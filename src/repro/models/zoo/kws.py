@@ -1,0 +1,54 @@
+"""Keyword spotting res15 (Tang & Lin, ICASSP 2018) — Workload set A.
+
+The deep residual keyword-spotting network: a 3x3x45 stem followed by
+six residual blocks of two dilated 3x3x45 convolutions each, operating
+on a 101x40 MFCC spectrogram.  The smallest workload in the suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.graph import Network
+from repro.models.layers import (
+    ConvLayer,
+    DenseLayer,
+    Layer,
+    PoolLayer,
+    ResidualAddLayer,
+)
+
+_H, _W, _CH = 101, 40, 45
+
+
+def build_kws() -> Network:
+    """Build the res15 keyword-spotting layer graph."""
+    layers: List[Layer] = [
+        ConvLayer("conv0", in_h=_H, in_w=_W, in_ch=1, out_ch=_CH,
+                  kernel=3, padding=1, has_bias=False),
+    ]
+    for block in range(6):
+        # Dilated convolutions keep the spatial extent (padding = dilation);
+        # dilation does not change MAC or footprint accounting.
+        layers.append(
+            ConvLayer(f"res{block}_conv1", in_h=_H, in_w=_W, in_ch=_CH,
+                      out_ch=_CH, kernel=3, padding=1, has_bias=False)
+        )
+        layers.append(
+            ConvLayer(f"res{block}_conv2", in_h=_H, in_w=_W, in_ch=_CH,
+                      out_ch=_CH, kernel=3, padding=1, has_bias=False)
+        )
+        layers.append(
+            ResidualAddLayer(f"res{block}_add", h=_H, w=_W, channels=_CH)
+        )
+    layers += [
+        PoolLayer("global_pool", in_h=_H, in_w=_W, channels=_CH,
+                  global_pool=True),
+        DenseLayer("fc", in_features=_CH, out_features=12),
+    ]
+    return Network(
+        name="kws",
+        layers=tuple(layers),
+        input_bytes=_H * _W * 1,
+        domain="speech processing",
+    )

@@ -1,0 +1,101 @@
+"""ResNet-50 (He et al., CVPR 2016) — Table III, Workload set B.
+
+The 50-layer bottleneck residual network.  Residual additions are the
+archetypal MEM layers in Algorithm 1: their skip operand was produced
+several layers earlier and must be refetched from DRAM when the shared
+L2 cannot retain it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.graph import Network
+from repro.models.layers import (
+    ConvLayer,
+    DenseLayer,
+    Layer,
+    PoolLayer,
+    ResidualAddLayer,
+)
+
+
+def _bottleneck(name: str, h: int, w: int, in_ch: int, mid_ch: int,
+                out_ch: int, stride: int, project: bool) -> List[Layer]:
+    """A bottleneck residual block: 1x1 reduce, 3x3, 1x1 expand, add.
+
+    Args:
+        name: Block name prefix.
+        h, w: Input spatial dimensions.
+        in_ch: Input channels.
+        mid_ch: Bottleneck width.
+        out_ch: Output channels (4x mid_ch in ResNet-50).
+        stride: Stride applied by the 3x3 convolution.
+        project: Whether the skip path carries a 1x1 projection (first
+            block of each stage).
+    """
+    out_h = (h - 1) // stride + 1
+    out_w = (w - 1) // stride + 1
+    layers: List[Layer] = [
+        ConvLayer(f"{name}_conv1", in_h=h, in_w=w, in_ch=in_ch,
+                  out_ch=mid_ch, kernel=1),
+        ConvLayer(f"{name}_conv2", in_h=h, in_w=w, in_ch=mid_ch,
+                  out_ch=mid_ch, kernel=3, stride=stride, padding=1),
+        ConvLayer(f"{name}_conv3", in_h=out_h, in_w=out_w, in_ch=mid_ch,
+                  out_ch=out_ch, kernel=1),
+    ]
+    if project:
+        layers.append(
+            ConvLayer(f"{name}_proj", in_h=h, in_w=w, in_ch=in_ch,
+                      out_ch=out_ch, kernel=1, stride=stride)
+        )
+    layers.append(
+        ResidualAddLayer(f"{name}_add", h=out_h, w=out_w, channels=out_ch)
+    )
+    return layers
+
+
+def build_resnet50() -> Network:
+    """Build the ResNet-50 layer graph."""
+    layers: List[Layer] = [
+        ConvLayer("conv1", in_h=224, in_w=224, in_ch=3, out_ch=64,
+                  kernel=7, stride=2, padding=3),
+        PoolLayer("pool1", in_h=112, in_w=112, channels=64, kernel=3,
+                  stride=2, padding=1),
+    ]
+    # (stage, blocks, mid_ch, out_ch, input spatial dim)
+    stages = (
+        ("layer1", 3, 64, 256, 56),
+        ("layer2", 4, 128, 512, 56),
+        ("layer3", 6, 256, 1024, 28),
+        ("layer4", 3, 512, 2048, 14),
+    )
+    in_ch = 64
+    for stage_name, num_blocks, mid_ch, out_ch, in_dim in stages:
+        for b in range(num_blocks):
+            first = b == 0
+            stride = 2 if first and stage_name != "layer1" else 1
+            h = in_dim if first else (in_dim - 1) // (2 if stage_name != "layer1" else 1) + 1
+            # Spatial dim after the stage's stride has been applied.
+            dim = in_dim if first else _stage_out_dim(stage_name, in_dim)
+            layers += _bottleneck(
+                f"{stage_name}_block{b}", h=dim, w=dim, in_ch=in_ch,
+                mid_ch=mid_ch, out_ch=out_ch, stride=stride, project=first,
+            )
+            in_ch = out_ch
+    layers += [
+        PoolLayer("global_pool", in_h=7, in_w=7, channels=2048,
+                  global_pool=True),
+        DenseLayer("fc", in_features=2048, out_features=1000),
+    ]
+    return Network(
+        name="resnet50",
+        layers=tuple(layers),
+        input_bytes=224 * 224 * 3,
+        domain="image classification",
+    )
+
+
+def _stage_out_dim(stage_name: str, in_dim: int) -> int:
+    """Spatial dimension inside a stage after its entry stride."""
+    return in_dim if stage_name == "layer1" else (in_dim - 1) // 2 + 1

@@ -1,0 +1,62 @@
+"""SqueezeNet v1.0 (Iandola et al., 2016) — Table III, Workload set A.
+
+AlexNet-level accuracy with 50x fewer parameters.  Its short runtime is
+why the paper's Figure 1b shows it suffering the largest worst-case
+slowdown under co-location: a brief execution window can be entirely
+overlapped by a co-runner's memory-intensive layers.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.graph import Network
+from repro.models.layers import ConcatLayer, ConvLayer, Layer, PoolLayer
+
+
+def _fire(name: str, h: int, w: int, in_ch: int, squeeze: int,
+          expand1: int, expand3: int) -> List[Layer]:
+    """A Fire module: 1x1 squeeze, parallel 1x1/3x3 expands, concat."""
+    return [
+        ConvLayer(f"{name}_squeeze1x1", in_h=h, in_w=w, in_ch=in_ch,
+                  out_ch=squeeze, kernel=1),
+        ConvLayer(f"{name}_expand1x1", in_h=h, in_w=w, in_ch=squeeze,
+                  out_ch=expand1, kernel=1),
+        ConvLayer(f"{name}_expand3x3", in_h=h, in_w=w, in_ch=squeeze,
+                  out_ch=expand3, kernel=3, padding=1),
+        ConcatLayer(f"{name}_concat", h=h, w=w, in_channels=(expand1, expand3)),
+    ]
+
+
+def build_squeezenet() -> Network:
+    """Build the SqueezeNet v1.0 layer graph."""
+    layers: List[Layer] = [
+        ConvLayer("conv1", in_h=224, in_w=224, in_ch=3, out_ch=96,
+                  kernel=7, stride=2),
+        PoolLayer("pool1", in_h=109, in_w=109, channels=96, kernel=3, stride=2),
+    ]
+    layers += _fire("fire2", 54, 54, 96, 16, 64, 64)
+    layers += _fire("fire3", 54, 54, 128, 16, 64, 64)
+    layers += _fire("fire4", 54, 54, 128, 32, 128, 128)
+    layers.append(
+        PoolLayer("pool4", in_h=54, in_w=54, channels=256, kernel=3, stride=2)
+    )
+    layers += _fire("fire5", 26, 26, 256, 32, 128, 128)
+    layers += _fire("fire6", 26, 26, 256, 48, 192, 192)
+    layers += _fire("fire7", 26, 26, 384, 48, 192, 192)
+    layers += _fire("fire8", 26, 26, 384, 64, 256, 256)
+    layers.append(
+        PoolLayer("pool8", in_h=26, in_w=26, channels=512, kernel=3, stride=2)
+    )
+    layers += _fire("fire9", 12, 12, 512, 64, 256, 256)
+    layers += [
+        ConvLayer("conv10", in_h=12, in_w=12, in_ch=512, out_ch=1000, kernel=1),
+        PoolLayer("global_pool", in_h=12, in_w=12, channels=1000,
+                  global_pool=True),
+    ]
+    return Network(
+        name="squeezenet",
+        layers=tuple(layers),
+        input_bytes=224 * 224 * 3,
+        domain="image classification",
+    )

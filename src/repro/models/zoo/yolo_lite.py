@@ -1,0 +1,41 @@
+"""YOLO-LITE (Huang et al., IEEE Big Data 2018) — Workload set A.
+
+The real-time non-GPU object detector: seven convolutions over a
+224x224 input (the paper's "trial 3, no batch norm" configuration).
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import Network
+from repro.models.layers import ConvLayer, PoolLayer
+
+
+def build_yolo_lite() -> Network:
+    """Build the YOLO-LITE layer graph."""
+    layers = (
+        ConvLayer("conv1", in_h=224, in_w=224, in_ch=3, out_ch=16,
+                  kernel=3, padding=1),
+        PoolLayer("pool1", in_h=224, in_w=224, channels=16, kernel=2, stride=2),
+        ConvLayer("conv2", in_h=112, in_w=112, in_ch=16, out_ch=32,
+                  kernel=3, padding=1),
+        PoolLayer("pool2", in_h=112, in_w=112, channels=32, kernel=2, stride=2),
+        ConvLayer("conv3", in_h=56, in_w=56, in_ch=32, out_ch=64,
+                  kernel=3, padding=1),
+        PoolLayer("pool3", in_h=56, in_w=56, channels=64, kernel=2, stride=2),
+        ConvLayer("conv4", in_h=28, in_w=28, in_ch=64, out_ch=128,
+                  kernel=3, padding=1),
+        PoolLayer("pool4", in_h=28, in_w=28, channels=128, kernel=2, stride=2),
+        ConvLayer("conv5", in_h=14, in_w=14, in_ch=128, out_ch=128,
+                  kernel=3, padding=1),
+        PoolLayer("pool5", in_h=14, in_w=14, channels=128, kernel=2, stride=2),
+        ConvLayer("conv6", in_h=7, in_w=7, in_ch=128, out_ch=256,
+                  kernel=3, padding=1),
+        ConvLayer("conv7_det", in_h=7, in_w=7, in_ch=256, out_ch=125,
+                  kernel=1),
+    )
+    return Network(
+        name="yolo_lite",
+        layers=layers,
+        input_bytes=224 * 224 * 3,
+        domain="object detection",
+    )

@@ -1,0 +1,75 @@
+"""YOLOv2 / YOLO9000 (Redmon & Farhadi, CVPR 2017) — Workload set B.
+
+Darknet-19 backbone at 416x416 plus the detection head with the
+passthrough (reorg + concat) connection.  The largest network in the
+benchmark suite by both MACs and activation traffic.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.models.graph import Network
+from repro.models.layers import ConcatLayer, ConvLayer, Layer, PoolLayer
+
+
+def build_yolov2() -> Network:
+    """Build the YOLOv2 (COCO head, 425 output channels) layer graph."""
+    layers: List[Layer] = [
+        ConvLayer("conv1", in_h=416, in_w=416, in_ch=3, out_ch=32,
+                  kernel=3, padding=1),
+        PoolLayer("pool1", in_h=416, in_w=416, channels=32, kernel=2, stride=2),
+        ConvLayer("conv2", in_h=208, in_w=208, in_ch=32, out_ch=64,
+                  kernel=3, padding=1),
+        PoolLayer("pool2", in_h=208, in_w=208, channels=64, kernel=2, stride=2),
+        ConvLayer("conv3", in_h=104, in_w=104, in_ch=64, out_ch=128,
+                  kernel=3, padding=1),
+        ConvLayer("conv4", in_h=104, in_w=104, in_ch=128, out_ch=64, kernel=1),
+        ConvLayer("conv5", in_h=104, in_w=104, in_ch=64, out_ch=128,
+                  kernel=3, padding=1),
+        PoolLayer("pool5", in_h=104, in_w=104, channels=128, kernel=2,
+                  stride=2),
+        ConvLayer("conv6", in_h=52, in_w=52, in_ch=128, out_ch=256,
+                  kernel=3, padding=1),
+        ConvLayer("conv7", in_h=52, in_w=52, in_ch=256, out_ch=128, kernel=1),
+        ConvLayer("conv8", in_h=52, in_w=52, in_ch=128, out_ch=256,
+                  kernel=3, padding=1),
+        PoolLayer("pool8", in_h=52, in_w=52, channels=256, kernel=2, stride=2),
+        ConvLayer("conv9", in_h=26, in_w=26, in_ch=256, out_ch=512,
+                  kernel=3, padding=1),
+        ConvLayer("conv10", in_h=26, in_w=26, in_ch=512, out_ch=256, kernel=1),
+        ConvLayer("conv11", in_h=26, in_w=26, in_ch=256, out_ch=512,
+                  kernel=3, padding=1),
+        ConvLayer("conv12", in_h=26, in_w=26, in_ch=512, out_ch=256, kernel=1),
+        ConvLayer("conv13", in_h=26, in_w=26, in_ch=256, out_ch=512,
+                  kernel=3, padding=1),
+        PoolLayer("pool13", in_h=26, in_w=26, channels=512, kernel=2, stride=2),
+        ConvLayer("conv14", in_h=13, in_w=13, in_ch=512, out_ch=1024,
+                  kernel=3, padding=1),
+        ConvLayer("conv15", in_h=13, in_w=13, in_ch=1024, out_ch=512, kernel=1),
+        ConvLayer("conv16", in_h=13, in_w=13, in_ch=512, out_ch=1024,
+                  kernel=3, padding=1),
+        ConvLayer("conv17", in_h=13, in_w=13, in_ch=1024, out_ch=512, kernel=1),
+        ConvLayer("conv18", in_h=13, in_w=13, in_ch=512, out_ch=1024,
+                  kernel=3, padding=1),
+        # Detection head.
+        ConvLayer("conv19", in_h=13, in_w=13, in_ch=1024, out_ch=1024,
+                  kernel=3, padding=1),
+        ConvLayer("conv20", in_h=13, in_w=13, in_ch=1024, out_ch=1024,
+                  kernel=3, padding=1),
+        # Passthrough: 1x1 on the 26x26x512 feature map, then a
+        # space-to-depth reorg to 13x13x256 concatenated with conv20.
+        ConvLayer("conv21_passthrough", in_h=26, in_w=26, in_ch=512,
+                  out_ch=64, kernel=1),
+        ConcatLayer("reorg_concat", h=13, w=13, in_channels=(1024, 256)),
+        ConvLayer("conv22", in_h=13, in_w=13, in_ch=1280, out_ch=1024,
+                  kernel=3, padding=1),
+        ConvLayer("conv23_det", in_h=13, in_w=13, in_ch=1024, out_ch=425,
+                  kernel=1),
+    ]
+    return Network(
+        name="yolov2",
+        layers=tuple(layers),
+        input_bytes=416 * 416 * 3,
+        domain="object detection",
+    )

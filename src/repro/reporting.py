@@ -1,0 +1,213 @@
+"""Result rendering and export.
+
+The paper's artifact parses UART logs into CSVs and bar plots
+(``parse_result_from_uartlog.py`` / ``make_fair.py`` /
+``build_sla.sh``).  This module is the reproduction's equivalent:
+ASCII bar charts for terminal use, plus CSV and JSON export of the
+experiment matrices and per-task records so downstream tooling can plot
+them.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.experiments.runner import POLICY_ORDER, ScenarioResult
+from repro.sim.job import TaskResult
+
+Matrix = Dict[str, Dict[str, ScenarioResult]]
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 48,
+    max_value: Optional[float] = None,
+) -> str:
+    """Render labeled values as horizontal ASCII bars.
+
+    Args:
+        values: Label -> value (non-negative).
+        title: Optional heading line.
+        width: Bar width in characters for the largest value.
+        max_value: Scale maximum; defaults to the data maximum.
+
+    Returns:
+        The chart as a multi-line string.
+    """
+    if not values:
+        raise ValueError("no values to chart")
+    if any(v < 0 for v in values.values()):
+        raise ValueError("bar values must be non-negative")
+    scale = max_value if max_value is not None else max(values.values())
+    if scale <= 0:
+        scale = 1.0
+    label_w = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * max(0, round(width * min(value, scale) / scale))
+        lines.append(f"{str(label):<{label_w}s} |{bar:<{width}s}| {value:.3f}")
+    return "\n".join(lines)
+
+
+def matrix_bar_charts(matrix: Matrix, metric: str, title: str) -> str:
+    """One ASCII bar chart per scenario for a matrix metric."""
+    sections = [title]
+    peak = max(
+        getattr(result, metric)
+        for cell in matrix.values()
+        for result in cell.values()
+    )
+    for label, cell in matrix.items():
+        values = {
+            policy: getattr(cell[policy], metric)
+            for policy in POLICY_ORDER
+            if policy in cell
+        }
+        sections.append(
+            ascii_bar_chart(values, title=label, max_value=peak)
+        )
+    return "\n\n".join(sections)
+
+
+def matrix_to_csv(matrix: Matrix, metric: str) -> str:
+    """Export one metric of a matrix as CSV text."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["scenario"] + list(POLICY_ORDER))
+    for label, cell in matrix.items():
+        writer.writerow(
+            [label]
+            + [
+                f"{getattr(cell[p], metric):.6f}" if p in cell else ""
+                for p in POLICY_ORDER
+            ]
+        )
+    return out.getvalue()
+
+
+def matrix_to_json(matrix: Matrix) -> str:
+    """Export a full matrix (all headline metrics) as JSON text."""
+    payload = {}
+    for label, cell in matrix.items():
+        payload[label] = {
+            policy: {
+                "sla_rate": result.sla_rate,
+                "stp": result.stp,
+                "stp_normalized": result.stp_normalized,
+                "fairness": result.fairness,
+                "num_seeds": len(result.per_seed),
+            }
+            for policy, result in cell.items()
+        }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_TASK_FIELDS = (
+    "task_id", "network_name", "priority", "dispatch_cycle", "started_at",
+    "finished_at", "qos_target_cycles", "isolated_cycles", "preemptions",
+    "tile_repartitions", "bw_reconfigs", "stall_cycles",
+)
+
+
+def results_to_csv(results: Sequence[TaskResult]) -> str:
+    """Export per-task records (plus derived columns) as CSV text."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        list(_TASK_FIELDS) + ["latency", "runtime", "met_sla", "slowdown"]
+    )
+    for r in results:
+        writer.writerow(
+            [getattr(r, f) for f in _TASK_FIELDS]
+            + [r.latency, r.runtime, int(r.met_sla), f"{r.slowdown:.6f}"]
+        )
+    return out.getvalue()
+
+
+def timeline_chart(
+    trace,
+    width: int = 72,
+    max_jobs: int = 24,
+) -> str:
+    """Render a simulation trace as an ASCII Gantt chart.
+
+    Each job gets one row spanning dispatch to finish: ``.`` while
+    waiting in the task queue, ``=`` while running, ``F`` at the finish
+    mark.  Useful for eyeballing queueing vs runtime in examples and
+    bug reports.
+
+    Args:
+        trace: A :class:`repro.sim.trace.Trace` with DISPATCH / START /
+            FINISH records.
+        width: Chart width in characters.
+        max_jobs: Rows to render (earliest-dispatched first).
+    """
+    from repro.sim.trace import TraceEvent
+
+    spans = {}
+    for record in trace.records:
+        entry = spans.setdefault(
+            record.job_id, {"dispatch": None, "start": None, "finish": None}
+        )
+        if record.event is TraceEvent.DISPATCH:
+            entry["dispatch"] = record.cycle
+        elif record.event is TraceEvent.START and entry["start"] is None:
+            entry["start"] = record.cycle
+        elif record.event is TraceEvent.FINISH:
+            entry["finish"] = record.cycle
+    spans = {
+        job: s for job, s in spans.items()
+        if s["dispatch"] is not None and s["finish"] is not None
+    }
+    if not spans:
+        raise ValueError("trace holds no complete job lifecycles")
+    horizon = max(s["finish"] for s in spans.values())
+    if horizon <= 0:
+        raise ValueError("empty timeline")
+    ordered = sorted(spans.items(), key=lambda kv: kv[1]["dispatch"])
+    label_w = max(len(j) for j, _ in ordered[:max_jobs])
+
+    def col(cycle):
+        return min(width - 1, int(width * cycle / horizon))
+
+    lines = [f"{'job':<{label_w}s} |{'-' * width}| 0 .. {horizon:,.0f} cyc"]
+    for job, s in ordered[:max_jobs]:
+        row = [" "] * width
+        start = s["start"] if s["start"] is not None else s["finish"]
+        for c in range(col(s["dispatch"]), col(start)):
+            row[c] = "."
+        for c in range(col(start), col(s["finish"])):
+            row[c] = "="
+        row[col(s["finish"])] = "F"
+        lines.append(f"{job:<{label_w}s} |{''.join(row)}|")
+    if len(ordered) > max_jobs:
+        lines.append(f"... {len(ordered) - max_jobs} more jobs not shown")
+    return "\n".join(lines)
+
+
+def results_from_csv(text: str) -> Sequence[TaskResult]:
+    """Rebuild per-task records from :func:`results_to_csv` output."""
+    reader = csv.DictReader(io.StringIO(text))
+    results = []
+    for row in reader:
+        results.append(
+            TaskResult(
+                task_id=row["task_id"],
+                network_name=row["network_name"],
+                priority=int(row["priority"]),
+                dispatch_cycle=float(row["dispatch_cycle"]),
+                started_at=float(row["started_at"]),
+                finished_at=float(row["finished_at"]),
+                qos_target_cycles=float(row["qos_target_cycles"]),
+                isolated_cycles=float(row["isolated_cycles"]),
+                preemptions=int(row["preemptions"]),
+                tile_repartitions=int(row["tile_repartitions"]),
+                bw_reconfigs=int(row["bw_reconfigs"]),
+                stall_cycles=float(row["stall_cycles"]),
+            )
+        )
+    return results

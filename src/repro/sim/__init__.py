@@ -1,0 +1,41 @@
+"""Fluid discrete-event multi-tenant simulator and workload generation."""
+
+from repro.sim.engine import SimResult, SimulationError, Simulator, run_simulation
+from repro.sim.job import Job, JobPhase, Task, TaskResult
+from repro.sim.policy import (
+    COMPUTE_RECONFIG_CYCLES,
+    MEMORY_RECONFIG_CYCLES,
+    Policy,
+)
+from repro.sim.qos import QosLevel, QosModel
+from repro.sim.trace import Trace, TraceEvent
+from repro.sim.workload import (
+    PRIORITY_GROUPS,
+    PRIORITY_WEIGHTS,
+    WorkloadConfig,
+    WorkloadGenerator,
+    priority_group,
+)
+
+__all__ = [
+    "COMPUTE_RECONFIG_CYCLES",
+    "MEMORY_RECONFIG_CYCLES",
+    "Job",
+    "JobPhase",
+    "PRIORITY_GROUPS",
+    "PRIORITY_WEIGHTS",
+    "Policy",
+    "QosLevel",
+    "QosModel",
+    "SimResult",
+    "SimulationError",
+    "Simulator",
+    "Task",
+    "TaskResult",
+    "Trace",
+    "TraceEvent",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "priority_group",
+    "run_simulation",
+]

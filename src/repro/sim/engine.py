@@ -1,0 +1,386 @@
+"""The fluid discrete-event multi-tenant SoC simulator.
+
+This is the reproduction's substitute for the paper's FireSim RTL
+simulation (see DESIGN.md §4).  Jobs progress through their networks'
+layer blocks at rates derived from Algorithm 1's latency law under the
+current resource allocation:
+
+- a job holding ``k`` tiles and granted a DRAM share ``s`` executes its
+  current block in ``T = max(T_full(k), From_DRAM / s)`` cycles, where
+  ``T_full`` is the unconstrained Algorithm 1 prediction — the job is
+  limited either by its own compute/memory structure or by draining its
+  DRAM traffic at the granted share;
+- DRAM shares come from the arbiter: demand-proportional when
+  unmanaged, clamped by MoCA's throttle caps when regulated;
+- between events all rates are constant, so the engine advances
+  analytically from event to event (no per-cycle stepping) and is
+  exactly deterministic.
+
+Events: task dispatch, block completion, stall expiry (migration or
+reconfiguration penalties) and policy-initiated changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SoCConfig
+from repro.memory.arbiter import allocate_bandwidth
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.job import Job, JobPhase, Task, TaskResult, results_from_jobs
+from repro.sim.policy import Policy
+from repro.sim.trace import Trace, TraceEvent
+
+_COMPLETION_EPS = 1e-9
+_MIN_DT = 1e-6
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an invalid or stuck state."""
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulation run.
+
+    Attributes:
+        policy_name: The policy that produced the run.
+        results: Per-task outcomes, sorted by task id.
+        makespan: Cycle at which the last task finished.
+        trace: The event trace (may be disabled/empty).
+    """
+
+    policy_name: str
+    results: Sequence[TaskResult]
+    makespan: float
+    trace: Trace
+
+    def result_for(self, task_id: str) -> TaskResult:
+        """Look up one task's result."""
+        for r in self.results:
+            if r.task_id == task_id:
+                return r
+        raise KeyError(f"no result for task {task_id!r}")
+
+
+class Simulator:
+    """Fluid discrete-event simulator of the Table II SoC.
+
+    Attributes:
+        soc: SoC configuration.
+        mem: Shared-memory hierarchy.
+        policy: The multi-tenancy policy driving decisions.
+        now: Current simulation time in cycles.
+        jobs: All jobs by id.
+        ready: Dispatched jobs waiting in the task queue (FIFO by
+            dispatch time).
+        running: Jobs currently holding tiles.
+        finished: Completed jobs.
+        trace: Event log.
+    """
+
+    def __init__(
+        self,
+        soc: SoCConfig,
+        tasks: Sequence[Task],
+        policy: Policy,
+        mem: Optional[MemoryHierarchy] = None,
+        trace: bool = False,
+        max_events: int = 20_000_000,
+    ) -> None:
+        if not tasks:
+            raise SimulationError("no tasks to simulate")
+        ids = [t.task_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise SimulationError("duplicate task ids")
+        self.soc = soc
+        self.mem = mem if mem is not None else MemoryHierarchy.from_soc(soc)
+        self.policy = policy
+        self.now = 0.0
+        self.jobs: Dict[str, Job] = {
+            t.task_id: Job(task=t) for t in tasks
+        }
+        self._pending: List[Job] = sorted(
+            self.jobs.values(),
+            key=lambda j: (-j.task.dispatch_cycle, j.job_id),
+        )
+        self.ready: List[Job] = []
+        self.running: List[Job] = []
+        self.finished: List[Job] = []
+        self.trace = Trace(enabled=trace)
+        self._max_events = max_events
+        self._block_T: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Policy-facing API
+    # ------------------------------------------------------------------
+
+    @property
+    def free_tiles(self) -> int:
+        """Tiles not currently held by any running job."""
+        return self.soc.num_tiles - sum(j.tiles for j in self.running)
+
+    def start_job(self, job: Job, tiles: int) -> None:
+        """Admit a READY job onto ``tiles`` tiles."""
+        if job.phase is not JobPhase.READY:
+            raise SimulationError(f"{job.job_id} is not ready")
+        if tiles <= 0 or tiles > self.free_tiles:
+            raise SimulationError(
+                f"cannot grant {tiles} tiles ({self.free_tiles} free)"
+            )
+        self.ready.remove(job)
+        job.phase = JobPhase.RUNNING
+        job.tiles = tiles
+        if job.started_at is None:
+            job.started_at = self.now
+        self.running.append(job)
+        self.trace.log(self.now, TraceEvent.START, job.job_id,
+                       f"tiles={tiles}")
+
+    def set_tiles(self, job: Job, tiles: int) -> None:
+        """Repartition a running job's tiles (charges migration stall)."""
+        if job.phase is not JobPhase.RUNNING:
+            raise SimulationError(f"{job.job_id} is not running")
+        if tiles <= 0:
+            raise SimulationError("tiles must be positive")
+        if tiles == job.tiles:
+            return
+        extra = tiles - job.tiles
+        if extra > self.free_tiles:
+            raise SimulationError(
+                f"cannot grow {job.job_id} by {extra} tiles "
+                f"({self.free_tiles} free)"
+            )
+        job.tiles = tiles
+        job.tile_repartitions += 1
+        self.stall_job(job, self.policy.compute_reconfig_cycles)
+        self.trace.log(self.now, TraceEvent.TILE_REPARTITION, job.job_id,
+                       f"tiles={tiles}")
+
+    def set_bw_cap(self, job: Job, cap: Optional[float]) -> None:
+        """Reconfigure a job's memory throttle (charges 5-10 cycles)."""
+        if job.phase is not JobPhase.RUNNING:
+            raise SimulationError(f"{job.job_id} is not running")
+        if cap is not None and cap <= 0:
+            raise SimulationError("bandwidth cap must be positive")
+        old = job.bw_cap
+        if old == cap or (
+            old is not None and cap is not None
+            and abs(old - cap) < 1e-9
+        ):
+            return
+        job.bw_cap = cap
+        job.bw_reconfigs += 1
+        self.stall_job(job, self.policy.memory_reconfig_cycles)
+        self.trace.log(
+            self.now, TraceEvent.BW_RECONFIG, job.job_id,
+            f"cap={'none' if cap is None else f'{cap:.2f}B/cyc'}",
+        )
+
+    def preempt(self, job: Job) -> None:
+        """Return a running job to the ready queue (block progress is
+        retained — checkpointing happens at layer boundaries)."""
+        if job.phase is not JobPhase.RUNNING:
+            raise SimulationError(f"{job.job_id} is not running")
+        self.running.remove(job)
+        job.phase = JobPhase.READY
+        job.tiles = 0
+        job.bw_cap = None
+        job.preemptions += 1
+        self.ready.append(job)
+        self.ready.sort(key=lambda j: (j.task.dispatch_cycle, j.job_id))
+        self.trace.log(self.now, TraceEvent.PREEMPT, job.job_id)
+
+    def stall_job(self, job: Job, cycles: float) -> None:
+        """Stall a job for ``cycles`` (extends any current stall)."""
+        if cycles < 0:
+            raise SimulationError("stall cycles must be non-negative")
+        if cycles == 0:
+            return
+        base = max(job.stall_until, self.now)
+        new_until = self.now + cycles
+        if new_until > base:
+            job.stall_cycles += new_until - base
+            job.stall_until = new_until
+
+    # ------------------------------------------------------------------
+    # Engine core
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        """Run to completion and return per-task results."""
+        events = 0
+        while len(self.finished) < len(self.jobs):
+            events += 1
+            if events > self._max_events:
+                raise SimulationError(
+                    f"exceeded {self._max_events} events; "
+                    f"{len(self.finished)}/{len(self.jobs)} tasks done "
+                    f"at cycle {self.now:,.0f}"
+                )
+            self._dispatch_arrivals()
+            self.policy.on_event(self)
+            self._validate()
+            dt = self._next_event_dt()
+            if dt is None:
+                if self._pending:
+                    # Idle gap: jump to the next arrival.
+                    self.now = self._pending[-1].task.dispatch_cycle
+                    continue
+                raise SimulationError(
+                    f"deadlock at cycle {self.now:,.0f}: "
+                    f"{len(self.ready)} ready, {len(self.running)} running, "
+                    f"policy {self.policy.name!r} made no progress"
+                )
+            self._advance(max(dt, _MIN_DT))
+            self._process_completions()
+        makespan = max((j.finished_at or 0.0) for j in self.finished)
+        return SimResult(
+            policy_name=self.policy.name,
+            results=results_from_jobs(self.finished),
+            makespan=makespan,
+            trace=self.trace,
+        )
+
+    def _dispatch_arrivals(self) -> None:
+        """Move pending tasks whose dispatch time has come to READY."""
+        while self._pending and (
+            self._pending[-1].task.dispatch_cycle <= self.now + _COMPLETION_EPS
+        ):
+            job = self._pending.pop()
+            job.phase = JobPhase.READY
+            self.ready.append(job)
+            self.trace.log(
+                job.task.dispatch_cycle, TraceEvent.DISPATCH, job.job_id,
+                f"net={job.task.network_name} prio={job.task.priority}",
+            )
+        self.ready.sort(key=lambda j: (j.task.dispatch_cycle, j.job_id))
+
+    def current_block_times(self) -> Dict[str, float]:
+        """Per running job: cycles its current block needs under the
+        current allocation (the fluid rate law)."""
+        dram_bw = self.mem.dram_bandwidth
+        l2_bw = self.mem.l2_bandwidth
+        overlap_f = self.soc.overlap_f
+        active = [
+            j for j in self.running if not j.is_stalled(self.now)
+        ]
+        demands: Dict[str, float] = {}
+        t_full: Dict[str, float] = {}
+        for job in active:
+            cost = job.current_block
+            full = cost.predict(job.tiles, dram_bw, l2_bw, overlap_f)
+            t_full[job.job_id] = full
+            demands[job.job_id] = (
+                cost.from_dram_bytes / full if full > 0 else 0.0
+            )
+        caps = {
+            j.job_id: j.bw_cap
+            for j in active
+            if j.bw_cap is not None
+        }
+        # Achieved total bandwidth degrades when the co-runners'
+        # regulated demand oversubscribes the channel (row-buffer
+        # thrash under interleaving); throttled systems that keep the
+        # total under the peak retain single-stream efficiency.
+        shares: Dict[str, float] = {}
+        if demands:
+            wants = {
+                jid: min(d, caps.get(jid, float("inf")))
+                for jid, d in demands.items()
+            }
+            total_wants = sum(wants.values())
+            streams = sum(1 for w in wants.values() if w > 0)
+            effective = self.mem.dram.effective_bandwidth(
+                streams, oversubscribed=total_wants > dram_bw
+            )
+            shares = allocate_bandwidth(demands, effective, caps)
+        times: Dict[str, float] = {}
+        for job in active:
+            jid = job.job_id
+            from_dram = job.current_block.from_dram_bytes
+            share = shares.get(jid, 0.0)
+            if from_dram <= 0:
+                times[jid] = t_full[jid]
+            elif share <= 0:
+                times[jid] = float("inf")
+            else:
+                times[jid] = max(t_full[jid], from_dram / share)
+        return times
+
+    def _next_event_dt(self) -> Optional[float]:
+        """Time to the next event, or None if nothing can happen."""
+        self._block_T = self.current_block_times()
+        candidates: List[float] = []
+        if self._pending:
+            candidates.append(
+                self._pending[-1].task.dispatch_cycle - self.now
+            )
+        for job in self.running:
+            if job.is_stalled(self.now):
+                candidates.append(job.stall_until - self.now)
+            else:
+                T = self._block_T[job.job_id]
+                if T != float("inf"):
+                    candidates.append((1.0 - job.progress) * T)
+        candidates = [c for c in candidates if c >= 0]
+        if not candidates:
+            return None
+        return min(candidates)
+
+    def _advance(self, dt: float) -> None:
+        """Advance time; accrue progress on unstalled running jobs."""
+        for job in self.running:
+            if job.is_stalled(self.now):
+                continue
+            T = self._block_T.get(job.job_id, float("inf"))
+            if T == float("inf") or T <= 0:
+                continue
+            job.progress = min(1.0, job.progress + dt / T)
+        self.now += dt
+
+    def _process_completions(self) -> None:
+        """Retire completed blocks and finish jobs on their last block."""
+        for job in list(self.running):
+            if job.progress < 1.0 - _COMPLETION_EPS:
+                continue
+            job.block_idx += 1
+            job.progress = 0.0
+            self.trace.log(self.now, TraceEvent.BLOCK_DONE, job.job_id,
+                           f"block={job.block_idx - 1}")
+            if job.block_idx >= job.num_blocks:
+                job.phase = JobPhase.FINISHED
+                job.finished_at = self.now
+                job.tiles = 0
+                job.bw_cap = None
+                self.running.remove(job)
+                self.finished.append(job)
+                self.trace.log(self.now, TraceEvent.FINISH, job.job_id)
+                self.policy.on_job_finished(self, job)
+
+    def _validate(self) -> None:
+        """Invariant checks after every policy invocation."""
+        held = sum(j.tiles for j in self.running)
+        if held > self.soc.num_tiles:
+            raise SimulationError(
+                f"policy over-allocated tiles: {held} > {self.soc.num_tiles}"
+            )
+        for job in self.running:
+            if job.tiles <= 0:
+                raise SimulationError(
+                    f"running job {job.job_id} holds no tiles"
+                )
+
+
+def run_simulation(
+    soc: SoCConfig,
+    tasks: Sequence[Task],
+    policy: Policy,
+    mem: Optional[MemoryHierarchy] = None,
+    trace: bool = False,
+) -> SimResult:
+    """Convenience wrapper: reset the policy, build and run a simulator."""
+    policy.reset()
+    sim = Simulator(soc, tasks, policy, mem=mem, trace=trace)
+    return sim.run()

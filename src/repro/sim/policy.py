@@ -1,0 +1,62 @@
+"""The policy interface between the simulator and schedulers.
+
+A *policy* bundles everything above the hardware: the admission
+scheduler, the resource (tile / bandwidth) manager, and the costs its
+reconfigurations incur.  The engine calls :meth:`Policy.on_event` at
+every simulation event; the policy inspects the engine state and issues
+mutations through the engine's API (``start_job``, ``set_tiles``,
+``set_bw_cap``, ``preempt``, ``stall_job``).
+
+Reconfiguration costs (Section V-A):
+
+- changing a running job's **tile allocation** costs a thread-migration
+  stall of ~1 M cycles (thread spawning + synchronization);
+- changing a job's **memory throttle** costs 5-10 cycles (we charge 8),
+  which is why MoCA "triggers memory repartitioning more frequently
+  than compute repartitioning".
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.job import Job
+
+#: Average thread-migration penalty for compute repartitioning, cycles.
+COMPUTE_RECONFIG_CYCLES = 1_000_000
+
+#: DMA issue-rate reconfiguration penalty for memory repartitioning.
+MEMORY_RECONFIG_CYCLES = 8
+
+
+class Policy(abc.ABC):
+    """Base class for multi-tenancy policies.
+
+    Attributes:
+        name: Human-readable policy name (used in reports).
+        compute_reconfig_cycles: Stall charged when a running job's
+            tile count changes.
+        memory_reconfig_cycles: Stall charged when a job's bandwidth
+            cap changes.
+    """
+
+    name: str = "base"
+    compute_reconfig_cycles: int = COMPUTE_RECONFIG_CYCLES
+    memory_reconfig_cycles: int = MEMORY_RECONFIG_CYCLES
+
+    @abc.abstractmethod
+    def on_event(self, sim: "Simulator") -> None:
+        """React to a simulation event (dispatch/completion/stall/...).
+
+        Must be idempotent when called twice at the same instant with
+        unchanged state — the engine may invoke it on coincident events.
+        """
+
+    def on_job_finished(self, sim: "Simulator", job: "Job") -> None:
+        """Hook invoked right after a job completes."""
+
+    def reset(self) -> None:
+        """Clear internal state before a fresh simulation."""

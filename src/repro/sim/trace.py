@@ -1,0 +1,86 @@
+"""Simulation event trace.
+
+An append-only log of scheduler/runtime actions, used by tests to
+verify policy behaviour and by examples to narrate a run.  Disabled by
+default in large sweeps for speed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class TraceEvent(enum.Enum):
+    """Kinds of logged events."""
+
+    DISPATCH = "dispatch"
+    START = "start"
+    BLOCK_DONE = "block_done"
+    FINISH = "finish"
+    PREEMPT = "preempt"
+    TILE_REPARTITION = "tile_repartition"
+    BW_RECONFIG = "bw_reconfig"
+    CONTENTION = "contention"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes:
+        cycle: Simulation time of the event.
+        event: Event kind.
+        job_id: Affected job (empty for system-wide events).
+        detail: Free-form detail string.
+    """
+
+    cycle: float
+    event: TraceEvent
+    job_id: str = ""
+    detail: str = ""
+
+
+class Trace:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def log(self, cycle: float, event: TraceEvent, job_id: str = "",
+            detail: str = "") -> None:
+        """Append a record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.records.append(
+            TraceRecord(cycle=cycle, event=event, job_id=job_id, detail=detail)
+        )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def of_kind(self, event: TraceEvent) -> List[TraceRecord]:
+        """All records of one kind, in time order."""
+        return [r for r in self.records if r.event is event]
+
+    def for_job(self, job_id: str) -> List[TraceRecord]:
+        """All records touching one job, in time order."""
+        return [r for r in self.records if r.job_id == job_id]
+
+    def count(self, event: TraceEvent, job_id: Optional[str] = None) -> int:
+        """Count records of a kind, optionally for one job."""
+        return sum(
+            1
+            for r in self.records
+            if r.event is event and (job_id is None or r.job_id == job_id)
+        )
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of (up to ``limit``) records."""
+        rows = self.records if limit is None else self.records[:limit]
+        return "\n".join(
+            f"@{r.cycle:>14,.0f}  {r.event.value:<16s} {r.job_id:<12s} {r.detail}"
+            for r in rows
+        )

@@ -1,0 +1,157 @@
+"""Multi-tenant workload generation (Section IV-B).
+
+The paper generates scenarios by randomly dispatching N inference
+tasks (N between 200 and 500) to the system, assigning each a static
+priority between 0 and 11 following the distribution observed in
+Google datacenter traces [11], [37] (the same methodology as Prema and
+Planaria).
+
+The trace studies report a heavily skewed distribution: the bulk of
+tasks arrive at low/free priorities, a broad middle band carries
+production work, and a thin tail is latency-critical.  The exact table
+is not published, so :data:`PRIORITY_WEIGHTS` encodes that shape and is
+documented as a reproduction choice (DESIGN.md §6).
+
+Arrival times are sampled uniformly over a window sized so the offered
+load (total two-tile work divided by the SoC's slot capacity) matches a
+configurable load factor — the random-overlap regime of the paper's
+"randomly dispatched at different times".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SoCConfig
+from repro.core.latency import build_network_cost
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.models.graph import Network
+from repro.sim.job import Task
+from repro.sim.qos import QosLevel, QosModel
+
+#: Relative frequency of each static priority level 0..11 (Google-trace
+#: shaped: mass at the bottom, thin latency-critical tail).
+PRIORITY_WEIGHTS: Sequence[float] = (
+    20.0, 14.0, 11.0,          # p-Low  (0-2)
+    9.0, 8.0, 7.0, 6.0, 5.0, 4.0,  # p-Mid  (3-8)
+    2.5, 1.5, 1.0,             # p-High (9-11)
+)
+
+#: Priority-group boundaries used by Figure 6 (p-Low 0-2, p-Mid 3-8,
+#: p-High 9-11).
+PRIORITY_GROUPS: Dict[str, range] = {
+    "p-Low": range(0, 3),
+    "p-Mid": range(3, 9),
+    "p-High": range(9, 12),
+}
+
+
+def priority_group(priority: int) -> str:
+    """Map a 0-11 priority to its Figure 6 group label."""
+    for label, rng in PRIORITY_GROUPS.items():
+        if priority in rng:
+            return label
+    raise ValueError(f"priority {priority} outside 0..11")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the multi-tenant scenario generator.
+
+    Attributes:
+        num_tasks: Queries to dispatch (paper: 200-500).
+        qos_level: SLA tightness for every task in the scenario.
+        load_factor: Offered load relative to SoC slot capacity;
+            1.0 keeps the machine just saturated on average.
+        reference_tiles: Tile count used to size the arrival window
+            (the static slot size).
+        seed: RNG seed; scenarios are fully reproducible.
+    """
+
+    num_tasks: int = 250
+    qos_level: QosLevel = QosLevel.MEDIUM
+    load_factor: float = 0.85
+    reference_tiles: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_tasks <= 0:
+            raise ValueError("num_tasks must be positive")
+        if self.load_factor <= 0:
+            raise ValueError("load_factor must be positive")
+        if self.reference_tiles <= 0:
+            raise ValueError("reference_tiles must be positive")
+
+
+class WorkloadGenerator:
+    """Builds reproducible multi-tenant task streams.
+
+    Attributes:
+        soc: SoC configuration.
+        networks: Candidate models (a Table III workload set).
+        qos: The QoS target model.
+    """
+
+    def __init__(
+        self,
+        soc: SoCConfig,
+        networks: Sequence[Network],
+        mem: Optional[MemoryHierarchy] = None,
+        qos: Optional[QosModel] = None,
+    ) -> None:
+        if not networks:
+            raise ValueError("need at least one network")
+        self.soc = soc
+        self.mem = mem if mem is not None else MemoryHierarchy.from_soc(soc)
+        self.networks = list(networks)
+        self.qos = qos if qos is not None else QosModel(soc)
+
+    def sample_priority(self, rng: random.Random) -> int:
+        """Draw a static priority from the Google-trace-shaped table."""
+        return rng.choices(range(12), weights=PRIORITY_WEIGHTS, k=1)[0]
+
+    def arrival_window(self, config: WorkloadConfig) -> float:
+        """Length of the dispatch window in cycles for a scenario.
+
+        Sized so that ``num_tasks`` average-sized jobs on
+        ``reference_tiles``-tile slots offer ``load_factor`` of the
+        SoC's slot-parallel capacity.
+        """
+        slot_runtimes = [
+            self.qos.isolated_latency(
+                net, self.mem, num_tiles=config.reference_tiles
+            )
+            for net in self.networks
+        ]
+        mean_runtime = sum(slot_runtimes) / len(slot_runtimes)
+        slots = max(1, self.soc.num_tiles // config.reference_tiles)
+        total_work = config.num_tasks * mean_runtime
+        return total_work / (slots * config.load_factor)
+
+    def generate(self, config: WorkloadConfig) -> List[Task]:
+        """Generate the scenario's task list, sorted by dispatch time."""
+        rng = random.Random(config.seed)
+        window = self.arrival_window(config)
+        tasks: List[Task] = []
+        for i in range(config.num_tasks):
+            network = rng.choice(self.networks)
+            dispatch = rng.uniform(0.0, window)
+            priority = self.sample_priority(rng)
+            cost = build_network_cost(network, self.soc, self.mem)
+            isolated = self.qos.isolated_latency_from_cost(cost, self.mem)
+            target = self.qos.target(network, config.qos_level, self.mem)
+            tasks.append(
+                Task(
+                    task_id=f"t{i:04d}",
+                    network_name=network.name,
+                    cost=cost,
+                    dispatch_cycle=dispatch,
+                    priority=priority,
+                    qos_target_cycles=target,
+                    isolated_cycles=isolated,
+                )
+            )
+        tasks.sort(key=lambda t: (t.dispatch_cycle, t.task_id))
+        return tasks

@@ -1,0 +1,115 @@
+"""Tests for repro.models.analysis (roofline) and the timeline chart."""
+
+import pytest
+
+from repro.config import DEFAULT_SOC
+from repro.models.analysis import (
+    analyze_network,
+    format_roofline,
+    machine_balance,
+)
+from repro.models.layers import LayerKind
+from repro.models.zoo import build_model, model_names
+from repro.reporting import timeline_chart
+from repro.sim.trace import Trace, TraceEvent
+
+SOC = DEFAULT_SOC
+
+
+class TestMachineBalance:
+    def test_positive(self):
+        assert machine_balance(SOC) > 0
+
+    def test_value(self):
+        # 256 * 0.85 MACs/cycle over 16 B/cycle = 13.6 MAC/B.
+        assert machine_balance(SOC) == pytest.approx(13.6)
+
+
+class TestAnalyzeNetwork:
+    def test_covers_all_layers(self):
+        net = build_model("resnet50")
+        summary = analyze_network(net, SOC)
+        assert len(summary.layers) == len(net)
+
+    def test_fraction_in_unit_interval(self):
+        for name in model_names():
+            summary = analyze_network(build_model(name), SOC)
+            assert 0.0 <= summary.memory_bound_fraction <= 1.0
+
+    def test_mem_layers_always_memory_bound(self):
+        summary = analyze_network(build_model("resnet50"), SOC)
+        for row in summary.layers:
+            if row.kind is LayerKind.MEM:
+                assert row.memory_bound
+
+    def test_alexnet_most_memory_bound_heavy_model(self):
+        fractions = {
+            name: analyze_network(build_model(name), SOC).memory_bound_fraction
+            for name in ("alexnet", "resnet50", "googlenet", "yolov2")
+        }
+        assert max(fractions, key=fractions.get) == "alexnet"
+
+    def test_alexnet_fc_layers_flagged(self):
+        summary = analyze_network(build_model("alexnet"), SOC)
+        by_name = {l.name: l for l in summary.layers}
+        assert by_name["fc6"].memory_bound
+        assert by_name["fc7"].memory_bound
+
+    def test_more_tiles_raise_memory_bound_fraction(self):
+        # Faster compute moves the bend: more layers become mem-bound.
+        one = analyze_network(build_model("resnet50"), SOC, num_tiles=1)
+        eight = analyze_network(build_model("resnet50"), SOC, num_tiles=8)
+        assert eight.memory_bound_fraction >= one.memory_bound_fraction
+
+    def test_format(self):
+        summary = analyze_network(build_model("alexnet"), SOC)
+        text = format_roofline(summary)
+        assert "alexnet" in text
+        assert "machine balance" in text
+
+
+class TestTimelineChart:
+    def _trace(self):
+        trace = Trace()
+        trace.log(0.0, TraceEvent.DISPATCH, "a")
+        trace.log(10.0, TraceEvent.START, "a")
+        trace.log(100.0, TraceEvent.FINISH, "a")
+        trace.log(5.0, TraceEvent.DISPATCH, "b")
+        trace.log(50.0, TraceEvent.START, "b")
+        trace.log(200.0, TraceEvent.FINISH, "b")
+        return trace
+
+    def test_renders_rows(self):
+        text = timeline_chart(self._trace())
+        assert "a" in text and "b" in text
+        assert "F" in text and "=" in text
+
+    def test_wait_marks_present(self):
+        text = timeline_chart(self._trace())
+        assert "." in text
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            timeline_chart(Trace())
+
+    def test_max_jobs_truncates(self):
+        trace = Trace()
+        for i in range(30):
+            trace.log(float(i), TraceEvent.DISPATCH, f"j{i:02d}")
+            trace.log(float(i + 1), TraceEvent.START, f"j{i:02d}")
+            trace.log(float(i + 50), TraceEvent.FINISH, f"j{i:02d}")
+        text = timeline_chart(trace, max_jobs=5)
+        assert "more jobs not shown" in text
+
+    def test_from_real_simulation(self, soc, mem, task_factory):
+        from repro.baselines.static_partition import StaticPartitionPolicy
+        from repro.sim.engine import Simulator
+
+        tasks = [task_factory(task_id=f"t{i}", network="kws",
+                              dispatch=i * 1e5) for i in range(5)]
+        policy = StaticPartitionPolicy()
+        policy.reset()
+        sim = Simulator(soc, tasks, policy, mem=mem, trace=True)
+        sim.run()
+        text = timeline_chart(sim.trace)
+        assert text.count("F") >= 5

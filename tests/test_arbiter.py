@@ -1,0 +1,191 @@
+"""Tests for repro.memory.arbiter (bandwidth water-filling)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.arbiter import AllocationError, allocate_bandwidth
+
+
+class TestBasics:
+    def test_undersubscribed_everyone_satisfied(self):
+        grants = allocate_bandwidth({"a": 4.0, "b": 6.0}, total=16.0)
+        assert grants == {"a": 4.0, "b": 6.0}
+
+    def test_oversubscribed_proportional(self):
+        grants = allocate_bandwidth({"a": 16.0, "b": 16.0}, total=16.0)
+        assert grants["a"] == pytest.approx(8.0)
+        assert grants["b"] == pytest.approx(8.0)
+
+    def test_oversubscribed_demand_weighted(self):
+        grants = allocate_bandwidth({"a": 24.0, "b": 8.0}, total=16.0)
+        assert grants["a"] == pytest.approx(12.0)
+        assert grants["b"] == pytest.approx(4.0)
+
+    def test_demand_proportional_scales_everyone(self):
+        # Unmanaged interleaving: service proportional to issue rate,
+        # so both requestors scale by the same factor.
+        grants = allocate_bandwidth({"a": 30.0, "b": 1.0}, total=16.0)
+        scale = 16.0 / 31.0
+        assert grants["a"] == pytest.approx(30.0 * scale)
+        assert grants["b"] == pytest.approx(1.0 * scale)
+
+    def test_small_demand_kept_whole_under_equal_weights(self):
+        # With equal sharing weights, a requestor under the waterline
+        # keeps its whole demand; the heavy one absorbs the shortfall.
+        grants = allocate_bandwidth(
+            {"a": 30.0, "b": 1.0}, total=16.0,
+            weights={"a": 1.0, "b": 1.0},
+        )
+        assert grants["b"] == pytest.approx(1.0)
+        assert grants["a"] == pytest.approx(15.0)
+
+    def test_empty(self):
+        assert allocate_bandwidth({}, total=16.0) == {}
+
+    def test_zero_demand_gets_zero(self):
+        grants = allocate_bandwidth({"a": 0.0, "b": 20.0}, total=16.0)
+        assert grants["a"] == 0.0
+        assert grants["b"] == pytest.approx(16.0)
+
+
+class TestCaps:
+    def test_cap_binds(self):
+        grants = allocate_bandwidth(
+            {"a": 10.0, "b": 10.0}, total=16.0, caps={"a": 4.0}
+        )
+        assert grants["a"] == pytest.approx(4.0)
+        assert grants["b"] == pytest.approx(10.0)
+
+    def test_cap_frees_bandwidth_for_others(self):
+        grants = allocate_bandwidth(
+            {"a": 16.0, "b": 16.0}, total=16.0, caps={"a": 2.0}
+        )
+        assert grants["a"] == pytest.approx(2.0)
+        assert grants["b"] == pytest.approx(14.0)
+
+    def test_cap_above_demand_irrelevant(self):
+        grants = allocate_bandwidth(
+            {"a": 4.0}, total=16.0, caps={"a": 100.0}
+        )
+        assert grants["a"] == pytest.approx(4.0)
+
+    def test_none_cap_means_uncapped(self):
+        grants = allocate_bandwidth(
+            {"a": 20.0}, total=16.0, caps={"a": None}
+        )
+        assert grants["a"] == pytest.approx(16.0)
+
+    def test_negative_cap_raises(self):
+        with pytest.raises(AllocationError):
+            allocate_bandwidth({"a": 4.0}, total=16.0, caps={"a": -1.0})
+
+
+class TestWeights:
+    def test_weights_shift_shares(self):
+        grants = allocate_bandwidth(
+            {"a": 16.0, "b": 16.0}, total=16.0,
+            weights={"a": 3.0, "b": 1.0},
+        )
+        assert grants["a"] == pytest.approx(12.0)
+        assert grants["b"] == pytest.approx(4.0)
+
+    def test_moderate_weight_small_demand_kept_whole(self):
+        grants = allocate_bandwidth(
+            {"a": 30.0, "b": 2.0}, total=16.0,
+            weights={"a": 2.0, "b": 1.0},
+        )
+        # b's demand fits under its weighted waterline, so it keeps it
+        # and a absorbs the whole shortfall.
+        assert grants["b"] == pytest.approx(2.0)
+        assert grants["a"] == pytest.approx(14.0)
+
+    def test_negligible_weight_is_starved(self):
+        # Score-weighted sharing deliberately starves a requestor whose
+        # dynamic score is negligible — the runtime's min_bw_rate floor
+        # is what restores forward progress (tested in test_runtime).
+        grants = allocate_bandwidth(
+            {"a": 30.0, "b": 2.0}, total=16.0,
+            weights={"a": 100.0, "b": 0.01},
+        )
+        assert grants["b"] < 0.1
+
+    def test_zero_weights_equal_split(self):
+        grants = allocate_bandwidth(
+            {"a": 20.0, "b": 20.0}, total=16.0,
+            weights={"a": 0.0, "b": 0.0},
+        )
+        assert grants["a"] == pytest.approx(8.0)
+        assert grants["b"] == pytest.approx(8.0)
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(AllocationError):
+            allocate_bandwidth({"a": 4.0}, total=16.0, weights={"a": -1.0})
+
+
+class TestValidation:
+    def test_negative_demand_raises(self):
+        with pytest.raises(AllocationError):
+            allocate_bandwidth({"a": -1.0}, total=16.0)
+
+    def test_nonpositive_total_raises(self):
+        with pytest.raises(AllocationError):
+            allocate_bandwidth({"a": 1.0}, total=0.0)
+
+    def test_nan_demand_raises(self):
+        with pytest.raises(AllocationError):
+            allocate_bandwidth({"a": float("nan")}, total=16.0)
+
+
+@st.composite
+def _allocation_case(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    demands = {
+        f"j{i}": draw(st.floats(min_value=0.0, max_value=64.0))
+        for i in range(n)
+    }
+    total = draw(st.floats(min_value=0.5, max_value=64.0))
+    use_caps = draw(st.booleans())
+    caps = None
+    if use_caps:
+        caps = {
+            k: draw(st.floats(min_value=0.1, max_value=64.0))
+            for k in demands
+            if draw(st.booleans())
+        }
+    use_weights = draw(st.booleans())
+    weights = None
+    if use_weights:
+        weights = {
+            k: draw(st.floats(min_value=0.0, max_value=100.0))
+            for k in demands
+        }
+    return demands, total, caps, weights
+
+
+class TestProperties:
+    @given(_allocation_case())
+    def test_conservation_and_bounds(self, case):
+        demands, total, caps, weights = case
+        grants = allocate_bandwidth(demands, total, caps, weights)
+        assert set(grants) == set(demands)
+        assert sum(grants.values()) <= total * 1.0001 + 1e-9
+        for key, grant in grants.items():
+            assert grant >= -1e-9
+            assert grant <= demands[key] + 1e-9
+            if caps and key in caps and caps[key] is not None:
+                assert grant <= caps[key] + 1e-9
+
+    @given(_allocation_case())
+    def test_work_conserving_when_feasible(self, case):
+        demands, total, caps, weights = case
+        grants = allocate_bandwidth(demands, total, caps, weights)
+        wants = {
+            k: min(
+                demands[k],
+                caps.get(k, float("inf")) if caps else float("inf"),
+            )
+            for k in demands
+        }
+        if sum(wants.values()) <= total:
+            for key in demands:
+                assert grants[key] == pytest.approx(wants[key])

@@ -1,0 +1,90 @@
+"""Tests for repro.accelerator.area (Table IV accounting)."""
+
+import pytest
+
+from repro.accelerator.area import (
+    TILE_AREA_BREAKDOWN,
+    TILE_TOTAL_AREA_UM2,
+    AreaModel,
+)
+
+
+class TestTable4Data:
+    def test_component_areas_match_paper(self):
+        assert TILE_AREA_BREAKDOWN["rocket_cpu"] == 101_000.0
+        assert TILE_AREA_BREAKDOWN["scratchpad"] == 58_000.0
+        assert TILE_AREA_BREAKDOWN["accumulator"] == 75_000.0
+        assert TILE_AREA_BREAKDOWN["systolic_array"] == 78_000.0
+        assert TILE_AREA_BREAKDOWN["instruction_queues"] == 14_000.0
+        assert TILE_AREA_BREAKDOWN["memory_interface"] == 8_600.0
+        assert TILE_AREA_BREAKDOWN["moca_hardware"] == 100.0
+
+    def test_tile_total(self):
+        assert TILE_TOTAL_AREA_UM2 == 493_000.0
+
+
+class TestAreaModel:
+    def test_moca_overhead_of_tile_is_0_02_percent(self):
+        model = AreaModel()
+        assert 100 * model.moca_overhead_of_tile == pytest.approx(0.02, abs=0.005)
+
+    def test_memory_interface_fraction_matches_paper(self):
+        model = AreaModel()
+        # Table IV: memory interface w/o MoCA is 1.7% of the tile.
+        assert 100 * model.fraction_of_tile("memory_interface") == pytest.approx(
+            1.7, abs=0.1
+        )
+
+    def test_moca_small_vs_memory_interface(self):
+        model = AreaModel()
+        assert model.moca_overhead_of_memory_interface < 0.05
+
+    def test_rocket_fraction(self):
+        model = AreaModel()
+        assert 100 * model.fraction_of_tile("rocket_cpu") == pytest.approx(
+            20.5, abs=0.2
+        )
+
+    def test_itemized_below_total(self):
+        model = AreaModel()
+        assert model.itemized_total_um2 <= model.tile_total_um2
+        assert model.glue_um2 >= 0
+
+    def test_soc_area_scales_with_tiles(self):
+        model = AreaModel()
+        assert model.soc_accelerator_area_um2(8) == pytest.approx(
+            8 * model.tile_total_um2
+        )
+
+    def test_soc_area_invalid_tiles(self):
+        with pytest.raises(ValueError):
+            AreaModel().soc_accelerator_area_um2(0)
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(KeyError):
+            AreaModel().fraction_of_tile("gpu")
+
+    def test_breakdown_rows_include_total(self):
+        rows = AreaModel().breakdown_rows()
+        names = [r[0] for r in rows]
+        assert "tile_total" in names
+        assert names[-1] == "tile_total"
+
+    def test_percentages_sum_below_100_plus_glue(self):
+        rows = AreaModel().breakdown_rows()
+        component_pct = sum(pct for name, _, pct in rows
+                            if name != "tile_total")
+        assert component_pct < 100.0
+
+    def test_format_table_mentions_moca(self):
+        text = AreaModel().format_table()
+        assert "moca_hardware" in text
+        assert "100.00%" in text
+
+    def test_rejects_overcommitted_components(self):
+        with pytest.raises(ValueError):
+            AreaModel(components=(("x", 1e9),), tile_total_um2=100.0)
+
+    def test_rejects_negative_area(self):
+        with pytest.raises(ValueError):
+            AreaModel(components=(("x", -1.0),))

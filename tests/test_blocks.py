@@ -1,0 +1,125 @@
+"""Tests for repro.models.blocks (layer-block grouping)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.blocks import (
+    LayerBlock,
+    blocks_cover_network,
+    partition_into_blocks,
+)
+from repro.models.graph import Network
+from repro.models.layers import ConvLayer, DenseLayer, LayerKind, PoolLayer
+from repro.models.zoo import build_model, model_names
+
+
+def _conv(name, ch=32):
+    return ConvLayer(name, in_h=8, in_w=8, in_ch=ch, out_ch=ch, kernel=3,
+                     padding=1)
+
+
+def _net(layers):
+    return Network(name="t", layers=tuple(layers), input_bytes=256)
+
+
+class TestLayerBlock:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LayerBlock(index=0, layers=())
+
+    def test_kind_compute_if_any_computes(self):
+        block = LayerBlock(0, layers=(
+            _conv("c"), PoolLayer("p", in_h=8, in_w=8, channels=32),
+        ))
+        assert block.kind is LayerKind.COMPUTE
+
+    def test_kind_mem_if_all_mem(self):
+        block = LayerBlock(0, layers=(
+            PoolLayer("p", in_h=8, in_w=8, channels=32),
+        ))
+        assert block.kind is LayerKind.MEM
+
+    def test_aggregates_are_sums(self):
+        layers = (_conv("a"), _conv("b"))
+        block = LayerBlock(0, layers=layers)
+        assert block.macs == sum(l.macs for l in layers)
+        assert block.total_mem_bytes == sum(l.total_mem_bytes for l in layers)
+        assert block.total_load_bytes == sum(
+            l.total_load_bytes for l in layers
+        )
+
+    def test_name_single(self):
+        assert LayerBlock(0, layers=(_conv("solo"),)).name == "solo"
+
+    def test_name_range(self):
+        block = LayerBlock(0, layers=(_conv("a"), _conv("b")))
+        assert block.name == "a..b"
+
+    def test_io_bytes_are_endpoints(self):
+        a, b = _conv("a"), _conv("b")
+        block = LayerBlock(0, layers=(a, b))
+        assert block.input_bytes == a.input_bytes
+        assert block.output_bytes == b.output_bytes
+
+
+class TestPartition:
+    def test_covers_all_layers(self):
+        net = _net([_conv(f"c{i}") for i in range(10)])
+        blocks = partition_into_blocks(net)
+        assert blocks_cover_network(blocks, net)
+
+    def test_respects_max_layers(self):
+        net = _net([_conv(f"c{i}") for i in range(10)])
+        blocks = partition_into_blocks(net, max_layers_per_block=3)
+        assert all(len(b.layers) <= 3 for b in blocks)
+
+    def test_kind_flip_splits(self):
+        net = _net([
+            _conv("c1"),
+            PoolLayer("p", in_h=8, in_w=8, channels=32),
+            _conv("c2"),
+        ])
+        blocks = partition_into_blocks(net)
+        assert len(blocks) == 3
+
+    def test_intensity_jump_splits(self):
+        net = _net([
+            _conv("conv"),                      # high AI
+            DenseLayer("fc", 4096, 4096),       # AI < 1
+        ])
+        blocks = partition_into_blocks(net, intensity_split_factor=4.0)
+        assert len(blocks) == 2
+
+    def test_similar_intensity_groups(self):
+        net = _net([_conv("a"), _conv("b")])
+        blocks = partition_into_blocks(net)
+        assert len(blocks) == 1
+
+    def test_indices_sequential(self):
+        net = _net([_conv(f"c{i}") for i in range(13)])
+        blocks = partition_into_blocks(net, max_layers_per_block=2)
+        assert [b.index for b in blocks] == list(range(len(blocks)))
+
+    def test_invalid_max_layers(self):
+        with pytest.raises(ValueError):
+            partition_into_blocks(_net([_conv("c")]), max_layers_per_block=0)
+
+    def test_invalid_split_factor(self):
+        with pytest.raises(ValueError):
+            partition_into_blocks(_net([_conv("c")]),
+                                  intensity_split_factor=0.5)
+
+    @pytest.mark.parametrize("name", model_names())
+    def test_zoo_networks_fully_covered(self, name):
+        net = build_model(name)
+        blocks = partition_into_blocks(net)
+        assert blocks_cover_network(blocks, net)
+        assert sum(b.macs for b in blocks) == net.total_macs
+
+    @given(st.integers(min_value=1, max_value=9),
+           st.integers(min_value=1, max_value=30))
+    def test_property_cover_and_cap(self, cap, n_layers):
+        net = _net([_conv(f"c{i}") for i in range(n_layers)])
+        blocks = partition_into_blocks(net, max_layers_per_block=cap)
+        assert blocks_cover_network(blocks, net)
+        assert all(1 <= len(b.layers) <= cap for b in blocks)

@@ -1,0 +1,119 @@
+"""Tests for repro.config (Table II encoding and unit helpers)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    ACC_BYTES,
+    DEFAULT_SOC,
+    ELEM_BYTES,
+    KIB,
+    MIB,
+    ConfigError,
+    SoCConfig,
+    TileConfig,
+)
+
+
+class TestTileConfig:
+    def test_default_matches_table2_array(self):
+        tile = TileConfig()
+        assert tile.array_rows == 16
+        assert tile.array_cols == 16
+
+    def test_default_matches_table2_sram(self):
+        tile = TileConfig()
+        assert tile.scratchpad_bytes == 128 * KIB
+        assert tile.accumulator_bytes == 64 * KIB
+
+    def test_peak_macs_per_cycle(self):
+        assert TileConfig().peak_macs_per_cycle == 256
+
+    def test_effective_macs_below_peak(self):
+        tile = TileConfig()
+        assert 0 < tile.effective_macs_per_cycle <= tile.peak_macs_per_cycle
+
+    def test_effective_macs_scaling(self):
+        tile = TileConfig(compute_efficiency=0.5)
+        assert tile.effective_macs_per_cycle == pytest.approx(128.0)
+
+    @pytest.mark.parametrize("field,value", [
+        ("array_rows", 0),
+        ("array_cols", -1),
+        ("scratchpad_bytes", 0),
+        ("accumulator_bytes", -5),
+    ])
+    def test_rejects_nonpositive_dims(self, field, value):
+        with pytest.raises(ConfigError):
+            TileConfig(**{field: value})
+
+    @pytest.mark.parametrize("eff", [0.0, -0.1, 1.5])
+    def test_rejects_bad_efficiency(self, eff):
+        with pytest.raises(ConfigError):
+            TileConfig(compute_efficiency=eff)
+
+
+class TestSoCConfig:
+    def test_default_matches_table2(self):
+        soc = DEFAULT_SOC
+        assert soc.num_tiles == 8
+        assert soc.l2_bytes == 2 * MIB
+        assert soc.l2_banks == 8
+        assert soc.dram_bandwidth_bytes_per_cycle == 16.0
+        assert soc.frequency_hz == 1e9
+
+    def test_l2_aggregate_bandwidth(self):
+        soc = DEFAULT_SOC
+        expected = soc.l2_banks * soc.l2_bytes_per_bank_cycle
+        assert soc.l2_bandwidth_bytes_per_cycle == expected
+
+    def test_total_peak_macs(self):
+        assert DEFAULT_SOC.total_peak_macs_per_cycle == 8 * 256
+
+    def test_cycles_to_seconds(self):
+        assert DEFAULT_SOC.cycles_to_seconds(1e9) == pytest.approx(1.0)
+
+    def test_cycles_to_ms(self):
+        assert DEFAULT_SOC.cycles_to_ms(2e6) == pytest.approx(2.0)
+
+    def test_with_overlap_returns_copy(self):
+        soc = DEFAULT_SOC.with_overlap(0.5)
+        assert soc.overlap_f == 0.5
+        assert DEFAULT_SOC.overlap_f != 0.5
+        assert soc.num_tiles == DEFAULT_SOC.num_tiles
+
+    def test_with_tiles_returns_copy(self):
+        soc = DEFAULT_SOC.with_tiles(4)
+        assert soc.num_tiles == 4
+        assert DEFAULT_SOC.num_tiles == 8
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_tiles", 0),
+        ("l2_bytes", -1),
+        ("l2_banks", 0),
+        ("l2_bytes_per_bank_cycle", 0),
+        ("dram_bandwidth_bytes_per_cycle", 0.0),
+        ("frequency_hz", -1.0),
+    ])
+    def test_rejects_invalid_values(self, field, value):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(DEFAULT_SOC, **{field: value})
+
+    @pytest.mark.parametrize("f", [-0.1, 1.1])
+    def test_rejects_bad_overlap(self, f):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(DEFAULT_SOC, overlap_f=f)
+
+    @pytest.mark.parametrize("a", [0.0, 1.01, -0.5])
+    def test_rejects_bad_alpha(self, a):
+        with pytest.raises(ConfigError):
+            dataclasses.replace(DEFAULT_SOC, multi_tile_alpha=a)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_SOC.num_tiles = 4
+
+    def test_element_sizes(self):
+        assert ELEM_BYTES == 1  # int8 activations/weights
+        assert ACC_BYTES == 4   # int32 partial sums

@@ -1,0 +1,59 @@
+"""Tests for repro.accelerator.dma (request-stream model)."""
+
+import pytest
+
+from repro.accelerator.dma import (
+    MEM_REQUEST_BYTES,
+    DmaModel,
+    bytes_to_requests,
+    requests_to_bytes,
+)
+
+
+class TestConversions:
+    def test_zero_bytes(self):
+        assert bytes_to_requests(0) == 0
+
+    def test_exact_multiple(self):
+        assert bytes_to_requests(128) == 2
+
+    def test_rounds_up(self):
+        assert bytes_to_requests(65) == 2
+        assert bytes_to_requests(1) == 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            bytes_to_requests(-1)
+
+    def test_requests_to_bytes(self):
+        assert requests_to_bytes(3) == 3 * MEM_REQUEST_BYTES
+
+    def test_requests_to_bytes_negative(self):
+        with pytest.raises(ValueError):
+            requests_to_bytes(-1)
+
+    def test_round_trip_upper_bound(self):
+        n = 1000
+        assert requests_to_bytes(bytes_to_requests(n)) >= n
+
+
+class TestDmaModel:
+    def test_invalid_issue_rate(self):
+        with pytest.raises(ValueError):
+            DmaModel(issue_rate=0)
+
+    def test_requests_for(self):
+        dma = DmaModel()
+        assert dma.requests_for(128, 64) == 3
+
+    def test_unthrottled_cycles(self):
+        dma = DmaModel(issue_rate=0.5)
+        assert dma.unthrottled_cycles(10) == pytest.approx(20.0)
+
+    def test_unthrottled_cycles_negative(self):
+        with pytest.raises(ValueError):
+            DmaModel().unthrottled_cycles(-1)
+
+    def test_peak_bandwidth(self):
+        dma = DmaModel(issue_rate=0.25)
+        assert dma.peak_bandwidth_bytes_per_cycle() == pytest.approx(16.0)

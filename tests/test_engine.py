@@ -1,0 +1,257 @@
+"""Tests for repro.sim.engine (the fluid discrete-event simulator)."""
+
+import pytest
+
+from repro.baselines.static_partition import StaticPartitionPolicy
+from repro.sim.engine import SimulationError, Simulator, run_simulation
+from repro.sim.job import JobPhase
+from repro.sim.policy import Policy
+from repro.sim.trace import TraceEvent
+
+
+class _AllTilesPolicy(Policy):
+    """Run one job at a time on the whole SoC (no preemption)."""
+
+    name = "all-tiles"
+
+    def on_event(self, sim):
+        if sim.ready and not sim.running:
+            sim.start_job(sim.ready[0], sim.soc.num_tiles)
+
+    def reset(self):
+        pass
+
+
+class _GreedyPairPolicy(Policy):
+    """Admit everything FCFS onto 2-tile slots."""
+
+    name = "greedy"
+
+    def on_event(self, sim):
+        while sim.ready and sim.free_tiles >= 2:
+            sim.start_job(sim.ready[0], 2)
+
+    def reset(self):
+        pass
+
+
+class TestSingleJob:
+    def test_runs_to_completion(self, soc, mem, task_factory):
+        task = task_factory()
+        result = run_simulation(soc, [task], _AllTilesPolicy(), mem=mem)
+        assert len(result.results) == 1
+        assert result.results[0].finished_at > 0
+
+    def test_isolated_runtime_matches_prediction(self, soc, mem,
+                                                 task_factory):
+        # A job alone on the full SoC must finish in exactly the
+        # analytical prediction (the fluid rate law's fixed point).
+        task = task_factory(network="resnet50")
+        result = run_simulation(soc, [task], _AllTilesPolicy(), mem=mem)
+        assert result.results[0].runtime == pytest.approx(
+            task.isolated_cycles, rel=1e-6
+        )
+
+    def test_dispatch_delay_respected(self, soc, mem, task_factory):
+        task = task_factory(dispatch=12345.0)
+        result = run_simulation(soc, [task], _AllTilesPolicy(), mem=mem)
+        assert result.results[0].started_at >= 12345.0
+
+    def test_makespan_is_last_finish(self, soc, mem, task_factory):
+        tasks = [
+            task_factory(task_id="a"),
+            task_factory(task_id="b", dispatch=500.0),
+        ]
+        result = run_simulation(soc, tasks, _AllTilesPolicy(), mem=mem)
+        assert result.makespan == max(r.finished_at for r in result.results)
+
+    def test_trace_records_lifecycle(self, soc, mem, task_factory):
+        task = task_factory()
+        policy = _AllTilesPolicy()
+        policy.reset()
+        sim = Simulator(soc, [task], policy, mem=mem, trace=True)
+        sim.run()
+        assert sim.trace.count(TraceEvent.DISPATCH) == 1
+        assert sim.trace.count(TraceEvent.START) == 1
+        assert sim.trace.count(TraceEvent.FINISH) == 1
+        assert sim.trace.count(TraceEvent.BLOCK_DONE) == len(task.cost.blocks)
+
+
+class TestMultiJob:
+    def test_concurrent_jobs_all_finish(self, soc, mem, task_factory):
+        tasks = [
+            task_factory(task_id=f"t{i}", network=net)
+            for i, net in enumerate(
+                ("kws", "squeezenet", "yolo_lite", "alexnet")
+            )
+        ]
+        result = run_simulation(soc, tasks, _GreedyPairPolicy(), mem=mem)
+        assert len(result.results) == 4
+
+    def test_contention_slows_corunners(self, soc, mem, task_factory):
+        alone = run_simulation(
+            soc, [task_factory(task_id="solo", network="alexnet")],
+            _GreedyPairPolicy(), mem=mem,
+        ).results[0].runtime
+        tasks = [
+            task_factory(task_id=f"t{i}", network="alexnet")
+            for i in range(4)
+        ]
+        shared = run_simulation(soc, tasks, _GreedyPairPolicy(), mem=mem)
+        mean_runtime = sum(r.runtime for r in shared.results) / 4
+        assert mean_runtime > alone * 1.2
+
+    def test_determinism(self, soc, mem, task_factory):
+        tasks = [
+            task_factory(task_id=f"t{i}", network=n, dispatch=i * 1e5)
+            for i, n in enumerate(("kws", "alexnet", "squeezenet"))
+        ]
+        r1 = run_simulation(soc, tasks, _GreedyPairPolicy(), mem=mem)
+        r2 = run_simulation(soc, tasks, _GreedyPairPolicy(), mem=mem)
+        for a, b in zip(r1.results, r2.results):
+            assert a.finished_at == b.finished_at
+
+    def test_queueing_when_slots_full(self, soc, mem, task_factory):
+        # 5 tasks on 4 slots: the fifth must wait for a completion.
+        tasks = [
+            task_factory(task_id=f"t{i}", network="kws") for i in range(5)
+        ]
+        result = run_simulation(soc, tasks, _GreedyPairPolicy(), mem=mem)
+        waits = sorted(r.wait_cycles for r in result.results)
+        assert waits[-1] > 0
+
+    def test_result_lookup(self, soc, mem, task_factory):
+        tasks = [task_factory(task_id="a"), task_factory(task_id="b")]
+        result = run_simulation(soc, tasks, _GreedyPairPolicy(), mem=mem)
+        assert result.result_for("a").task_id == "a"
+        with pytest.raises(KeyError):
+            result.result_for("zz")
+
+
+class TestEngineApi:
+    def _sim(self, soc, mem, task_factory, n=2):
+        tasks = [task_factory(task_id=f"t{i}") for i in range(n)]
+        policy = _GreedyPairPolicy()
+        policy.reset()
+        return Simulator(soc, tasks, policy, mem=mem)
+
+    def test_no_tasks_raises(self, soc, mem):
+        with pytest.raises(SimulationError):
+            Simulator(soc, [], _GreedyPairPolicy(), mem=mem)
+
+    def test_duplicate_ids_raise(self, soc, mem, task_factory):
+        tasks = [task_factory(task_id="x"), task_factory(task_id="x")]
+        with pytest.raises(SimulationError):
+            Simulator(soc, tasks, _GreedyPairPolicy(), mem=mem)
+
+    def test_start_requires_ready(self, soc, mem, task_factory):
+        sim = self._sim(soc, mem, task_factory)
+        job = next(iter(sim.jobs.values()))
+        with pytest.raises(SimulationError):
+            sim.start_job(job, 2)  # still PENDING
+
+    def test_overallocation_raises(self, soc, mem, task_factory):
+        sim = self._sim(soc, mem, task_factory)
+        sim._dispatch_arrivals()
+        job = sim.ready[0]
+        with pytest.raises(SimulationError):
+            sim.start_job(job, soc.num_tiles + 1)
+
+    def test_set_tiles_charges_stall(self, soc, mem, task_factory):
+        sim = self._sim(soc, mem, task_factory)
+        sim._dispatch_arrivals()
+        job = sim.ready[0]
+        sim.start_job(job, 2)
+        sim.set_tiles(job, 4)
+        assert job.tile_repartitions == 1
+        assert job.stall_until == pytest.approx(
+            sim.now + sim.policy.compute_reconfig_cycles
+        )
+
+    def test_set_tiles_same_is_noop(self, soc, mem, task_factory):
+        sim = self._sim(soc, mem, task_factory)
+        sim._dispatch_arrivals()
+        job = sim.ready[0]
+        sim.start_job(job, 2)
+        sim.set_tiles(job, 2)
+        assert job.tile_repartitions == 0
+
+    def test_set_bw_cap_charges_small_stall(self, soc, mem, task_factory):
+        sim = self._sim(soc, mem, task_factory)
+        sim._dispatch_arrivals()
+        job = sim.ready[0]
+        sim.start_job(job, 2)
+        sim.set_bw_cap(job, 4.0)
+        assert job.bw_reconfigs == 1
+        assert job.stall_until == pytest.approx(
+            sim.now + sim.policy.memory_reconfig_cycles
+        )
+
+    def test_set_bw_cap_equal_is_noop(self, soc, mem, task_factory):
+        sim = self._sim(soc, mem, task_factory)
+        sim._dispatch_arrivals()
+        job = sim.ready[0]
+        sim.start_job(job, 2)
+        sim.set_bw_cap(job, 4.0)
+        sim.set_bw_cap(job, 4.0)
+        assert job.bw_reconfigs == 1
+
+    def test_invalid_cap_raises(self, soc, mem, task_factory):
+        sim = self._sim(soc, mem, task_factory)
+        sim._dispatch_arrivals()
+        job = sim.ready[0]
+        sim.start_job(job, 2)
+        with pytest.raises(SimulationError):
+            sim.set_bw_cap(job, 0.0)
+
+    def test_preempt_returns_to_ready(self, soc, mem, task_factory):
+        sim = self._sim(soc, mem, task_factory)
+        sim._dispatch_arrivals()
+        job = sim.ready[0]
+        sim.start_job(job, 2)
+        sim.preempt(job)
+        assert job.phase is JobPhase.READY
+        assert job.tiles == 0
+        assert job.preemptions == 1
+        assert job in sim.ready
+
+    def test_stall_job_accumulates(self, soc, mem, task_factory):
+        sim = self._sim(soc, mem, task_factory)
+        sim._dispatch_arrivals()
+        job = sim.ready[0]
+        sim.start_job(job, 2)
+        sim.stall_job(job, 100.0)
+        sim.stall_job(job, 50.0)  # shorter: no extension
+        assert job.stall_until == pytest.approx(100.0)
+        sim.stall_job(job, 200.0)
+        assert job.stall_until == pytest.approx(200.0)
+        assert job.stall_cycles == pytest.approx(200.0)
+
+    def test_free_tiles_accounting(self, soc, mem, task_factory):
+        sim = self._sim(soc, mem, task_factory)
+        sim._dispatch_arrivals()
+        assert sim.free_tiles == soc.num_tiles
+        sim.start_job(sim.ready[0], 3)
+        assert sim.free_tiles == soc.num_tiles - 3
+
+
+class _OverallocatingPolicy(Policy):
+    name = "bad"
+
+    def on_event(self, sim):
+        for job in list(sim.ready):
+            if sim.free_tiles > 0:
+                sim.start_job(job, sim.free_tiles)
+        # Sneak extra tiles onto the first runner, bypassing set_tiles.
+        if sim.running:
+            sim.running[0].tiles = sim.soc.num_tiles + 1
+
+    def reset(self):
+        pass
+
+
+class TestValidation:
+    def test_policy_overallocation_detected(self, soc, mem, task_factory):
+        tasks = [task_factory(task_id="a")]
+        with pytest.raises(SimulationError, match="over-allocated"):
+            run_simulation(soc, tasks, _OverallocatingPolicy(), mem=mem)

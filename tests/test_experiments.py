@@ -1,0 +1,164 @@
+"""Tests for the experiment harness (runner + per-figure modules).
+
+These use tiny scenario sizes so the suite stays fast; the full-size
+runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments.fig1_motivation import (
+    FIG1_NETWORKS,
+    format_fig1,
+    run_fig1,
+)
+from repro.experiments.fig5_sla import format_fig5
+from repro.experiments.fig6_priority import format_fig6, group_rates
+from repro.experiments.fig7_stp import (
+    format_fig7,
+    stp_normalized_to_planaria,
+)
+from repro.experiments.fig8_fairness import (
+    fairness_normalized_to_planaria,
+    format_fig8,
+)
+from repro.experiments.runner import (
+    POLICY_ORDER,
+    ScenarioSpec,
+    default_policies,
+    format_matrix_table,
+    geomean_improvement,
+    improvement_ratios,
+    run_matrix,
+    run_scenario,
+    standard_matrix,
+)
+from repro.experiments.table4_area import format_table4, run_table4
+from repro.experiments.validation import (
+    run_validation,
+    summarize_validation,
+)
+from repro.sim.qos import QosLevel
+
+
+@pytest.fixture(scope="module")
+def tiny_matrix():
+    specs = [
+        ScenarioSpec(workload_set="A", qos_level=QosLevel.MEDIUM,
+                     num_tasks=24, seeds=(1,)),
+        ScenarioSpec(workload_set="A", qos_level=QosLevel.HARD,
+                     num_tasks=24, seeds=(1,)),
+    ]
+    return run_matrix(specs)
+
+
+class TestRunner:
+    def test_default_policies_are_the_papers_four(self):
+        assert set(default_policies()) == set(POLICY_ORDER)
+
+    def test_standard_matrix_has_nine_cells(self):
+        specs = standard_matrix()
+        assert len(specs) == 9
+        labels = {s.label for s in specs}
+        assert "Workload-A/QoS-H" in labels
+        assert "Workload-C/QoS-L" in labels
+
+    def test_scenario_runs_all_policies(self):
+        spec = ScenarioSpec(workload_set="A", num_tasks=16, seeds=(1,))
+        cell = run_scenario(spec)
+        assert set(cell) == set(POLICY_ORDER)
+        for result in cell.values():
+            assert 0.0 <= result.sla_rate <= 1.0
+            assert result.stp > 0
+            assert 0.0 < result.fairness <= 1.0
+
+    def test_seed_aggregation(self):
+        spec = ScenarioSpec(workload_set="A", num_tasks=16, seeds=(1, 2))
+        cell = run_scenario(spec, policies={"static": default_policies()["static"]})
+        assert len(cell["static"].per_seed) == 2
+
+    def test_improvement_ratios(self, tiny_matrix):
+        ratios = improvement_ratios(tiny_matrix, "sla_rate", "prema")
+        assert len(ratios) == len(tiny_matrix)
+        assert all(r > 0 for r in ratios.values())
+
+    def test_geomean_improvement_positive(self, tiny_matrix):
+        assert geomean_improvement(tiny_matrix, "stp", "prema") > 0
+
+    def test_format_matrix_table(self, tiny_matrix):
+        text = format_matrix_table(tiny_matrix, "sla_rate", "SLA")
+        assert "SLA" in text
+        for policy in POLICY_ORDER:
+            assert policy in text
+
+
+class TestFig1:
+    def test_rows_cover_networks_and_degrees(self):
+        rows = run_fig1(trials=24, seed=0)
+        nets = {r.network for r in rows}
+        assert nets == set(FIG1_NETWORKS)
+
+    def test_isolated_degree_is_unity(self):
+        rows = run_fig1(trials=24, seed=0)
+        for r in rows:
+            if r.degree == 1:
+                assert r.avg_increase == pytest.approx(1.0, abs=0.01)
+
+    def test_colocated_never_faster(self):
+        rows = run_fig1(trials=24, seed=0)
+        assert all(r.avg_increase >= 0.999 for r in rows)
+        assert all(r.worst_increase >= r.avg_increase - 1e-9 for r in rows)
+
+    def test_format(self):
+        text = format_fig1(run_fig1(trials=12, seed=0))
+        assert "Figure 1" in text
+
+
+class TestFigureFormatters:
+    def test_fig5_format(self, tiny_matrix):
+        text = format_fig5(tiny_matrix)
+        assert "Figure 5" in text
+        assert "geomean" in text
+
+    def test_fig6_groups(self, tiny_matrix):
+        rates = group_rates(tiny_matrix)
+        for label in tiny_matrix:
+            assert set(rates[label]) == set(POLICY_ORDER)
+        text = format_fig6(tiny_matrix)
+        assert "p-High" in text
+
+    def test_fig7_normalization(self, tiny_matrix):
+        norm = stp_normalized_to_planaria(tiny_matrix)
+        for row in norm.values():
+            assert row["planaria"] == pytest.approx(1.0)
+        assert "Figure 7" in format_fig7(tiny_matrix)
+
+    def test_fig8_normalization(self, tiny_matrix):
+        norm = fairness_normalized_to_planaria(tiny_matrix)
+        for row in norm.values():
+            assert row["planaria"] == pytest.approx(1.0)
+        assert "Figure 8" in format_fig8(tiny_matrix)
+
+
+class TestTable4:
+    def test_headline_numbers(self):
+        _, headline = run_table4()
+        assert headline["moca_pct_of_tile"] == pytest.approx(0.02, abs=0.005)
+        assert headline["memory_interface_pct_of_tile"] == pytest.approx(
+            1.7, abs=0.1
+        )
+
+    def test_format(self):
+        text = format_table4()
+        assert "0.02" in text
+
+
+class TestValidation:
+    def test_within_paper_bound(self):
+        rows = run_validation(tile_counts=(1, 4))
+        mean_err, max_err = summarize_validation(rows)
+        assert mean_err < 0.10
+        assert max_err < 0.10
+
+    def test_covers_all_networks(self):
+        rows = run_validation(tile_counts=(2,))
+        assert len({r.network for r in rows}) == 7

@@ -1,0 +1,97 @@
+"""Tests for repro.models.graph (network graphs)."""
+
+import pytest
+
+from repro.models.graph import GraphError, Network, validate_chain
+from repro.models.layers import ConvLayer, DenseLayer, LayerKind, PoolLayer
+
+
+def _tiny_network():
+    return Network(
+        name="tiny",
+        layers=(
+            ConvLayer("c1", in_h=8, in_w=8, in_ch=4, out_ch=8, kernel=3,
+                      padding=1),
+            PoolLayer("p1", in_h=8, in_w=8, channels=8, kernel=2, stride=2),
+            DenseLayer("fc", in_features=4 * 4 * 8, out_features=10),
+        ),
+        input_bytes=8 * 8 * 4,
+        domain="test",
+    )
+
+
+class TestNetwork:
+    def test_len_and_iter(self):
+        net = _tiny_network()
+        assert len(net) == 3
+        assert [l.name for l in net] == ["c1", "p1", "fc"]
+
+    def test_getitem(self):
+        assert _tiny_network()[0].name == "c1"
+
+    def test_total_macs_is_sum(self):
+        net = _tiny_network()
+        assert net.total_macs == sum(l.macs for l in net.layers)
+
+    def test_total_weight_includes_bias(self):
+        net = _tiny_network()
+        expected = sum(l.weight_bytes + l.bias_bytes for l in net.layers)
+        assert net.total_weight_bytes == expected
+
+    def test_compute_and_mem_split(self):
+        net = _tiny_network()
+        assert len(net.compute_layers) == 2
+        assert len(net.mem_layers) == 1
+        assert all(l.kind is LayerKind.COMPUTE for l in net.compute_layers)
+
+    def test_arithmetic_intensity(self):
+        net = _tiny_network()
+        assert net.arithmetic_intensity == pytest.approx(
+            net.total_macs / net.total_mem_bytes
+        )
+
+    def test_layer_index(self):
+        assert _tiny_network().layer_index("p1") == 1
+
+    def test_layer_index_missing_raises(self):
+        with pytest.raises(KeyError):
+            _tiny_network().layer_index("nope")
+
+    def test_summary_mentions_every_layer(self):
+        text = _tiny_network().summary()
+        for name in ("c1", "p1", "fc"):
+            assert name in text
+
+    def test_empty_layers_raise(self):
+        with pytest.raises(GraphError):
+            Network(name="x", layers=(), input_bytes=1)
+
+    def test_missing_name_raises(self):
+        with pytest.raises(GraphError):
+            Network(name="", layers=_tiny_network().layers, input_bytes=1)
+
+    def test_nonpositive_input_raises(self):
+        with pytest.raises(GraphError):
+            Network(name="x", layers=_tiny_network().layers, input_bytes=0)
+
+    def test_duplicate_layer_names_raise(self):
+        layers = (
+            DenseLayer("fc", 4, 4),
+            DenseLayer("fc", 4, 4),
+        )
+        with pytest.raises(GraphError, match="duplicate"):
+            Network(name="x", layers=layers, input_bytes=4)
+
+
+class TestValidateChain:
+    def test_consistent_chain_no_warnings(self):
+        assert validate_chain(_tiny_network().layers) == []
+
+    def test_wild_mismatch_warns(self):
+        layers = [
+            DenseLayer("a", in_features=10, out_features=10),
+            DenseLayer("b", in_features=1000, out_features=10),
+        ]
+        warnings = validate_chain(layers)
+        assert len(warnings) == 1
+        assert "a -> b" in warnings[0]

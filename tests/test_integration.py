@@ -1,0 +1,129 @@
+"""Cross-module integration tests: the paper's headline shapes on a
+reduced scenario, plus whole-pipeline invariants.
+
+These run one moderate scenario (shared across tests via fixtures) and
+assert the *orderings* the paper reports, not absolute numbers.
+"""
+
+import pytest
+
+from repro.baselines import PlanariaPolicy, PremaPolicy, StaticPartitionPolicy
+from repro.config import DEFAULT_SOC
+from repro.core.policy import MoCAPolicy
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.metrics import summarize
+from repro.models.zoo import workload_set
+from repro.sim.engine import run_simulation
+from repro.sim.qos import QosLevel, QosModel
+from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def scenario_summaries():
+    """All four policies on Workload-A / QoS-H, two seeds, n=60."""
+    soc = DEFAULT_SOC
+    mem = MemoryHierarchy.from_soc(soc)
+    gen = WorkloadGenerator(soc, workload_set("A"), mem, QosModel(soc,
+                                                                  slack_factor=2.0))
+    out = {}
+    for name, factory in (
+        ("prema", PremaPolicy),
+        ("static", StaticPartitionPolicy),
+        ("planaria", PlanariaPolicy),
+        ("moca", MoCAPolicy),
+    ):
+        summaries = []
+        for seed in (1, 2):
+            tasks = gen.generate(WorkloadConfig(
+                num_tasks=60, qos_level=QosLevel.HARD, load_factor=0.7,
+                seed=seed,
+            ))
+            result = run_simulation(soc, tasks, factory(), mem=mem)
+            summaries.append(summarize(name, result.results))
+        out[name] = summaries
+    return out
+
+
+def _mean(summaries, attr):
+    vals = [getattr(s, attr) for s in summaries]
+    return sum(vals) / len(vals)
+
+
+class TestHeadlineShapes:
+    """The paper's who-wins orderings on the hardest scenario."""
+
+    def test_moca_beats_every_baseline_on_sla(self, scenario_summaries):
+        moca = _mean(scenario_summaries["moca"], "sla_rate")
+        for baseline in ("prema", "static", "planaria"):
+            assert moca > _mean(scenario_summaries[baseline], "sla_rate")
+
+    def test_moca_beats_every_baseline_on_stp(self, scenario_summaries):
+        moca = _mean(scenario_summaries["moca"], "stp")
+        for baseline in ("prema", "static", "planaria"):
+            assert moca > _mean(scenario_summaries[baseline], "stp")
+
+    def test_prema_worst_throughput(self, scenario_summaries):
+        # Temporal multiplexing underutilizes the spatial array.
+        prema = _mean(scenario_summaries["prema"], "stp")
+        for spatial in ("static", "moca"):
+            assert prema < _mean(scenario_summaries[spatial], "stp")
+
+    def test_planaria_collapses_on_light_models_at_qos_h(
+        self, scenario_summaries
+    ):
+        # Figure 5's key Planaria finding: thread-migration overhead is
+        # comparable to light-model runtimes, dragging it below even
+        # the static baseline at QoS-H on Workload-A.
+        planaria = _mean(scenario_summaries["planaria"], "sla_rate")
+        static = _mean(scenario_summaries["static"], "sla_rate")
+        assert planaria < static
+
+    def test_moca_priority_ordering(self, scenario_summaries):
+        # Averaged across seeds, higher priority groups achieve at
+        # least the satisfaction of p-Low (few p-High tasks per run
+        # make per-seed comparisons noisy).
+        highs, lows = [], []
+        for s in scenario_summaries["moca"]:
+            if "p-High" in s.sla_by_group:
+                highs.append(s.sla_by_group["p-High"])
+            if "p-Low" in s.sla_by_group:
+                lows.append(s.sla_by_group["p-Low"])
+        assert highs and lows
+        # Tolerance: each 60-task run holds only ~5 p-High tasks, so
+        # the group estimate is noisy; the deterministic priority
+        # preference is asserted in test_policy_moca.
+        assert sum(highs) / len(highs) >= sum(lows) / len(lows) - 0.1
+
+    def test_all_tasks_complete_for_all_policies(self, scenario_summaries):
+        for summaries in scenario_summaries.values():
+            for s in summaries:
+                assert s.num_tasks == 60
+
+    def test_metrics_in_valid_ranges(self, scenario_summaries):
+        for summaries in scenario_summaries.values():
+            for s in summaries:
+                assert 0.0 <= s.sla_rate <= 1.0
+                assert 0.0 < s.fairness <= 1.0
+                assert s.stp > 0
+                assert s.mean_slowdown >= 1.0 or s.mean_slowdown > 0
+
+
+class TestCliSmoke:
+    def test_cli_table4(self, capsys):
+        from repro.cli import main
+
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "moca_hardware" in out
+
+    def test_cli_fig1_small(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig1", "--trials", "8"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_cli_validate(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate"]) == 0
+        assert "within 10%" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""Tests for repro.accelerator.isa (instruction lowering)."""
+
+import pytest
+
+from repro.accelerator.isa import (
+    Instruction,
+    Opcode,
+    compute_rate_for,
+    lower_layer,
+    stream_totals,
+)
+from repro.config import DEFAULT_SOC
+from repro.models.layers import ConvLayer, DenseLayer, PoolLayer, ResidualAddLayer
+from repro.models.zoo import build_model, model_names
+
+SOC = DEFAULT_SOC
+
+
+class TestInstruction:
+    def test_compute_moves_no_bytes(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.COMPUTE, num_bytes=4)
+
+    def test_moves_do_no_macs(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MVIN, num_bytes=4, macs=1)
+
+    def test_negative_sizes_raise(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MVIN, num_bytes=-1)
+
+
+class TestLowering:
+    def test_small_conv_single_tile(self):
+        conv = ConvLayer("c", in_h=8, in_w=8, in_ch=16, out_ch=16, kernel=3,
+                         padding=1)
+        stream = lower_layer(conv, SOC)
+        assert {i.tile_index for i in stream} == {0}
+        ops = [i.op for i in stream]
+        assert ops == [Opcode.MVIN, Opcode.MVIN, Opcode.COMPUTE, Opcode.MVOUT]
+
+    def test_large_dense_multi_tile(self):
+        fc = DenseLayer("fc", in_features=9216, out_features=4096)
+        stream = lower_layer(fc, SOC)
+        tiles = {i.tile_index for i in stream}
+        assert len(tiles) > 1
+
+    def test_mem_layer_pure_moves(self):
+        add = ResidualAddLayer("a", h=28, w=28, channels=64)
+        stream = lower_layer(add, SOC)
+        assert all(i.op is not Opcode.COMPUTE for i in stream)
+
+    def test_conservation_conv(self):
+        conv = ConvLayer("c", in_h=56, in_w=56, in_ch=64, out_ch=64,
+                         kernel=3, padding=1)
+        totals = stream_totals(lower_layer(conv, SOC))
+        assert totals["macs"] == conv.macs
+        assert totals["store_bytes"] == conv.output_bytes
+        assert totals["load_bytes"] >= conv.total_load_bytes
+
+    def test_conservation_mem(self):
+        pool = PoolLayer("p", in_h=28, in_w=28, channels=64)
+        totals = stream_totals(lower_layer(pool, SOC))
+        assert totals["load_bytes"] == pool.total_load_bytes
+        assert totals["store_bytes"] == pool.total_store_bytes
+        assert totals["macs"] == 0
+
+    @pytest.mark.parametrize("name", model_names())
+    def test_whole_network_conserved(self, name):
+        net = build_model(name)
+        total_macs = 0
+        for layer in net.layers:
+            totals = stream_totals(lower_layer(layer, SOC))
+            total_macs += totals["macs"]
+        assert total_macs == net.total_macs
+
+    def test_compute_per_tile_balanced(self):
+        fc = DenseLayer("fc", in_features=9216, out_features=4096)
+        stream = lower_layer(fc, SOC)
+        computes = [i.macs for i in stream if i.op is Opcode.COMPUTE]
+        assert max(computes) - min(computes) <= 1 * (max(computes) // min(computes) + 1)
+
+
+class TestComputeRate:
+    def test_full_util_layer(self):
+        conv = ConvLayer("c", in_h=8, in_w=8, in_ch=64, out_ch=64, kernel=3,
+                         padding=1)
+        assert compute_rate_for(conv, SOC) == pytest.approx(
+            SOC.tile.effective_macs_per_cycle
+        )
+
+    def test_mem_layer_zero(self):
+        pool = PoolLayer("p", in_h=8, in_w=8, channels=16)
+        assert compute_rate_for(pool, SOC) == 0.0

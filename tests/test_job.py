@@ -1,0 +1,103 @@
+"""Tests for repro.sim.job (tasks, jobs, results)."""
+
+import pytest
+
+from repro.sim.job import Job, JobPhase, Task, TaskResult, results_from_jobs
+
+
+class TestTaskValidation:
+    def test_valid_task(self, task_factory):
+        task = task_factory(task_id="x", priority=11)
+        assert task.task_id == "x"
+        assert task.deadline == task.dispatch_cycle + task.qos_target_cycles
+
+    def test_negative_dispatch_raises(self, task_factory):
+        with pytest.raises(ValueError):
+            task_factory(dispatch=-1.0)
+
+    @pytest.mark.parametrize("priority", [-1, 12])
+    def test_priority_range(self, task_factory, priority):
+        with pytest.raises(ValueError):
+            task_factory(priority=priority)
+
+    def test_nonpositive_target_raises(self, task_factory):
+        with pytest.raises(ValueError):
+            task_factory(qos_target=0.0)
+
+
+class TestJob:
+    def test_initial_state(self, task_factory):
+        job = Job(task=task_factory())
+        assert job.phase is JobPhase.PENDING
+        assert job.block_idx == 0
+        assert job.at_block_boundary
+        assert job.tiles == 0
+
+    def test_num_blocks(self, task_factory):
+        task = task_factory()
+        job = Job(task=task)
+        assert job.num_blocks == len(task.cost.blocks)
+        assert job.remaining_blocks == job.num_blocks
+
+    def test_current_block(self, task_factory):
+        task = task_factory()
+        job = Job(task=task)
+        assert job.current_block is task.cost.blocks[0]
+
+    def test_stall_check(self, task_factory):
+        job = Job(task=task_factory())
+        job.stall_until = 100.0
+        assert job.is_stalled(50.0)
+        assert not job.is_stalled(100.0)
+
+    def test_latency_requires_finish(self, task_factory):
+        job = Job(task=task_factory())
+        with pytest.raises(ValueError):
+            _ = job.latency
+
+    def test_latency_and_sla(self, task_factory):
+        task = task_factory(dispatch=100.0, qos_target=1000.0)
+        job = Job(task=task)
+        job.finished_at = 900.0
+        assert job.latency == pytest.approx(800.0)
+        assert job.met_sla
+        job.finished_at = 1200.0
+        assert not job.met_sla
+
+
+class TestTaskResult:
+    def _finished_job(self, task_factory):
+        task = task_factory(dispatch=100.0, qos_target=5000.0)
+        job = Job(task=task)
+        job.started_at = 400.0
+        job.finished_at = 2100.0
+        return job
+
+    def test_from_job(self, task_factory):
+        result = TaskResult.from_job(self._finished_job(task_factory))
+        assert result.latency == pytest.approx(2000.0)
+        assert result.runtime == pytest.approx(1700.0)
+        assert result.wait_cycles == pytest.approx(300.0)
+        assert result.met_sla
+
+    def test_slowdown(self, task_factory):
+        result = TaskResult.from_job(self._finished_job(task_factory))
+        assert result.slowdown == pytest.approx(
+            result.latency / result.isolated_cycles
+        )
+
+    def test_unfinished_raises(self, task_factory):
+        job = Job(task=task_factory())
+        with pytest.raises(ValueError):
+            TaskResult.from_job(job)
+
+    def test_results_sorted(self, task_factory):
+        jobs = []
+        for tid in ("b", "a", "c"):
+            task = task_factory(task_id=tid)
+            job = Job(task=task)
+            job.started_at = 0.0
+            job.finished_at = 10.0
+            jobs.append(job)
+        results = results_from_jobs(jobs)
+        assert [r.task_id for r in results] == ["a", "b", "c"]

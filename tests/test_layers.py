@@ -1,0 +1,279 @@
+"""Tests for repro.models.layers (shape accounting)."""
+
+import pytest
+
+from repro.config import ACC_BYTES
+from repro.models.layers import (
+    ConcatLayer,
+    ConvLayer,
+    DenseLayer,
+    LayerError,
+    LayerKind,
+    PoolLayer,
+    ResidualAddLayer,
+    ceil_div,
+    conv_out_dim,
+    effective_pe_utilization,
+    geomean,
+    is_depthwise,
+    layer_summary,
+    macs_to_flops,
+    pretty_bytes,
+)
+
+
+class TestConvOutDim:
+    def test_basic(self):
+        assert conv_out_dim(224, 3, 1, 1) == 224
+
+    def test_stride(self):
+        assert conv_out_dim(224, 7, 2, 3) == 112
+
+    def test_no_padding(self):
+        assert conv_out_dim(227, 11, 4, 0) == 55
+
+    def test_window_too_large_raises(self):
+        with pytest.raises(LayerError):
+            conv_out_dim(2, 5, 1, 0)
+
+
+class TestConvLayer:
+    def test_output_dims(self):
+        conv = ConvLayer("c", in_h=224, in_w=224, in_ch=3, out_ch=64,
+                         kernel=7, stride=2, padding=3)
+        assert conv.out_h == 112
+        assert conv.out_w == 112
+
+    def test_macs(self):
+        conv = ConvLayer("c", in_h=8, in_w=8, in_ch=4, out_ch=16,
+                         kernel=3, padding=1)
+        assert conv.macs == 8 * 8 * 16 * 3 * 3 * 4
+
+    def test_weight_bytes(self):
+        conv = ConvLayer("c", in_h=8, in_w=8, in_ch=4, out_ch=16,
+                         kernel=3, padding=1)
+        assert conv.weight_bytes == 3 * 3 * 4 * 16
+
+    def test_grouped_macs_halved(self):
+        full = ConvLayer("f", in_h=8, in_w=8, in_ch=4, out_ch=16,
+                         kernel=3, padding=1)
+        grouped = ConvLayer("g", in_h=8, in_w=8, in_ch=4, out_ch=16,
+                            kernel=3, padding=1, groups=2)
+        assert grouped.macs == full.macs // 2
+        assert grouped.weight_bytes == full.weight_bytes // 2
+
+    def test_bias_bytes(self):
+        conv = ConvLayer("c", in_h=8, in_w=8, in_ch=4, out_ch=16,
+                         kernel=1)
+        assert conv.bias_bytes == 16 * ACC_BYTES
+
+    def test_no_bias(self):
+        conv = ConvLayer("c", in_h=8, in_w=8, in_ch=4, out_ch=16,
+                         kernel=1, has_bias=False)
+        assert conv.bias_bytes == 0
+
+    def test_kind_is_compute(self):
+        conv = ConvLayer("c", in_h=8, in_w=8, in_ch=4, out_ch=4, kernel=1)
+        assert conv.kind is LayerKind.COMPUTE
+
+    def test_total_mem_accounting(self):
+        conv = ConvLayer("c", in_h=8, in_w=8, in_ch=4, out_ch=4, kernel=1)
+        expected = (conv.weight_bytes + conv.input_bytes + conv.bias_bytes
+                    + conv.output_bytes)
+        assert conv.total_mem_bytes == expected
+
+    def test_arithmetic_intensity_positive(self):
+        conv = ConvLayer("c", in_h=8, in_w=8, in_ch=4, out_ch=4, kernel=3,
+                         padding=1)
+        assert conv.arithmetic_intensity > 0
+
+    def test_channels_not_divisible_by_groups(self):
+        with pytest.raises(LayerError):
+            ConvLayer("c", in_h=8, in_w=8, in_ch=3, out_ch=4, kernel=1,
+                      groups=2)
+
+    def test_bad_window_raises_at_build(self):
+        with pytest.raises(LayerError):
+            ConvLayer("c", in_h=2, in_w=2, in_ch=4, out_ch=4, kernel=5)
+
+    @pytest.mark.parametrize("field", ["in_h", "in_w", "in_ch", "out_ch",
+                                       "kernel", "stride"])
+    def test_nonpositive_dims_raise(self, field):
+        kwargs = dict(in_h=8, in_w=8, in_ch=4, out_ch=4, kernel=1, stride=1)
+        kwargs[field] = 0
+        with pytest.raises(LayerError):
+            ConvLayer("c", **kwargs)
+
+    def test_negative_padding_raises(self):
+        with pytest.raises(LayerError):
+            ConvLayer("c", in_h=8, in_w=8, in_ch=4, out_ch=4, kernel=1,
+                      padding=-1)
+
+
+class TestDenseLayer:
+    def test_macs(self):
+        fc = DenseLayer("fc", in_features=100, out_features=10)
+        assert fc.macs == 1000
+
+    def test_weight_bytes(self):
+        fc = DenseLayer("fc", in_features=100, out_features=10)
+        assert fc.weight_bytes == 1000
+
+    def test_io_bytes(self):
+        fc = DenseLayer("fc", in_features=100, out_features=10)
+        assert fc.input_bytes == 100
+        assert fc.output_bytes == 10
+
+    def test_kind(self):
+        assert DenseLayer("fc", 4, 4).kind is LayerKind.COMPUTE
+
+    def test_low_arithmetic_intensity(self):
+        # FC layers read each weight once: AI < 1 MAC/byte.
+        fc = DenseLayer("fc", in_features=4096, out_features=4096)
+        assert fc.arithmetic_intensity < 1.0
+
+    def test_invalid_features(self):
+        with pytest.raises(LayerError):
+            DenseLayer("fc", in_features=0, out_features=10)
+
+
+class TestPoolLayer:
+    def test_out_dims(self):
+        pool = PoolLayer("p", in_h=8, in_w=8, channels=16, kernel=2, stride=2)
+        assert pool.out_h == 4
+        assert pool.out_w == 4
+
+    def test_global_pool(self):
+        pool = PoolLayer("p", in_h=7, in_w=7, channels=512, global_pool=True)
+        assert pool.out_h == 1
+        assert pool.out_w == 1
+        assert pool.output_bytes == 512
+
+    def test_is_mem_layer(self):
+        pool = PoolLayer("p", in_h=8, in_w=8, channels=16)
+        assert pool.kind is LayerKind.MEM
+        assert pool.macs == 0
+        assert pool.weight_bytes == 0
+
+    def test_invalid_dims(self):
+        with pytest.raises(LayerError):
+            PoolLayer("p", in_h=0, in_w=8, channels=16)
+
+
+class TestResidualAddLayer:
+    def test_two_operands(self):
+        add = ResidualAddLayer("a", h=4, w=4, channels=8)
+        assert add.input_bytes == 2 * add.tensor_bytes
+
+    def test_skip_operand(self):
+        add = ResidualAddLayer("a", h=4, w=4, channels=8)
+        assert add.skip_operand_bytes == 4 * 4 * 8
+
+    def test_is_mem_layer(self):
+        add = ResidualAddLayer("a", h=4, w=4, channels=8)
+        assert add.kind is LayerKind.MEM
+        assert add.macs == 0
+
+    def test_invalid(self):
+        with pytest.raises(LayerError):
+            ResidualAddLayer("a", h=4, w=-1, channels=8)
+
+
+class TestConcatLayer:
+    def test_channel_sum(self):
+        cat = ConcatLayer("c", h=4, w=4, in_channels=(16, 32))
+        assert cat.out_channels == 48
+
+    def test_traffic(self):
+        cat = ConcatLayer("c", h=4, w=4, in_channels=(16, 32))
+        assert cat.input_bytes == 4 * 4 * 48
+        assert cat.output_bytes == 4 * 4 * 48
+
+    def test_is_mem(self):
+        cat = ConcatLayer("c", h=4, w=4, in_channels=(16,))
+        assert cat.kind is LayerKind.MEM
+
+    def test_empty_channels_raise(self):
+        with pytest.raises(LayerError):
+            ConcatLayer("c", h=4, w=4, in_channels=())
+
+    def test_nonpositive_channel_raises(self):
+        with pytest.raises(LayerError):
+            ConcatLayer("c", h=4, w=4, in_channels=(16, 0))
+
+
+class TestUtilization:
+    def test_full_channels_full_utilization(self):
+        conv = ConvLayer("c", in_h=8, in_w=8, in_ch=64, out_ch=64, kernel=3,
+                         padding=1)
+        assert effective_pe_utilization(conv, 16, 16) == pytest.approx(1.0)
+
+    def test_thin_out_channels_reduce_utilization(self):
+        conv = ConvLayer("c", in_h=8, in_w=8, in_ch=64, out_ch=4, kernel=3,
+                         padding=1)
+        assert effective_pe_utilization(conv, 16, 16) == pytest.approx(0.25)
+
+    def test_first_layer_recovers_via_im2col(self):
+        conv = ConvLayer("c", in_h=224, in_w=224, in_ch=3, out_ch=64,
+                         kernel=7, stride=2, padding=3)
+        # 7*7*3 = 147 >= 16 rows: full row utilization.
+        assert effective_pe_utilization(conv, 16, 16) == pytest.approx(1.0)
+
+    def test_depthwise_low_utilization(self):
+        dw = ConvLayer("dw", in_h=8, in_w=8, in_ch=64, out_ch=64, kernel=3,
+                       padding=1, groups=64)
+        assert is_depthwise(dw)
+        assert effective_pe_utilization(dw, 16, 16) < 0.5
+
+    def test_mem_layer_zero(self):
+        pool = PoolLayer("p", in_h=8, in_w=8, channels=16)
+        assert effective_pe_utilization(pool, 16, 16) == 0.0
+
+    def test_never_zero_for_compute(self):
+        tiny = DenseLayer("fc", in_features=1, out_features=1)
+        assert effective_pe_utilization(tiny, 16, 16) > 0
+
+
+class TestHelpers:
+    def test_macs_to_flops(self):
+        assert macs_to_flops(10) == 20
+
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert ceil_div(0, 3) == 0
+
+    def test_ceil_div_invalid(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_pretty_bytes(self):
+        assert pretty_bytes(512) == "512 B"
+        assert "KiB" in pretty_bytes(2048)
+        assert "MiB" in pretty_bytes(3 * 1024**2)
+        assert "GiB" in pretty_bytes(5 * 1024**3)
+
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geomean_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_geomean_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_geomean_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_layer_summary_contains_name_and_kind(self):
+        conv = ConvLayer("myconv", in_h=8, in_w=8, in_ch=4, out_ch=4,
+                         kernel=1)
+        text = layer_summary(conv)
+        assert "myconv" in text
+        assert "compute" in text
+
+    def test_is_depthwise_false_for_standard(self):
+        conv = ConvLayer("c", in_h=8, in_w=8, in_ch=4, out_ch=4, kernel=1)
+        assert not is_depthwise(conv)

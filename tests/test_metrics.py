@@ -1,0 +1,176 @@
+"""Tests for repro.metrics (SLA, STP, fairness — Section IV-C)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.fairness import fairness, proportional_progress
+from repro.metrics.sla import sla_by_priority_group, sla_satisfaction_rate
+from repro.metrics.summary import summarize
+from repro.metrics.throughput import (
+    normalized_progress_mean,
+    system_throughput,
+)
+from repro.sim.job import TaskResult
+
+
+def _result(task_id="t", priority=5, latency=100.0, isolated=50.0,
+            target=120.0):
+    return TaskResult(
+        task_id=task_id,
+        network_name="net",
+        priority=priority,
+        dispatch_cycle=0.0,
+        started_at=10.0,
+        finished_at=latency,
+        qos_target_cycles=target,
+        isolated_cycles=isolated,
+        preemptions=0,
+        tile_repartitions=0,
+        bw_reconfigs=0,
+        stall_cycles=0.0,
+    )
+
+
+class TestSla:
+    def test_all_met(self):
+        results = [_result(task_id=f"t{i}") for i in range(4)]
+        assert sla_satisfaction_rate(results) == 1.0
+
+    def test_half_met(self):
+        results = [
+            _result("a", latency=100.0, target=120.0),
+            _result("b", latency=200.0, target=120.0),
+        ]
+        assert sla_satisfaction_rate(results) == 0.5
+
+    def test_boundary_counts_as_met(self):
+        assert sla_satisfaction_rate([_result(latency=120.0, target=120.0)]) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sla_satisfaction_rate([])
+
+    def test_group_breakdown(self):
+        results = [
+            _result("a", priority=0, latency=100.0),   # p-Low, met
+            _result("b", priority=1, latency=500.0),   # p-Low, missed
+            _result("c", priority=5, latency=100.0),   # p-Mid, met
+            _result("d", priority=10, latency=100.0),  # p-High, met
+        ]
+        groups = sla_by_priority_group(results)
+        assert groups["p-Low"] == 0.5
+        assert groups["p-Mid"] == 1.0
+        assert groups["p-High"] == 1.0
+
+    def test_empty_groups_omitted(self):
+        groups = sla_by_priority_group([_result(priority=0)])
+        assert list(groups) == ["p-Low"]
+
+
+class TestStp:
+    def test_equation2(self):
+        results = [
+            _result("a", latency=100.0, isolated=50.0),  # progress 0.5
+            _result("b", latency=100.0, isolated=25.0),  # progress 0.25
+        ]
+        assert system_throughput(results) == pytest.approx(0.75)
+
+    def test_perfect_colocation(self):
+        results = [
+            _result(f"t{i}", latency=50.0, isolated=50.0) for i in range(4)
+        ]
+        assert system_throughput(results) == pytest.approx(4.0)
+
+    def test_normalized_mean(self):
+        results = [
+            _result("a", latency=100.0, isolated=50.0),
+            _result("b", latency=100.0, isolated=25.0),
+        ]
+        assert normalized_progress_mean(results) == pytest.approx(0.375)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            system_throughput([])
+
+
+class TestFairness:
+    def test_equal_everything_is_fair(self):
+        results = [
+            _result(f"t{i}", priority=5, latency=100.0, isolated=50.0)
+            for i in range(3)
+        ]
+        assert fairness(results) == pytest.approx(1.0)
+
+    def test_proportional_progress_weighting(self):
+        # Two tasks, priorities 1 and 3 (weights 2 and 4 of 6).
+        results = [
+            _result("a", priority=1, latency=100.0, isolated=50.0),
+            _result("b", priority=3, latency=100.0, isolated=50.0),
+        ]
+        pp = proportional_progress(results)
+        assert pp["a"] == pytest.approx(0.5 / (2 / 6))
+        assert pp["b"] == pytest.approx(0.5 / (4 / 6))
+
+    def test_fairness_is_min_over_max(self):
+        results = [
+            _result("a", priority=5, latency=100.0, isolated=50.0),
+            _result("b", priority=5, latency=200.0, isolated=50.0),
+        ]
+        pp = proportional_progress(results)
+        expected = min(pp.values()) / max(pp.values())
+        assert fairness(results) == pytest.approx(expected)
+
+    def test_priority_aligned_progress_is_fairer(self):
+        # High-priority task progressing faster matches its larger
+        # share -> higher fairness than the inverted assignment.
+        aligned = [
+            _result("a", priority=9, latency=50.0, isolated=50.0),
+            _result("b", priority=1, latency=250.0, isolated=50.0),
+        ]
+        inverted = [
+            _result("a", priority=1, latency=50.0, isolated=50.0),
+            _result("b", priority=9, latency=250.0, isolated=50.0),
+        ]
+        assert fairness(aligned) > fairness(inverted)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            fairness([])
+
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=11),
+            st.floats(min_value=1.0, max_value=1e6),
+            st.floats(min_value=1.0, max_value=1e6),
+        ),
+        min_size=1, max_size=20,
+    ))
+    def test_property_fairness_in_unit_interval(self, rows):
+        results = [
+            _result(f"t{i}", priority=p, latency=lat + 10.0, isolated=iso)
+            for i, (p, lat, iso) in enumerate(rows)
+        ]
+        value = fairness(results)
+        assert 0 < value <= 1.0 + 1e-9
+
+
+class TestSummary:
+    def test_summary_bundles_everything(self):
+        results = [
+            _result("a", priority=0, latency=100.0),
+            _result("b", priority=10, latency=500.0),
+        ]
+        s = summarize("test", results)
+        assert s.policy == "test"
+        assert s.num_tasks == 2
+        assert s.sla_rate == 0.5
+        assert s.stp == pytest.approx(system_throughput(results))
+        assert s.fairness == pytest.approx(fairness(results))
+        assert s.mean_slowdown > 0
+        assert s.p99_slowdown >= s.mean_slowdown * 0.5
+
+    def test_group_rates_included(self):
+        results = [_result("a", priority=0), _result("b", priority=10)]
+        s = summarize("test", results)
+        assert "p-Low" in s.sla_by_group
+        assert "p-High" in s.sla_by_group

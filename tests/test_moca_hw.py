@@ -1,0 +1,162 @@
+"""Tests for repro.accelerator.moca_hw (access counter + thresholding FSM)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accelerator.moca_hw import (
+    RECONFIG_CYCLES,
+    AccessCounter,
+    MoCAHardwareEngine,
+    MoCAHardwareError,
+    ThresholdingModule,
+)
+
+
+class TestAccessCounter:
+    def test_starts_zero(self):
+        assert AccessCounter().count == 0
+
+    def test_record_accumulates(self):
+        c = AccessCounter()
+        c.record(3)
+        c.record()
+        assert c.count == 4
+
+    def test_reset(self):
+        c = AccessCounter()
+        c.record(5)
+        c.reset()
+        assert c.count == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(MoCAHardwareError):
+            AccessCounter().record(-1)
+
+
+class TestThresholdingModule:
+    def test_disabled_never_alerts(self):
+        t = ThresholdingModule(threshold_load=0)
+        c = AccessCounter(count=10**9)
+        assert not t.alert(c)
+
+    def test_alert_at_threshold(self):
+        t = ThresholdingModule(threshold_load=5)
+        c = AccessCounter(count=5)
+        assert t.alert(c)
+
+    def test_no_alert_below(self):
+        t = ThresholdingModule(threshold_load=5)
+        c = AccessCounter(count=4)
+        assert not t.alert(c)
+
+
+class TestEngineConfig:
+    def test_default_disabled(self):
+        assert not MoCAHardwareEngine().enabled
+
+    def test_configure_enables(self):
+        hw = MoCAHardwareEngine()
+        hw.configure(window=100, threshold_load=25)
+        assert hw.enabled
+        assert hw.allowed_rate() == pytest.approx(0.25)
+
+    def test_disabled_rate_infinite(self):
+        assert MoCAHardwareEngine().allowed_rate() == float("inf")
+
+    def test_configure_zero_disables(self):
+        hw = MoCAHardwareEngine()
+        hw.configure(100, 25)
+        hw.configure(0, 0)
+        assert not hw.enabled
+
+    def test_mixed_zero_raises(self):
+        hw = MoCAHardwareEngine()
+        with pytest.raises(MoCAHardwareError):
+            hw.configure(100, 0)
+        with pytest.raises(MoCAHardwareError):
+            hw.configure(0, 10)
+
+    def test_negative_raises(self):
+        with pytest.raises(MoCAHardwareError):
+            MoCAHardwareEngine().configure(-1, 5)
+
+    def test_reconfig_clears_stall(self):
+        hw = MoCAHardwareEngine()
+        hw.configure(10, 1)
+        hw.try_issue()
+        assert hw.stalled
+        hw.configure(10, 1)
+        assert not hw.stalled
+
+    def test_reconfig_cycles_paper_range(self):
+        # The paper reports 5-10 cycles for a memory reconfiguration.
+        assert 5 <= RECONFIG_CYCLES <= 10
+
+
+class TestEngineThrottling:
+    def test_unthrottled_issues_freely(self):
+        hw = MoCAHardwareEngine()
+        for _ in range(1000):
+            assert hw.try_issue()
+        assert hw.total_issued == 1000
+
+    def test_stalls_after_threshold(self):
+        hw = MoCAHardwareEngine()
+        hw.configure(window=10, threshold_load=3)
+        assert hw.try_issue()
+        assert hw.try_issue()
+        assert hw.try_issue()   # hits threshold, raises alert
+        assert not hw.try_issue()  # bubble
+
+    def test_window_rollover_lifts_stall(self):
+        hw = MoCAHardwareEngine()
+        hw.configure(window=4, threshold_load=1)
+        assert hw.try_issue()
+        assert not hw.try_issue()
+        hw.step(4)  # window expires
+        assert hw.try_issue()
+
+    def test_average_rate_enforced(self):
+        hw = MoCAHardwareEngine()
+        hw.configure(window=10, threshold_load=2)
+        issued = 0
+        for _ in range(100):  # 100 cycles = 10 windows
+            if hw.try_issue():
+                issued += 1
+            hw.step()
+        assert issued <= 2 * 10
+        assert issued == 20  # exactly the budget when always trying
+
+    def test_bubbles_counted(self):
+        hw = MoCAHardwareEngine()
+        hw.configure(window=10, threshold_load=1)
+        hw.try_issue()
+        hw.try_issue()
+        hw.step(5)
+        assert hw.total_bubbles == 5
+
+    def test_step_disabled_is_noop(self):
+        hw = MoCAHardwareEngine()
+        hw.step(100)
+        assert hw.cycles_into_window == 0
+
+    def test_step_negative_raises(self):
+        with pytest.raises(MoCAHardwareError):
+            MoCAHardwareEngine().step(-1)
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=400),
+    )
+    def test_property_rate_never_exceeded(self, window, threshold, horizon):
+        """Over any whole number of windows, issued <= budget."""
+        hw = MoCAHardwareEngine()
+        hw.configure(window=window, threshold_load=threshold)
+        cycles = (horizon // window) * window
+        issued = 0
+        for _ in range(cycles):
+            if hw.try_issue():
+                issued += 1
+            hw.step()
+        assert issued <= threshold * max(1, cycles // window)

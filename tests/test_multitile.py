@@ -1,0 +1,85 @@
+"""Tests for repro.accelerator.multitile (instruction co-simulation)."""
+
+import pytest
+
+from repro.accelerator.multitile import MultiTenantPipelineSim, co_run_layers
+from repro.config import DEFAULT_SOC
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.models.layers import ConvLayer, DenseLayer
+
+SOC = DEFAULT_SOC
+MEM = MemoryHierarchy.from_soc(SOC)
+BW = MEM.dram_bandwidth
+
+
+def _fc():
+    """A memory-bound layer: AlexNet-class fully-connected."""
+    return DenseLayer("fc", in_features=9216, out_features=4096)
+
+
+def _conv():
+    """A compute-bound layer."""
+    return ConvLayer("c", in_h=28, in_w=28, in_ch=128, out_ch=128,
+                     kernel=3, padding=1)
+
+
+class TestBasics:
+    def test_single_app_finishes(self):
+        result = co_run_layers(SOC, BW, {"a": _conv()})
+        assert result.finish_times["a"] > 0
+        assert result.makespan == result.finish_times["a"]
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            MultiTenantPipelineSim(SOC, 0.0)
+
+    def test_no_apps_raises(self):
+        with pytest.raises(ValueError):
+            MultiTenantPipelineSim(SOC, BW).run({})
+
+    def test_deterministic(self):
+        r1 = co_run_layers(SOC, BW, {"a": _fc(), "b": _conv()})
+        r2 = co_run_layers(SOC, BW, {"a": _fc(), "b": _conv()})
+        assert r1.finish_times == r2.finish_times
+
+
+class TestContention:
+    def test_two_memory_bound_apps_stretch(self):
+        alone = co_run_layers(SOC, BW, {"a": _fc()}).finish_times["a"]
+        shared = co_run_layers(SOC, BW, {"a": _fc(), "b": _fc()})
+        # Two identical streams on one channel: each takes ~2x.
+        assert shared.finish_times["a"] == pytest.approx(2 * alone, rel=0.1)
+
+    def test_compute_bound_apps_unaffected(self):
+        alone = co_run_layers(SOC, BW, {"a": _conv()}).finish_times["a"]
+        shared = co_run_layers(
+            SOC, BW, {"a": _conv(), "b": _conv()}
+        ).finish_times["a"]
+        # Compute time dominates; sharing the channel barely matters.
+        assert shared <= alone * 1.3
+
+    def test_cap_slows_capped_app_only(self):
+        free = co_run_layers(SOC, BW, {"a": _fc(), "b": _fc()})
+        capped = co_run_layers(
+            SOC, BW, {"a": _fc(), "b": _fc()}, caps={"b": 2.0}
+        )
+        assert capped.finish_times["b"] > free.finish_times["b"]
+        assert capped.finish_times["a"] < free.finish_times["a"]
+
+    def test_agrees_with_fluid_contention_model(self):
+        """The instruction co-sim and the fluid rate law must agree on
+        the co-location stretch of a memory-bound layer."""
+        from repro.core.latency import estimate_layer
+
+        fc = _fc()
+        # Fluid: at equal shares, each app gets BW/2 -> memory time 2x.
+        est_full = estimate_layer(fc, SOC, MEM, num_tiles=1)
+        est_half = estimate_layer(fc, SOC, MEM, num_tiles=1, dram_bw=BW / 2)
+        fluid_stretch = est_half.prediction / est_full.prediction
+
+        alone = co_run_layers(SOC, BW, {"a": fc}).finish_times["a"]
+        shared = co_run_layers(
+            SOC, BW, {"a": fc, "b": _fc()}
+        ).finish_times["a"]
+        isa_stretch = shared / alone
+        assert isa_stretch == pytest.approx(fluid_stretch, rel=0.15)

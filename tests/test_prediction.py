@@ -1,0 +1,69 @@
+"""Tests for repro.core.prediction (remaining-latency suffix cache)."""
+
+import pytest
+
+from repro.config import DEFAULT_SOC
+from repro.core.latency import build_network_cost
+from repro.core.prediction import RemainingPrediction
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.models.zoo import build_model
+
+SOC = DEFAULT_SOC
+MEM = MemoryHierarchy.from_soc(SOC)
+
+
+@pytest.fixture()
+def predictor():
+    return RemainingPrediction(SOC, MEM)
+
+
+@pytest.fixture()
+def cost():
+    return build_network_cost(build_model("squeezenet"), SOC, MEM)
+
+
+class TestRemainingPrediction:
+    def test_total_is_remaining_from_zero(self, predictor, cost):
+        assert predictor.total(cost, 2) == predictor.remaining(cost, 0, 2)
+
+    def test_matches_direct_sum(self, predictor, cost):
+        direct = sum(
+            b.predict(2, MEM.dram_bandwidth, MEM.l2_bandwidth, SOC.overlap_f)
+            for b in cost.blocks[3:]
+        )
+        assert predictor.remaining(cost, 3, 2) == pytest.approx(direct)
+
+    def test_end_is_zero(self, predictor, cost):
+        assert predictor.remaining(cost, len(cost.blocks), 2) == 0.0
+
+    def test_monotone_decreasing(self, predictor, cost):
+        values = [
+            predictor.remaining(cost, i, 2)
+            for i in range(len(cost.blocks) + 1)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_more_tiles_less_remaining(self, predictor, cost):
+        assert predictor.remaining(cost, 0, 8) <= predictor.remaining(
+            cost, 0, 1
+        )
+
+    def test_cache_hit_same_result(self, predictor, cost):
+        first = predictor.remaining(cost, 5, 2)
+        second = predictor.remaining(cost, 5, 2)
+        assert first == second
+
+    def test_clear(self, predictor, cost):
+        predictor.remaining(cost, 0, 2)
+        predictor.clear()
+        assert predictor.remaining(cost, 0, 2) > 0
+
+    def test_invalid_tiles(self, predictor, cost):
+        with pytest.raises(ValueError):
+            predictor.remaining(cost, 0, 0)
+
+    def test_invalid_block_idx(self, predictor, cost):
+        with pytest.raises(ValueError):
+            predictor.remaining(cost, len(cost.blocks) + 1, 2)
+        with pytest.raises(ValueError):
+            predictor.remaining(cost, -1, 2)

@@ -1,0 +1,34 @@
+"""The curated top-level API stays importable and complete."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_end_to_end_through_top_level_only(self):
+        """The README's quickstart works using only `repro.*` names."""
+        gen = repro.WorkloadGenerator(
+            repro.DEFAULT_SOC, repro.workload_set("A")
+        )
+        tasks = gen.generate(repro.WorkloadConfig(
+            num_tasks=12, qos_level=repro.QosLevel.MEDIUM, seed=1,
+        ))
+        result = repro.run_simulation(
+            repro.DEFAULT_SOC, tasks, repro.MoCAPolicy()
+        )
+        summary = repro.summarize("moca", result.results)
+        assert summary.num_tasks == 12
+        assert 0.0 <= summary.sla_rate <= 1.0
+
+    def test_policies_share_interface(self):
+        from repro.sim.policy import Policy
+
+        for cls in (repro.MoCAPolicy, repro.PremaPolicy,
+                    repro.StaticPartitionPolicy, repro.PlanariaPolicy):
+            assert issubclass(cls, Policy)

@@ -1,0 +1,94 @@
+"""Tests for repro.reporting (charts and exports)."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import ScenarioSpec, run_scenario
+from repro.reporting import (
+    ascii_bar_chart,
+    matrix_bar_charts,
+    matrix_to_csv,
+    matrix_to_json,
+    results_from_csv,
+    results_to_csv,
+)
+from repro.sim.job import TaskResult
+
+
+@pytest.fixture(scope="module")
+def tiny_matrix():
+    spec = ScenarioSpec(workload_set="A", num_tasks=16, seeds=(1,))
+    return {spec.label: run_scenario(spec)}
+
+
+def _result(task_id="t0"):
+    return TaskResult(
+        task_id=task_id, network_name="kws", priority=3,
+        dispatch_cycle=0.0, started_at=10.0, finished_at=110.0,
+        qos_target_cycles=200.0, isolated_cycles=50.0, preemptions=1,
+        tile_repartitions=2, bw_reconfigs=3, stall_cycles=4.5,
+    )
+
+
+class TestAsciiBars:
+    def test_renders_all_labels(self):
+        chart = ascii_bar_chart({"a": 1.0, "bb": 0.5}, title="demo")
+        assert "demo" in chart
+        assert "a " in chart and "bb" in chart
+
+    def test_bar_lengths_proportional(self):
+        chart = ascii_bar_chart({"full": 1.0, "half": 0.5}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({})
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({"x": -1.0})
+
+    def test_zero_values_ok(self):
+        chart = ascii_bar_chart({"x": 0.0})
+        assert "0.000" in chart
+
+    def test_matrix_charts(self, tiny_matrix):
+        text = matrix_bar_charts(tiny_matrix, "sla_rate", "SLA")
+        assert "SLA" in text
+        assert "moca" in text
+
+
+class TestMatrixExport:
+    def test_csv_header_and_rows(self, tiny_matrix):
+        text = matrix_to_csv(tiny_matrix, "sla_rate")
+        lines = text.strip().splitlines()
+        assert lines[0] == "scenario,prema,static,planaria,moca"
+        assert len(lines) == 1 + len(tiny_matrix)
+
+    def test_json_round_trip(self, tiny_matrix):
+        payload = json.loads(matrix_to_json(tiny_matrix))
+        label = next(iter(tiny_matrix))
+        assert set(payload[label]) == {"prema", "static", "planaria", "moca"}
+        assert 0.0 <= payload[label]["moca"]["sla_rate"] <= 1.0
+
+
+class TestResultsCsv:
+    def test_round_trip(self):
+        original = [_result("a"), _result("b")]
+        text = results_to_csv(original)
+        restored = results_from_csv(text)
+        assert len(restored) == 2
+        for orig, back in zip(original, restored):
+            assert back.task_id == orig.task_id
+            assert back.latency == pytest.approx(orig.latency)
+            assert back.met_sla == orig.met_sla
+            assert back.bw_reconfigs == orig.bw_reconfigs
+
+    def test_derived_columns_present(self):
+        text = results_to_csv([_result()])
+        header = text.splitlines()[0]
+        for col in ("latency", "runtime", "met_sla", "slowdown"):
+            assert col in header

@@ -1,0 +1,193 @@
+"""Tests for repro.core.runtime (Algorithm 2)."""
+
+import pytest
+
+from repro.config import DEFAULT_SOC
+from repro.core.latency import build_network_cost
+from repro.core.runtime import MoCARuntime, RuntimeDecision
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.models.zoo import build_model
+
+SOC = DEFAULT_SOC
+MEM = MemoryHierarchy.from_soc(SOC)
+
+
+def _runtime(**kwargs):
+    return MoCARuntime(SOC, MEM, **kwargs)
+
+
+def _alexnet_fc_block():
+    """The most bandwidth-hungry block in the zoo (AlexNet FC layers)."""
+    cost = build_network_cost(build_model("alexnet"), SOC, MEM)
+    return max(cost.blocks, key=lambda b: b.from_dram_bytes)
+
+
+def _light_block():
+    """A compute-bound block with low bandwidth demand (KWS convs).
+
+    Note short MEM blocks have *high* instantaneous demand (they are
+    pure bandwidth), so "light" means high arithmetic intensity here.
+    """
+    cost = build_network_cost(build_model("kws"), SOC, MEM)
+    return min(
+        (b for b in cost.blocks if b.compute_terms),
+        key=lambda b: b.bw_demand(
+            2, MEM.dram_bandwidth, MEM.l2_bandwidth, SOC.overlap_f
+        ),
+    )
+
+
+class TestDynamicScore:
+    def test_score_is_priority_plus_urgency(self):
+        rt = _runtime()
+        score = rt.dynamic_score(5.0, remain_prediction=100.0, slack=200.0)
+        assert score == pytest.approx(5.5)
+
+    def test_urgency_grows_as_slack_shrinks(self):
+        rt = _runtime()
+        relaxed = rt.dynamic_score(0.0, 100.0, 1000.0)
+        urgent = rt.dynamic_score(0.0, 100.0, 50.0)
+        assert urgent > relaxed
+
+    def test_exhausted_slack_saturates(self):
+        rt = _runtime(urgency_cap=50.0)
+        assert rt.dynamic_score(3.0, 100.0, 0.0) == pytest.approx(53.0)
+        assert rt.dynamic_score(3.0, 100.0, -10.0) == pytest.approx(53.0)
+
+    def test_urgency_capped(self):
+        rt = _runtime(urgency_cap=10.0)
+        assert rt.dynamic_score(0.0, 1e12, 1.0) == pytest.approx(10.0)
+
+    def test_negative_remain_raises(self):
+        with pytest.raises(ValueError):
+            _runtime().dynamic_score(0.0, -1.0, 100.0)
+
+
+class TestNoContention:
+    def test_single_app_never_throttled(self):
+        rt = _runtime()
+        decision = rt.update_app(
+            "a", _alexnet_fc_block(), num_tiles=2, user_priority=5,
+            remain_prediction=1e6, slack=1e7,
+        )
+        assert not decision.contention
+        assert decision.window == 0
+        assert decision.threshold_load == 0
+        assert decision.throttle_rate_requests_per_cycle == float("inf")
+
+    def test_light_corunners_no_throttle(self):
+        rt = _runtime()
+        rt.update_app("a", _light_block(), 2, 5, 1e6, 1e7)
+        decision = rt.update_app("b", _light_block(), 2, 5, 1e6, 1e7)
+        assert not decision.contention
+
+    def test_publishes_to_scoreboard(self):
+        rt = _runtime()
+        rt.update_app("a", _light_block(), 2, 5, 1e6, 1e7)
+        assert "a" in rt.scoreboard
+        assert rt.scoreboard.mem_bw("a") > 0
+
+
+class TestContention:
+    def _saturate(self, rt, n_apps=3):
+        """Publish several heavy co-runners to exceed DRAM bandwidth."""
+        block = _alexnet_fc_block()
+        for i in range(n_apps):
+            rt.update_app(f"bg{i}", block, 2, 5, 1e6, 1e7)
+        return block
+
+    def test_overflow_detected(self):
+        rt = _runtime()
+        block = self._saturate(rt)
+        decision = rt.update_app("victim", block, 2, 5, 1e6, 1e7)
+        assert decision.contention
+        assert decision.window > 0
+        assert decision.threshold_load > 0
+
+    def test_throttled_rate_below_demand(self):
+        rt = _runtime()
+        block = self._saturate(rt)
+        demand = block.bw_demand(2, MEM.dram_bandwidth, MEM.l2_bandwidth,
+                                 SOC.overlap_f)
+        decision = rt.update_app("victim", block, 2, 5, 1e6, 1e7)
+        assert decision.bw_rate < demand
+
+    def test_rate_floor_respected(self):
+        rt = _runtime(min_bw_rate=0.5)
+        block = self._saturate(rt, n_apps=6)
+        decision = rt.update_app("victim", block, 2, 0, 1e6, 1e12)
+        assert decision.bw_rate >= 0.5
+
+    def test_high_priority_sheds_less(self):
+        rt_low = _runtime()
+        block = self._saturate(rt_low)
+        low = rt_low.update_app("victim", block, 2, 0, 1e6, 1e12)
+
+        rt_high = _runtime()
+        self._saturate(rt_high)
+        high = rt_high.update_app("victim", block, 2, 11, 1e6, 1e4)
+        assert high.bw_rate >= low.bw_rate
+
+    def test_throttled_prediction_longer(self):
+        rt = _runtime()
+        block = self._saturate(rt)
+        unthrottled = block.predict(2, MEM.dram_bandwidth, MEM.l2_bandwidth,
+                                    SOC.overlap_f)
+        decision = rt.update_app("victim", block, 2, 5, 1e6, 1e7)
+        assert decision.prediction >= unthrottled
+
+    def test_hw_config_encodes_rate(self):
+        rt = _runtime()
+        block = self._saturate(rt)
+        decision = rt.update_app("victim", block, 2, 5, 1e6, 1e7)
+        # threshold/window give a finite request rate.
+        rate = decision.throttle_rate_requests_per_cycle
+        assert 0 < rate < float("inf")
+
+    def test_retire_removes_from_scoreboard(self):
+        rt = _runtime()
+        rt.update_app("a", _light_block(), 2, 5, 1e6, 1e7)
+        rt.retire_app("a")
+        assert "a" not in rt.scoreboard
+
+    def test_retiring_heavy_app_clears_contention(self):
+        rt = _runtime()
+        block = self._saturate(rt, n_apps=3)
+        first = rt.update_app("victim", block, 2, 5, 1e6, 1e7)
+        assert first.contention
+        for i in range(3):
+            rt.retire_app(f"bg{i}")
+        second = rt.update_app("victim", block, 2, 5, 1e6, 1e7)
+        assert not second.contention
+
+    def test_reset_clears_everything(self):
+        rt = _runtime()
+        self._saturate(rt)
+        rt.reset()
+        assert len(rt.scoreboard) == 0
+
+    def test_invalid_tiles(self):
+        with pytest.raises(ValueError):
+            _runtime().update_app("a", _light_block(), 0, 5, 1e6, 1e7)
+
+
+class TestConstruction:
+    def test_invalid_urgency_cap(self):
+        with pytest.raises(ValueError):
+            MoCARuntime(SOC, MEM, urgency_cap=0)
+
+    def test_invalid_min_rate(self):
+        with pytest.raises(ValueError):
+            MoCARuntime(SOC, MEM, min_bw_rate=0)
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            MoCARuntime(SOC, MEM, overflow_tolerance=-0.1)
+
+    def test_decision_is_frozen(self):
+        decision = RuntimeDecision(
+            app_id="a", contention=False, bw_rate=1.0, prediction=1.0,
+            score=1.0, window=0, threshold_load=0,
+        )
+        with pytest.raises(Exception):
+            decision.bw_rate = 2.0

@@ -1,0 +1,167 @@
+"""Tests for repro.core.scheduler (Algorithm 3)."""
+
+import pytest
+
+from repro.core.scheduler import (
+    MoCAScheduler,
+    SchedulableTask,
+    SchedulerConfig,
+)
+
+DRAM_BW = 16.0
+
+
+def _task(task_id, priority=5, dispatched=0.0, estimated=1e6, bw=2.0):
+    return SchedulableTask(
+        task_id=task_id,
+        dispatched_at=dispatched,
+        user_priority=priority,
+        target_latency=1e7,
+        estimated_time=estimated,
+        est_avg_bw=bw,
+    )
+
+
+def _scheduler(**kwargs):
+    return MoCAScheduler(DRAM_BW, SchedulerConfig(**kwargs))
+
+
+class TestScoring:
+    def test_score_combines_priority_and_slowdown(self):
+        sched = _scheduler()
+        task = _task("a", priority=3, dispatched=0.0, estimated=1e6)
+        assert sched.score_task(task, now=2e6) == pytest.approx(3 + 2.0)
+
+    def test_fresh_task_scores_priority(self):
+        sched = _scheduler()
+        task = _task("a", priority=7, dispatched=100.0)
+        assert sched.score_task(task, now=100.0) == pytest.approx(7.0)
+
+    def test_waiting_raises_score(self):
+        sched = _scheduler()
+        task = _task("a", priority=0, estimated=1e6)
+        early = sched.score_task(task, now=1e5)
+        late = sched.score_task(task, now=1e7)
+        assert late > early
+
+    def test_long_wait_overtakes_priority(self):
+        sched = _scheduler()
+        low = _task("low", priority=0, dispatched=0.0, estimated=1e6)
+        high = _task("high", priority=11, dispatched=1.2e7, estimated=1e6)
+        now = 1.2e7 + 1.0
+        assert sched.score_task(low, now) > sched.score_task(high, now)
+
+    def test_invalid_estimated_time(self):
+        sched = _scheduler()
+        task = _task("a")
+        object.__setattr__(task, "estimated_time", 0.0) if False else None
+        task.estimated_time = 0.0
+        with pytest.raises(ValueError):
+            sched.score_task(task, now=1.0)
+
+
+class TestMemIntensive:
+    def test_flagged_above_half_bandwidth(self):
+        sched = _scheduler()
+        assert sched.is_mem_intensive(_task("a", bw=9.0))
+
+    def test_not_flagged_below(self):
+        sched = _scheduler()
+        assert not sched.is_mem_intensive(_task("a", bw=7.9))
+
+    def test_fraction_configurable(self):
+        sched = _scheduler(mem_intensive_fraction=0.25)
+        assert sched.is_mem_intensive(_task("a", bw=5.0))
+
+
+class TestSelection:
+    def test_selects_highest_score_first(self):
+        sched = _scheduler()
+        queue = [_task("low", priority=1), _task("high", priority=9)]
+        group = sched.select(0.0, queue, available_tiles=2)
+        assert [t.task_id for t in group] == ["high"]
+
+    def test_fills_available_slots(self):
+        sched = _scheduler(tiles_per_task=2)
+        queue = [_task(f"t{i}", priority=i) for i in range(6)]
+        group = sched.select(0.0, queue, available_tiles=8)
+        assert len(group) == 4
+
+    def test_no_tiles_no_selection(self):
+        sched = _scheduler(tiles_per_task=2)
+        assert sched.select(0.0, [_task("a")], available_tiles=1) == []
+
+    def test_empty_queue(self):
+        assert _scheduler().select(0.0, [], available_tiles=8) == []
+
+    def test_max_group_caps(self):
+        sched = _scheduler(max_group=1)
+        queue = [_task(f"t{i}") for i in range(4)]
+        assert len(sched.select(0.0, queue, available_tiles=8)) == 1
+
+    def test_score_threshold_filters(self):
+        sched = _scheduler(score_threshold=5.0)
+        queue = [_task("low", priority=1), _task("high", priority=9)]
+        group = sched.select(0.0, queue, available_tiles=8)
+        assert [t.task_id for t in group] == ["high"]
+
+    def test_mem_intensive_paired_with_compute(self):
+        sched = _scheduler(tiles_per_task=2)
+        queue = [
+            _task("hog", priority=11, bw=12.0),
+            _task("mid_mem", priority=8, bw=10.0),
+            _task("calm", priority=1, bw=1.0),
+        ]
+        group = sched.select(0.0, queue, available_tiles=8)
+        ids = [t.task_id for t in group]
+        # The memory hog is admitted first and must be immediately
+        # followed by the non-memory-intensive partner, jumping the
+        # higher-scored mid_mem.
+        assert ids[0] == "hog"
+        assert ids[1] == "calm"
+
+    def test_no_partner_available_continues(self):
+        sched = _scheduler(tiles_per_task=2)
+        queue = [
+            _task("hog1", priority=9, bw=12.0),
+            _task("hog2", priority=8, bw=12.0),
+        ]
+        group = sched.select(0.0, queue, available_tiles=8)
+        assert [t.task_id for t in group] == ["hog1", "hog2"]
+
+    def test_deterministic_tie_break(self):
+        sched = _scheduler()
+        queue = [_task("b", priority=5), _task("a", priority=5)]
+        group = sched.select(0.0, queue, available_tiles=8)
+        first = [t.task_id for t in group]
+        group2 = sched.select(0.0, list(reversed(queue)), available_tiles=8)
+        assert first == [t.task_id for t in group2]
+
+    def test_negative_tiles_raise(self):
+        with pytest.raises(ValueError):
+            _scheduler().select(0.0, [_task("a")], available_tiles=-1)
+
+    def test_updates_task_fields(self):
+        sched = _scheduler()
+        task = _task("a", priority=3, bw=12.0)
+        sched.select(1e6, [task], available_tiles=8)
+        assert task.score > 0
+        assert task.mem_intensive
+
+
+class TestConfig:
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(mem_intensive_fraction=0.0)
+
+    def test_invalid_tiles(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(tiles_per_task=0)
+
+    def test_invalid_max_group(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(max_group=0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            MoCAScheduler(0.0)

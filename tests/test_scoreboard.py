@@ -1,0 +1,88 @@
+"""Tests for repro.core.scoreboard."""
+
+import pytest
+
+from repro.core.scoreboard import Scoreboard
+
+
+class TestScoreboard:
+    def test_empty(self):
+        sb = Scoreboard()
+        assert len(sb) == 0
+        assert "a" not in sb
+
+    def test_update_and_lookup(self):
+        sb = Scoreboard()
+        sb.update("a", bw_rate=4.0, score=2.0, demand=6.0)
+        assert "a" in sb
+        assert sb.mem_bw("a") == 4.0
+        assert sb.score("a") == 2.0
+        assert sb.entry("a").demand == 6.0
+
+    def test_demand_defaults_to_rate(self):
+        sb = Scoreboard()
+        sb.update("a", bw_rate=4.0, score=2.0)
+        assert sb.entry("a").demand == 4.0
+
+    def test_update_overwrites(self):
+        sb = Scoreboard()
+        sb.update("a", bw_rate=4.0, score=2.0)
+        sb.update("a", bw_rate=1.0, score=9.0)
+        assert sb.mem_bw("a") == 1.0
+        assert len(sb) == 1
+
+    def test_remove(self):
+        sb = Scoreboard()
+        sb.update("a", bw_rate=4.0, score=2.0)
+        sb.remove("a")
+        assert "a" not in sb
+
+    def test_remove_missing_is_noop(self):
+        Scoreboard().remove("ghost")
+
+    def test_entry_missing_raises(self):
+        with pytest.raises(KeyError):
+            Scoreboard().entry("ghost")
+
+    def test_other_apps(self):
+        sb = Scoreboard()
+        sb.update("a", bw_rate=1.0, score=1.0)
+        sb.update("b", bw_rate=2.0, score=1.0)
+        sb.update("c", bw_rate=3.0, score=1.0)
+        assert sorted(sb.other_apps("b")) == ["a", "c"]
+
+    def test_other_totals(self):
+        sb = Scoreboard()
+        sb.update("a", bw_rate=2.0, score=3.0)
+        sb.update("b", bw_rate=4.0, score=0.5)
+        sb.update("me", bw_rate=100.0, score=100.0)
+        other_bw, weight_sum = sb.other_totals("me")
+        assert other_bw == pytest.approx(6.0)
+        assert weight_sum == pytest.approx(3.0 * 2.0 + 0.5 * 4.0)
+
+    def test_demands_and_scores_maps(self):
+        sb = Scoreboard()
+        sb.update("a", bw_rate=2.0, score=3.0, demand=5.0)
+        sb.update("b", bw_rate=4.0, score=0.5)
+        assert sb.demands() == {"a": 5.0, "b": 4.0}
+        assert sb.scores() == {"a": 3.0, "b": 0.5}
+
+    def test_total_bw(self):
+        sb = Scoreboard()
+        sb.update("a", bw_rate=2.0, score=1.0)
+        sb.update("b", bw_rate=3.0, score=1.0)
+        assert sb.total_bw() == pytest.approx(5.0)
+
+    def test_clear(self):
+        sb = Scoreboard()
+        sb.update("a", bw_rate=2.0, score=1.0)
+        sb.clear()
+        assert len(sb) == 0
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError):
+            Scoreboard().update("a", bw_rate=-1.0, score=0.0)
+
+    def test_negative_demand_raises(self):
+        with pytest.raises(ValueError):
+            Scoreboard().update("a", bw_rate=1.0, score=0.0, demand=-1.0)

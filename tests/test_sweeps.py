@@ -1,0 +1,44 @@
+"""Tests for repro.experiments.sweeps (appendix-F customization)."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    SweepPoint,
+    format_sweep,
+    sweep_dram_bandwidth,
+    sweep_l2_capacity,
+    sweep_num_tiles,
+)
+
+
+class TestSweepPoint:
+    def test_advantage(self):
+        p = SweepPoint(label="x", moca_sla=0.8, static_sla=0.4)
+        assert p.advantage == pytest.approx(2.0)
+
+    def test_advantage_zero_static(self):
+        p = SweepPoint(label="x", moca_sla=0.8, static_sla=0.0)
+        assert p.advantage == float("inf")
+
+
+class TestSweeps:
+    def test_dram_sweep_points(self):
+        points = sweep_dram_bandwidth(values=(8.0, 16.0), num_tasks=24,
+                                      seeds=(1,))
+        assert [p.label for p in points] == ["8 B/cyc", "16 B/cyc"]
+        assert all(0.0 <= p.moca_sla <= 1.0 for p in points)
+
+    def test_l2_sweep_points(self):
+        points = sweep_l2_capacity(values=(2 * 1024 * 1024,), num_tasks=24,
+                                   seeds=(1,))
+        assert points[0].label == "2 MiB"
+
+    def test_tiles_sweep_points(self):
+        points = sweep_num_tiles(values=(4, 8), num_tasks=24, seeds=(1,))
+        assert [p.label for p in points] == ["4 tiles", "8 tiles"]
+
+    def test_format(self):
+        points = [SweepPoint(label="a", moca_sla=0.5, static_sla=0.25)]
+        text = format_sweep("title", points)
+        assert "title" in text
+        assert "2.00x" in text

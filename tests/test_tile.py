@@ -1,0 +1,89 @@
+"""Tests for repro.accelerator.tile (compute model)."""
+
+import dataclasses
+
+import pytest
+
+from repro.accelerator.tile import (
+    compute_cycles,
+    layer_compute_cycles,
+    max_useful_tiles,
+)
+from repro.config import DEFAULT_SOC
+from repro.models.layers import ConvLayer, DenseLayer, PoolLayer
+
+
+def _big_conv():
+    return ConvLayer("c", in_h=56, in_w=56, in_ch=64, out_ch=64, kernel=3,
+                     padding=1)
+
+
+class TestMaxUsefulTiles:
+    def test_mem_layer_single_tile(self):
+        pool = PoolLayer("p", in_h=8, in_w=8, channels=16)
+        assert max_useful_tiles(pool, DEFAULT_SOC) == 1
+
+    def test_large_layer_uses_all_tiles(self):
+        assert max_useful_tiles(_big_conv(), DEFAULT_SOC) == 8
+
+    def test_tiny_layer_capped(self):
+        tiny = DenseLayer("fc", in_features=16, out_features=16)
+        assert max_useful_tiles(tiny, DEFAULT_SOC) == 1
+
+    def test_never_exceeds_soc_tiles(self):
+        assert max_useful_tiles(_big_conv(), DEFAULT_SOC) <= DEFAULT_SOC.num_tiles
+
+
+class TestLayerComputeCycles:
+    def test_mem_layer_zero(self):
+        pool = PoolLayer("p", in_h=8, in_w=8, channels=16)
+        assert layer_compute_cycles(pool, DEFAULT_SOC, 1) == 0.0
+
+    def test_single_tile_formula(self):
+        conv = _big_conv()
+        cycles = layer_compute_cycles(conv, DEFAULT_SOC, 1)
+        expected = conv.macs / DEFAULT_SOC.tile.effective_macs_per_cycle
+        assert cycles == pytest.approx(expected)
+
+    def test_more_tiles_faster(self):
+        conv = _big_conv()
+        t1 = layer_compute_cycles(conv, DEFAULT_SOC, 1)
+        t4 = layer_compute_cycles(conv, DEFAULT_SOC, 4)
+        t8 = layer_compute_cycles(conv, DEFAULT_SOC, 8)
+        assert t1 > t4 > t8
+
+    def test_sublinear_scaling(self):
+        conv = _big_conv()
+        t1 = layer_compute_cycles(conv, DEFAULT_SOC, 1)
+        t8 = layer_compute_cycles(conv, DEFAULT_SOC, 8)
+        # Perfect scaling would be 8x; alpha < 1 gives less.
+        assert t1 / t8 < 8.0
+        assert t1 / t8 == pytest.approx(8 ** DEFAULT_SOC.multi_tile_alpha)
+
+    def test_linear_when_alpha_one(self):
+        soc = dataclasses.replace(DEFAULT_SOC, multi_tile_alpha=1.0)
+        conv = _big_conv()
+        t1 = layer_compute_cycles(conv, soc, 1)
+        t8 = layer_compute_cycles(conv, soc, 8)
+        assert t1 / t8 == pytest.approx(8.0)
+
+    def test_tiles_beyond_useful_no_gain(self):
+        tiny = DenseLayer("fc", in_features=16, out_features=16)
+        t1 = layer_compute_cycles(tiny, DEFAULT_SOC, 1)
+        t8 = layer_compute_cycles(tiny, DEFAULT_SOC, 8)
+        assert t1 == pytest.approx(t8)
+
+    def test_invalid_tiles(self):
+        with pytest.raises(ValueError):
+            layer_compute_cycles(_big_conv(), DEFAULT_SOC, 0)
+
+
+class TestComputeCycles:
+    def test_sums_over_layers(self):
+        layers = [_big_conv(), DenseLayer("fc", 1024, 1024)]
+        total = compute_cycles(layers, DEFAULT_SOC, 2)
+        parts = sum(layer_compute_cycles(l, DEFAULT_SOC, 2) for l in layers)
+        assert total == pytest.approx(parts)
+
+    def test_empty_is_zero(self):
+        assert compute_cycles([], DEFAULT_SOC, 2) == 0.0

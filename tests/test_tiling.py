@@ -1,0 +1,83 @@
+"""Tests for repro.accelerator.tiling (scratchpad tiling plans)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accelerator.tiling import TilingPlan, plan_tiling
+from repro.config import DEFAULT_SOC
+from repro.models.layers import ConvLayer, DenseLayer, PoolLayer
+from repro.models.zoo import build_model, model_names
+
+
+class TestTilingPlan:
+    def test_validates_factor(self):
+        with pytest.raises(ValueError):
+            TilingPlan(per_tile_bytes=10, tiling_factor=0, refetch_bytes=0)
+
+    def test_validates_bytes(self):
+        with pytest.raises(ValueError):
+            TilingPlan(per_tile_bytes=-1, tiling_factor=1, refetch_bytes=0)
+
+
+class TestPlanTiling:
+    def test_mem_layer_trivial(self):
+        pool = PoolLayer("p", in_h=8, in_w=8, channels=16)
+        plan = plan_tiling(pool, DEFAULT_SOC)
+        assert plan.tiling_factor == 1
+        assert plan.refetch_bytes == 0
+
+    def test_small_layer_fits(self):
+        conv = ConvLayer("c", in_h=8, in_w=8, in_ch=16, out_ch=16, kernel=3,
+                         padding=1)
+        plan = plan_tiling(conv, DEFAULT_SOC)
+        assert plan.tiling_factor == 1
+        assert plan.per_tile_bytes == (
+            conv.weight_bytes + conv.input_bytes + conv.output_bytes
+        )
+
+    def test_large_dense_splits_outputs(self):
+        fc = DenseLayer("fc", in_features=9216, out_features=4096)
+        plan = plan_tiling(fc, DEFAULT_SOC)
+        assert plan.tiling_factor > 1
+        assert plan.refetch_bytes == 0  # weights stream once
+
+    def test_large_conv_weights_resident(self):
+        # Activations too big, weights small: spatial split, no refetch.
+        conv = ConvLayer("c", in_h=416, in_w=416, in_ch=32, out_ch=64,
+                         kernel=3, padding=1)
+        plan = plan_tiling(conv, DEFAULT_SOC)
+        assert plan.tiling_factor > 1
+        assert plan.refetch_bytes == 0
+
+    def test_huge_weights_force_channel_split_and_refetch(self):
+        conv = ConvLayer("c", in_h=14, in_w=14, in_ch=512, out_ch=1024,
+                         kernel=3, padding=1)
+        assert conv.weight_bytes > DEFAULT_SOC.tile.scratchpad_bytes
+        plan = plan_tiling(conv, DEFAULT_SOC)
+        assert plan.tiling_factor > 1
+        assert plan.refetch_bytes > 0
+
+    def test_per_tile_never_exceeds_scratchpad_for_compute(self):
+        conv = ConvLayer("c", in_h=14, in_w=14, in_ch=512, out_ch=1024,
+                         kernel=3, padding=1)
+        plan = plan_tiling(conv, DEFAULT_SOC)
+        assert plan.per_tile_bytes <= DEFAULT_SOC.tile.scratchpad_bytes
+
+    @pytest.mark.parametrize("name", model_names())
+    def test_zoo_layers_all_plannable(self, name):
+        for layer in build_model(name).layers:
+            plan = plan_tiling(layer, DEFAULT_SOC)
+            assert plan.tiling_factor >= 1
+            assert plan.per_tile_bytes >= 0
+            assert plan.refetch_bytes >= 0
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=2048),
+        st.integers(min_value=1, max_value=2048),
+    )
+    def test_property_dense_plans_valid(self, h, in_f, out_f):
+        fc = DenseLayer("fc", in_features=in_f * 8, out_features=out_f)
+        plan = plan_tiling(fc, DEFAULT_SOC)
+        assert plan.tiling_factor >= 1
+        assert plan.per_tile_bytes > 0

@@ -1,0 +1,50 @@
+"""Tests for repro.sim.trace."""
+
+from repro.sim.trace import Trace, TraceEvent
+
+
+class TestTrace:
+    def test_log_and_len(self):
+        trace = Trace()
+        trace.log(10.0, TraceEvent.DISPATCH, "a")
+        trace.log(20.0, TraceEvent.START, "a")
+        assert len(trace) == 2
+
+    def test_disabled_drops(self):
+        trace = Trace(enabled=False)
+        trace.log(10.0, TraceEvent.DISPATCH, "a")
+        assert len(trace) == 0
+
+    def test_of_kind(self):
+        trace = Trace()
+        trace.log(1.0, TraceEvent.START, "a")
+        trace.log(2.0, TraceEvent.FINISH, "a")
+        trace.log(3.0, TraceEvent.START, "b")
+        starts = trace.of_kind(TraceEvent.START)
+        assert [r.job_id for r in starts] == ["a", "b"]
+
+    def test_for_job(self):
+        trace = Trace()
+        trace.log(1.0, TraceEvent.START, "a")
+        trace.log(2.0, TraceEvent.START, "b")
+        assert len(trace.for_job("a")) == 1
+
+    def test_count(self):
+        trace = Trace()
+        trace.log(1.0, TraceEvent.BW_RECONFIG, "a")
+        trace.log(2.0, TraceEvent.BW_RECONFIG, "a")
+        trace.log(3.0, TraceEvent.BW_RECONFIG, "b")
+        assert trace.count(TraceEvent.BW_RECONFIG) == 3
+        assert trace.count(TraceEvent.BW_RECONFIG, "a") == 2
+
+    def test_format_limit(self):
+        trace = Trace()
+        for i in range(5):
+            trace.log(float(i), TraceEvent.DISPATCH, f"t{i}")
+        text = trace.format(limit=2)
+        assert "t0" in text and "t1" in text and "t4" not in text
+
+    def test_format_contains_detail(self):
+        trace = Trace()
+        trace.log(1.0, TraceEvent.TILE_REPARTITION, "a", "tiles=4")
+        assert "tiles=4" in trace.format()

@@ -1,0 +1,64 @@
+"""Tests for repro.sim.tracefile (scenario serialization)."""
+
+import json
+
+import pytest
+
+from repro.config import DEFAULT_SOC
+from repro.models.zoo import workload_set
+from repro.sim.tracefile import dump_tasks, load_tasks
+from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def tasks(mem):
+    gen = WorkloadGenerator(DEFAULT_SOC, workload_set("A"), mem)
+    return gen.generate(WorkloadConfig(num_tasks=20, seed=9))
+
+
+class TestRoundTrip:
+    def test_bit_exact_workload_fields(self, tasks, mem):
+        restored = load_tasks(dump_tasks(tasks), DEFAULT_SOC, mem)
+        assert len(restored) == len(tasks)
+        for a, b in zip(tasks, restored):
+            assert a.task_id == b.task_id
+            assert a.network_name == b.network_name
+            assert a.dispatch_cycle == b.dispatch_cycle
+            assert a.priority == b.priority
+            assert a.qos_target_cycles == b.qos_target_cycles
+
+    def test_costs_rederived(self, tasks, mem):
+        restored = load_tasks(dump_tasks(tasks), DEFAULT_SOC, mem)
+        for a, b in zip(tasks, restored):
+            assert b.cost is a.cost  # same cache entry for same SoC
+
+    def test_simulation_identical(self, tasks, mem):
+        from repro.baselines.static_partition import StaticPartitionPolicy
+        from repro.sim.engine import run_simulation
+
+        restored = load_tasks(dump_tasks(tasks), DEFAULT_SOC, mem)
+        r1 = run_simulation(DEFAULT_SOC, tasks, StaticPartitionPolicy(),
+                            mem=mem)
+        r2 = run_simulation(DEFAULT_SOC, restored, StaticPartitionPolicy(),
+                            mem=mem)
+        for a, b in zip(r1.results, r2.results):
+            assert a.finished_at == b.finished_at
+
+
+class TestValidation:
+    def test_bad_json_raises(self):
+        with pytest.raises(ValueError, match="not a scenario"):
+            load_tasks("{nope", DEFAULT_SOC)
+
+    def test_wrong_version_raises(self, tasks):
+        payload = json.loads(dump_tasks(tasks))
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            load_tasks(json.dumps(payload), DEFAULT_SOC)
+
+    def test_sorted_on_load(self, tasks, mem):
+        payload = json.loads(dump_tasks(tasks))
+        payload["tasks"].reverse()
+        restored = load_tasks(json.dumps(payload), DEFAULT_SOC, mem)
+        dispatches = [t.dispatch_cycle for t in restored]
+        assert dispatches == sorted(dispatches)

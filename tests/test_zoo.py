@@ -1,0 +1,171 @@
+"""Tests for the model zoo: published shapes and Table III grouping."""
+
+import pytest
+
+from repro.models.graph import Network
+from repro.models.layers import LayerKind
+from repro.models.zoo import (
+    MODEL_BUILDERS,
+    WORKLOAD_SET_A,
+    WORKLOAD_SET_B,
+    WORKLOAD_SET_C,
+    build_model,
+    model_names,
+    workload_set,
+)
+
+
+class TestRegistry:
+    def test_seven_models(self):
+        assert len(model_names()) == 7
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model("vgg16")
+
+    def test_models_cached(self):
+        assert build_model("alexnet") is build_model("alexnet")
+
+    @pytest.mark.parametrize("name", model_names())
+    def test_builders_produce_networks(self, name):
+        assert isinstance(build_model(name), Network)
+
+
+class TestWorkloadSets:
+    def test_set_a_is_light(self):
+        assert set(WORKLOAD_SET_A) == {"squeezenet", "yolo_lite", "kws"}
+
+    def test_set_b_is_heavy(self):
+        assert set(WORKLOAD_SET_B) == {
+            "googlenet", "alexnet", "resnet50", "yolov2"
+        }
+
+    def test_set_c_is_union(self):
+        assert set(WORKLOAD_SET_C) == set(WORKLOAD_SET_A) | set(WORKLOAD_SET_B)
+
+    def test_light_models_smaller_than_heavy(self):
+        light = max(build_model(n).total_weight_bytes for n in WORKLOAD_SET_A)
+        heavy = min(build_model(n).total_weight_bytes for n in WORKLOAD_SET_B)
+        assert light < heavy
+
+    def test_workload_set_lookup(self):
+        nets = workload_set("a")
+        assert [n.name for n in nets] == list(WORKLOAD_SET_A)
+
+    def test_workload_set_invalid(self):
+        with pytest.raises(KeyError):
+            workload_set("D")
+
+
+class TestPublishedShapes:
+    """Check the zoo against the models' published parameter/MAC counts."""
+
+    def test_alexnet_params(self):
+        # ~61 M parameters (Krizhevsky et al.).
+        net = build_model("alexnet")
+        assert 58e6 < net.total_weight_bytes < 64e6
+
+    def test_alexnet_macs(self):
+        # ~0.72 GMACs at 227x227.
+        assert 0.6e9 < build_model("alexnet").total_macs < 0.8e9
+
+    def test_alexnet_fc_dominated(self):
+        net = build_model("alexnet")
+        fc_weights = sum(
+            l.weight_bytes for l in net.layers if l.name.startswith("fc")
+        )
+        assert fc_weights > 0.9 * net.total_weight_bytes
+
+    def test_squeezenet_params(self):
+        # 1.25 M parameters — "50x fewer than AlexNet".
+        net = build_model("squeezenet")
+        assert 1.1e6 < net.total_weight_bytes < 1.5e6
+        ratio = build_model("alexnet").total_weight_bytes / net.total_weight_bytes
+        assert ratio > 40
+
+    def test_resnet50_params(self):
+        # ~25.5 M parameters.
+        net = build_model("resnet50")
+        assert 24e6 < net.total_weight_bytes < 27e6
+
+    def test_resnet50_macs(self):
+        # ~4.1 GMACs at 224x224.
+        assert 3.8e9 < build_model("resnet50").total_macs < 4.3e9
+
+    def test_resnet50_has_16_residual_adds(self):
+        net = build_model("resnet50")
+        adds = [l for l in net.layers if l.name.endswith("_add")]
+        assert len(adds) == 16
+
+    def test_googlenet_params(self):
+        # ~7 M parameters.
+        net = build_model("googlenet")
+        assert 6e6 < net.total_weight_bytes < 8e6
+
+    def test_googlenet_macs(self):
+        # ~1.6 GMACs.
+        assert 1.4e9 < build_model("googlenet").total_macs < 1.8e9
+
+    def test_googlenet_nine_inceptions(self):
+        net = build_model("googlenet")
+        concats = [l for l in net.layers if l.name.endswith("_concat")]
+        assert len(concats) == 9
+
+    def test_yolov2_macs(self):
+        # ~14.7 GMACs at 416x416 (29.5 GFLOPs).
+        assert 13e9 < build_model("yolov2").total_macs < 16e9
+
+    def test_yolov2_params(self):
+        # ~50 M parameters.
+        net = build_model("yolov2")
+        assert 45e6 < net.total_weight_bytes < 55e6
+
+    def test_yolo_lite_tiny(self):
+        # < 1 M parameters, < 0.5 GMACs: the real-time non-GPU detector.
+        net = build_model("yolo_lite")
+        assert net.total_weight_bytes < 1e6
+        assert net.total_macs < 0.5e9
+
+    def test_kws_smallest_params(self):
+        # res15 has ~238k parameters, the smallest in the suite.
+        net = build_model("kws")
+        assert net.total_weight_bytes == min(
+            build_model(n).total_weight_bytes for n in model_names()
+        )
+
+    def test_kws_res15_depth(self):
+        # Stem + 6 residual blocks x 2 convs = 13 convolutions.
+        net = build_model("kws")
+        convs = [l for l in net.layers
+                 if l.kind is LayerKind.COMPUTE and "conv" in l.name]
+        assert len(convs) == 13
+
+
+class TestStructuralSanity:
+    @pytest.mark.parametrize("name", model_names())
+    def test_positive_macs(self, name):
+        assert build_model(name).total_macs > 0
+
+    @pytest.mark.parametrize("name", model_names())
+    def test_has_compute_layers(self, name):
+        assert len(build_model(name).compute_layers) > 0
+
+    @pytest.mark.parametrize("name", model_names())
+    def test_unique_layer_names(self, name):
+        net = build_model(name)
+        names = [l.name for l in net.layers]
+        assert len(names) == len(set(names))
+
+    @pytest.mark.parametrize("name", model_names())
+    def test_input_bytes_positive(self, name):
+        assert build_model(name).input_bytes > 0
+
+    @pytest.mark.parametrize("name", model_names())
+    def test_domain_assigned(self, name):
+        assert build_model(name).domain
+
+    def test_classification_nets_end_in_1000_classes(self):
+        for name in ("alexnet", "resnet50", "googlenet"):
+            net = build_model(name)
+            last_compute = net.compute_layers[-1]
+            assert last_compute.output_bytes in (1000, 4000)
