@@ -5,6 +5,11 @@ views of the same simulations, exactly as in the paper), computed once
 per session at a reduced-but-representative size.  Set
 ``REPRO_BENCH_TASKS`` / ``REPRO_BENCH_SEEDS`` to scale up to the
 paper's full 250-task, multi-seed configuration.
+
+The matrix is computed through the parallel experiment executor
+(:mod:`repro.experiments.parallel`), one worker per CPU by default;
+``REPRO_BENCH_WORKERS=1`` forces the serial path (both paths produce
+identical metrics).
 """
 
 import os
@@ -17,10 +22,13 @@ BENCH_TASKS = int(os.environ.get("REPRO_BENCH_TASKS", "120"))
 BENCH_SEEDS = tuple(
     int(s) for s in os.environ.get("REPRO_BENCH_SEEDS", "1,2").split(",")
 )
+BENCH_WORKERS = int(
+    os.environ.get("REPRO_BENCH_WORKERS", str(os.cpu_count() or 1))
+)
 
 
 @pytest.fixture(scope="session")
 def paper_matrix():
     """The nine-scenario evaluation matrix shared by Figures 5-8."""
     specs = standard_matrix(num_tasks=BENCH_TASKS, seeds=BENCH_SEEDS)
-    return run_matrix(specs)
+    return run_matrix(specs, workers=BENCH_WORKERS)

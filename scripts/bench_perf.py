@@ -1,0 +1,246 @@
+"""Performance trajectory benchmark: serial vs parallel, engine hot path.
+
+Times a fixed reference matrix (the paper's nine scenarios at a reduced
+size) through the serial and parallel experiment executors, measures
+the simulator's event rate with and without the incremental
+(epoch-cached) hot path, checks the two executor paths produce
+bit-identical metrics, and writes everything to ``BENCH_perf.json`` so
+every future performance PR has a trajectory to beat.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py [--tasks 120]
+        [--seeds 1,2] [--workers N] [--out BENCH_perf.json]
+
+Exit status is non-zero when the parallel path produced different
+metrics than the serial path, or when it was *slower* than serial while
+``workers >= 2`` on a machine that actually has >= 2 CPUs (on a 1-CPU
+box a process pool can only add overhead, so the speed gate is
+informational there).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.config import DEFAULT_SOC
+from repro.core.latency import build_network_cost, clear_predict_memos
+from repro.core.policy import MoCAPolicy
+from repro.experiments.parallel import ParallelRunner, matrices_identical
+from repro.experiments.runner import run_matrix, standard_matrix
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.models.zoo import workload_set
+from repro.sim.engine import Simulator
+from repro.sim.qos import QosLevel, QosModel
+from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+
+
+class _AlwaysRecomputeSimulator(Simulator):
+    """The seed behaviour for comparison: defeat the epoch cache and
+    the per-block prediction memos so every event re-predicts every
+    block and re-solves the arbiter — same algorithm, no reuse."""
+
+    def current_block_times(self):
+        self._times_epoch = -1
+        for job in self.running:
+            job.current_block.clear_predict_memo()
+        return super().current_block_times()
+
+
+def _bench_engine(num_tasks: int, seed: int) -> Dict[str, object]:
+    """Event-rate micro-benchmark of one reference MoCA simulation."""
+    soc = DEFAULT_SOC
+    mem = MemoryHierarchy.from_soc(soc)
+    gen = WorkloadGenerator(
+        soc, workload_set("C"), mem, QosModel(soc, slack_factor=2.0)
+    )
+    tasks = gen.generate(
+        WorkloadConfig(
+            num_tasks=num_tasks,
+            qos_level=QosLevel.MEDIUM,
+            load_factor=0.7,
+            seed=seed,
+        )
+    )
+    out: Dict[str, object] = {}
+    for label, sim_cls in (
+        ("incremental", Simulator),
+        ("always_recompute", _AlwaysRecomputeSimulator),
+    ):
+        policy = MoCAPolicy()
+        policy.reset()
+        sim = sim_cls(soc, tasks, policy, mem=mem)
+        t0 = time.perf_counter()
+        result = sim.run()
+        elapsed = time.perf_counter() - t0
+        out[label] = {
+            "seconds": round(elapsed, 4),
+            "events": result.events,
+            "events_per_sec": round(result.events / elapsed, 1),
+            "block_time_recomputes": result.block_time_recomputes,
+            "block_time_reuses": result.block_time_reuses,
+            "makespan": result.makespan,
+        }
+        # Full per-task results for the divergence gate below (makespan
+        # alone could mask a cache bug that leaves the last finish
+        # time untouched); stripped before the JSON is written.
+        out[
+            "_results_incremental" if sim_cls is Simulator
+            else "_results_always"
+        ] = tuple(result.results)
+    inc = out["incremental"]
+    base = out["always_recompute"]
+    if (
+        inc["makespan"] != base["makespan"]
+        or out["_results_incremental"] != out["_results_always"]
+    ):
+        raise AssertionError(
+            "incremental engine diverged from always-recompute engine"
+        )
+    del out["_results_incremental"], out["_results_always"]
+    out["event_rate_speedup"] = round(
+        inc["events_per_sec"] / base["events_per_sec"], 3
+    )
+    return out
+
+
+def _prewarm_caches() -> None:
+    """Build every workload set's network costs up front so the serial
+    and parallel timings below both start from warm caches (forked
+    workers inherit them; a cold first run would bias the ratio)."""
+    soc = DEFAULT_SOC
+    mem = MemoryHierarchy.from_soc(soc)
+    for set_name in ("A", "B", "C"):
+        for net in workload_set(set_name):
+            build_network_cost(net, soc, mem)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--tasks", type=int, default=120)
+    parser.add_argument(
+        "--seeds",
+        type=lambda s: tuple(int(x) for x in s.split(",") if x),
+        default=(1, 2),
+    )
+    parser.add_argument(
+        "--workers", type=int, default=max(2, os.cpu_count() or 1)
+    )
+    parser.add_argument("--out", default="BENCH_perf.json")
+    args = parser.parse_args(argv)
+    if not args.seeds:
+        parser.error("--seeds must name at least one seed")
+    cpu_count = os.cpu_count() or 1
+
+    print(
+        f"reference matrix: 9 scenarios x 4 policies x {len(args.seeds)} "
+        f"seed(s), {args.tasks} tasks/cell",
+        file=sys.stderr,
+    )
+
+    engine = _bench_engine(args.tasks, seed=args.seeds[0])
+    print(
+        f"engine: {engine['incremental']['events_per_sec']:,} ev/s "
+        f"incremental vs "
+        f"{engine['always_recompute']['events_per_sec']:,} ev/s "
+        f"always-recompute "
+        f"(x{engine['event_rate_speedup']})",
+        file=sys.stderr,
+    )
+
+    specs = standard_matrix(num_tasks=args.tasks, seeds=args.seeds)
+    _prewarm_caches()
+
+    # Each timed leg starts with cold per-block predict memos so the
+    # serial run's in-process warm-up cannot subsidise the forked
+    # workers (or vice versa).
+    clear_predict_memos()
+    t0 = time.perf_counter()
+    serial_matrix = run_matrix(specs)
+    serial_s = time.perf_counter() - t0
+    print(f"serial matrix:   {serial_s:6.2f}s", file=sys.stderr)
+
+    runner = ParallelRunner(workers=args.workers or None)
+    clear_predict_memos()
+    t0 = time.perf_counter()
+    parallel_matrix = runner.run_matrix(specs)
+    parallel_s = time.perf_counter() - t0
+    print(
+        f"parallel matrix: {parallel_s:6.2f}s "
+        f"(workers={runner.workers}, mode={runner.last_mode})",
+        file=sys.stderr,
+    )
+
+    identical = matrices_identical(serial_matrix, parallel_matrix)
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cell_seconds = sorted(t.seconds for t in runner.last_timings)
+    gate_applies = (
+        runner.workers >= 2
+        and cpu_count >= 2
+        and runner.last_mode == "parallel"
+    )
+    gate_ok = (not gate_applies) or speedup >= 1.0
+
+    report = {
+        "reference": {
+            "scenarios": len(specs),
+            "policies": 4,
+            "seeds": list(args.seeds),
+            "tasks_per_cell": args.tasks,
+            "cells": len(cell_seconds),
+        },
+        "host": {"cpu_count": cpu_count},
+        "serial": {"seconds": round(serial_s, 3)},
+        "parallel": {
+            "seconds": round(parallel_s, 3),
+            "workers": runner.workers,
+            "mode": runner.last_mode,
+            "cell_seconds_min": round(cell_seconds[0], 3),
+            "cell_seconds_max": round(cell_seconds[-1], 3),
+            "cell_seconds_mean": round(
+                sum(cell_seconds) / len(cell_seconds), 3
+            ),
+        },
+        "speedup": round(speedup, 3),
+        "identical_metrics": identical,
+        "engine": engine,
+        "gate": {
+            "applies": gate_applies,
+            "passed": gate_ok,
+            "note": (
+                "parallel must not be slower than serial when the "
+                "pool actually ran with >= 2 workers on a multi-CPU "
+                "host"
+            ),
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(
+        f"speedup x{speedup:.2f}, identical_metrics={identical} "
+        f"-> {args.out}",
+        file=sys.stderr,
+    )
+
+    if not identical:
+        print("FAIL: parallel metrics differ from serial", file=sys.stderr)
+        return 1
+    if not gate_ok:
+        print(
+            f"FAIL: parallel path slower than serial "
+            f"(x{speedup:.2f}) with {runner.workers} workers on "
+            f"{cpu_count} CPUs",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,5 @@
-"""Quick end-to-end smoke run of all four policies on one scenario."""
+"""Quick end-to-end smoke run of all four policies on one scenario,
+plus a tiny 2-worker parallel matrix cross-checked against serial."""
 
 import sys
 import time
@@ -6,6 +7,8 @@ import time
 from repro.baselines import PlanariaPolicy, PremaPolicy, StaticPartitionPolicy
 from repro.config import DEFAULT_SOC
 from repro.core.policy import MoCAPolicy
+from repro.experiments.parallel import ParallelRunner, matrices_identical
+from repro.experiments.runner import ScenarioSpec, run_scenario
 from repro.metrics import summarize
 from repro.models.zoo import workload_set
 from repro.sim.engine import run_simulation
@@ -33,6 +36,26 @@ def main() -> None:
             f"stp/n={s.stp_normalized:5.2f} fair={s.fairness:7.4f} "
             f"slow={s.mean_slowdown:6.2f} t={time.time() - t0:5.2f}s"
         )
+
+    # Tier-1-adjacent: a tiny 2-worker parallel matrix must reproduce
+    # the serial path bit-for-bit.
+    spec = ScenarioSpec(
+        workload_set=set_name, qos_level=level,
+        num_tasks=min(n, 24), seeds=(1,),
+    )
+    t0 = time.time()
+    serial = run_scenario(spec)
+    runner = ParallelRunner(workers=2)
+    parallel = runner.run_scenario(spec)
+    match = matrices_identical(
+        {spec.label: serial}, {spec.label: parallel}
+    )
+    print(
+        f"parallel(2) vs serial [{runner.last_mode}]: "
+        f"{'OK' if match else 'MISMATCH'} t={time.time() - t0:5.2f}s"
+    )
+    if not match:
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":

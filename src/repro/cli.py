@@ -45,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"paper {name} matrix")
         p.add_argument("--tasks", type=int, default=250)
         p.add_argument("--seeds", type=_parse_seeds, default=(1, 2, 3))
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help="worker processes for the matrix cells "
+                 "(1 = serial, 0 = one per CPU)",
+        )
 
     sub.add_parser("table4", help="area breakdown")
     sub.add_parser("validate", help="latency-model validation")
@@ -60,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--tasks", type=int, default=250)
     p_all.add_argument("--seeds", type=_parse_seeds, default=(1, 2, 3))
     p_all.add_argument("--trials", type=int, default=300)
+    p_all.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the matrix cells "
+             "(1 = serial, 0 = one per CPU)",
+    )
     return parser
 
 
@@ -91,7 +101,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "fig1":
         print(format_fig1(run_fig1(trials=args.trials, seed=args.seed)))
     elif args.command in ("fig5", "fig6", "fig7", "fig8"):
-        matrix = run_fig5(num_tasks=args.tasks, seeds=args.seeds)
+        matrix = run_fig5(
+            num_tasks=args.tasks, seeds=args.seeds, workers=args.workers
+        )
         formatter = {
             "fig5": format_fig5,
             "fig6": format_fig6,
@@ -126,7 +138,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "all":
         print(format_fig1(run_fig1(trials=args.trials)))
         print()
-        matrix = run_fig5(num_tasks=args.tasks, seeds=args.seeds)
+        matrix = run_fig5(
+            num_tasks=args.tasks, seeds=args.seeds, workers=args.workers
+        )
         for fmt in (format_fig5, format_fig6, format_fig7, format_fig8):
             print(fmt(matrix))
             print()

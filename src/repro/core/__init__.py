@@ -6,6 +6,7 @@ from repro.core.latency import (
     NetworkCost,
     build_block_cost,
     build_network_cost,
+    clear_network_cost_cache,
     estimate_layer,
     estimate_network,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "Scoreboard",
     "build_block_cost",
     "build_network_cost",
+    "clear_network_cost_cache",
     "estimate_layer",
     "estimate_network",
 ]

@@ -155,7 +155,8 @@ class MoCARuntime:
         dram_bw = self.mem.dram_bandwidth
         l2_bw = self.mem.l2_bandwidth
 
-        # Lines 3-4: unconstrained prediction and demand for this block.
+        # Lines 3-4: unconstrained prediction and demand for this block
+        # (both served from the BlockCost memo after the first solve).
         prediction = block.predict(
             num_tiles, dram_bw, l2_bw, self.soc.overlap_f
         )

@@ -1,19 +1,24 @@
 """Experiment harness: one module per paper figure/table (DESIGN.md §3)."""
 
+from repro.experiments.parallel import CellTiming, ParallelRunner
 from repro.experiments.runner import (
     PolicyFactory,
     ScenarioResult,
     ScenarioSpec,
     default_policies,
+    run_cell,
     run_matrix,
     run_scenario,
 )
 
 __all__ = [
+    "CellTiming",
+    "ParallelRunner",
     "PolicyFactory",
     "ScenarioResult",
     "ScenarioSpec",
     "default_policies",
+    "run_cell",
     "run_matrix",
     "run_scenario",
 ]

@@ -35,11 +35,16 @@ def run_fig5(
     seeds: Tuple[int, ...] = (1, 2, 3),
     soc: Optional[SoCConfig] = None,
     specs: Optional[Sequence[ScenarioSpec]] = None,
+    workers: int = 1,
 ) -> Matrix:
-    """Run the full Figure 5 matrix."""
+    """Run the full Figure 5 matrix.
+
+    ``workers > 1`` (or ``0`` for auto) distributes the matrix cells
+    over a process pool (see :mod:`repro.experiments.parallel`).
+    """
     if specs is None:
         specs = standard_matrix(num_tasks=num_tasks, seeds=seeds)
-    return run_matrix(specs, soc=soc)
+    return run_matrix(specs, soc=soc, workers=workers)
 
 
 def format_fig5(matrix: Matrix) -> str:

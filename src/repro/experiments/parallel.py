@@ -1,0 +1,293 @@
+"""Parallel experiment executor: fan the evaluation matrix over processes.
+
+The paper's evaluation is a matrix of independent cells — one
+``(scenario, policy, seed)`` triple per simulation — and every cell is
+a pure function of its inputs (the workload generator reseeds from the
+cell's seed, the engine is exactly deterministic).  That makes the
+harness embarrassingly parallel, and this module exploits it with a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Process-pool model
+------------------
+
+:class:`ParallelRunner` flattens ``specs x policies x seeds`` into a
+list of cell payloads and ships them to worker processes with
+``Executor.map`` in chunks (``chunk_size`` cells per pickle round-trip;
+the default splits the payload list evenly across workers with a small
+oversubscription factor so stragglers rebalance).  Each worker rebuilds
+the scenario environment — memory hierarchy, QoS model, workload
+generator — from the payload, regenerates the cell's task stream from
+its seed, runs the simulation and returns the
+:class:`~repro.metrics.MetricsSummary` plus the cell's wall-clock
+seconds.  Results are reassembled into exactly the mapping the serial
+:func:`repro.experiments.runner.run_matrix` produces, with per-seed
+summaries in spec order, so the two paths are drop-in interchangeable
+and numerically identical.
+
+Pickling constraints
+--------------------
+
+Everything crossing the process boundary must pickle: the
+:class:`ScenarioSpec`, the :class:`SoCConfig` and each policy *factory*
+(the class itself, not an instance).  The four built-in policies are
+top-level classes and pickle fine; a lambda or closure factory does
+not, and the runner detects this up front and **falls back to serial
+in-process execution** (same cell code, same results) rather than
+failing.  The fallback also engages for ``workers=1``, single-cell
+matrices, and sandboxes where process pools cannot start.
+
+Per-cell worker state is cold: each forked/spawned worker re-derives
+the (deterministic) network block costs on first use, so the global
+``_NETWORK_COST_CACHE`` warms independently per process.  See
+:func:`repro.core.latency.clear_network_cost_cache` for tests that
+want explicit cold starts.
+
+Reading ``BENCH_perf.json``
+---------------------------
+
+``scripts/bench_perf.py`` times a fixed reference matrix through both
+paths and writes ``BENCH_perf.json``: ``serial.seconds`` vs
+``parallel.seconds`` (and their ratio, ``speedup``) measure this
+module; ``engine.events_per_sec`` and the ``block_time_*`` counters
+measure the simulator's incremental hot path; ``identical_metrics``
+asserts the two paths agreed bit-for-bit.  Every future performance PR
+should beat the checked-in trajectory.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DEFAULT_SOC, SoCConfig
+from repro.experiments.runner import (
+    PolicyFactory,
+    ScenarioResult,
+    ScenarioSpec,
+    default_policies,
+    run_cell,
+)
+from repro.metrics import MetricsSummary
+
+#: One unit of parallel work: (spec index, spec, policy name, policy
+#: factory, seed, SoC).  The spec index disambiguates duplicate labels.
+_CellPayload = Tuple[int, ScenarioSpec, str, PolicyFactory, int, SoCConfig]
+
+#: What a worker returns: (spec index, policy name, seed, summary,
+#: wall seconds spent on the cell).
+_CellOutcome = Tuple[int, str, int, MetricsSummary, float]
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Wall-clock cost of one (scenario, policy, seed) simulation.
+
+    Attributes:
+        label: Scenario label.
+        policy: Policy name.
+        seed: Workload seed.
+        seconds: Wall seconds the cell took inside its worker.
+    """
+
+    label: str
+    policy: str
+    seed: int
+    seconds: float
+
+
+def _run_cell(payload: _CellPayload) -> _CellOutcome:
+    """Execute one matrix cell (runs inside a worker process).
+
+    Delegates to :func:`repro.experiments.runner.run_cell` — the same
+    recipe the serial path uses — and adds the wall-clock timing.
+    """
+    spec_idx, spec, policy_name, factory, seed, soc = payload
+    t0 = time.perf_counter()
+    summary = run_cell(spec, policy_name, factory, seed, soc)
+    return spec_idx, policy_name, seed, summary, time.perf_counter() - t0
+
+
+def matrices_identical(
+    a: Dict[str, Dict[str, ScenarioResult]],
+    b: Dict[str, Dict[str, ScenarioResult]],
+) -> bool:
+    """Whether two matrix results carry identical metric summaries.
+
+    The serial and parallel executors must agree bit-for-bit; this is
+    the one comparison used by the smoke script, the perf benchmark
+    and any caller wanting to assert the equivalence.  Compare a
+    single scenario cell by wrapping it: ``{label: cell}``.
+    """
+    if set(a) != set(b):
+        return False
+    for label, cell in a.items():
+        if set(cell) != set(b[label]):
+            return False
+        for policy, result in cell.items():
+            if result.per_seed != b[label][policy].per_seed:
+                return False
+    return True
+
+
+def _picklable(obj: object) -> bool:
+    """Whether ``obj`` survives the process boundary."""
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+class ParallelRunner:
+    """Run evaluation matrices across a process pool.
+
+    Attributes:
+        workers: Worker process count; ``None`` auto-sizes to the CPU
+            count.  ``1`` always runs serially in-process.
+        chunk_size: Cells per ``Executor.map`` chunk; ``None`` derives
+            a chunk that splits the payload across ``4 x workers``
+            slices so uneven cells rebalance.
+        last_timings: Per-cell wall-clock timings of the most recent
+            :meth:`run_matrix` call, in submission order (spec, then
+            policy, then seed) — not completion order.
+        last_mode: ``"parallel"`` or ``"serial"`` — which path the most
+            recent :meth:`run_matrix` call actually took.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.last_timings: List[CellTiming] = []
+        self.last_mode: str = "serial"
+
+    # ------------------------------------------------------------------
+
+    def run_scenario(
+        self,
+        spec: ScenarioSpec,
+        policies: Optional[Dict[str, PolicyFactory]] = None,
+        soc: Optional[SoCConfig] = None,
+    ) -> Dict[str, ScenarioResult]:
+        """Parallel equivalent of :func:`runner.run_scenario`."""
+        matrix = self.run_matrix([spec], policies, soc)
+        return matrix[spec.label]
+
+    def run_matrix(
+        self,
+        specs: Sequence[ScenarioSpec],
+        policies: Optional[Dict[str, PolicyFactory]] = None,
+        soc: Optional[SoCConfig] = None,
+    ) -> Dict[str, Dict[str, ScenarioResult]]:
+        """Parallel equivalent of :func:`runner.run_matrix`.
+
+        Returns ``{scenario label: {policy: ScenarioResult}}`` with
+        numerically identical contents to the serial path.
+        """
+        if policies is None:
+            policies = default_policies()
+        if soc is None:
+            soc = DEFAULT_SOC
+        spec_list = list(specs)
+        payloads: List[_CellPayload] = [
+            (i, spec, name, factory, seed, soc)
+            for i, spec in enumerate(spec_list)
+            for name, factory in policies.items()
+            for seed in spec.seeds
+        ]
+        outcomes = self._execute(payloads)
+
+        by_cell: Dict[Tuple[int, str], Dict[int, MetricsSummary]] = {}
+        timings: List[CellTiming] = []
+        for spec_idx, name, seed, summary, seconds in outcomes:
+            by_cell.setdefault((spec_idx, name), {})[seed] = summary
+            timings.append(
+                CellTiming(
+                    label=spec_list[spec_idx].label,
+                    policy=name,
+                    seed=seed,
+                    seconds=seconds,
+                )
+            )
+        matrix: Dict[str, Dict[str, ScenarioResult]] = {}
+        for i, spec in enumerate(spec_list):
+            cell = {}
+            for name in policies:
+                per_seed = tuple(
+                    by_cell[(i, name)][seed] for seed in spec.seeds
+                )
+                cell[name] = ScenarioResult(
+                    policy=name, spec=spec, per_seed=per_seed
+                )
+            matrix[spec.label] = cell
+        self.last_timings = timings
+        return matrix
+
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self, payloads: List[_CellPayload]
+    ) -> List[_CellOutcome]:
+        """Run the cells, preferring the pool, degrading to serial."""
+        # Only the policy factories can realistically fail to pickle
+        # (specs and SoCs are frozen dataclasses of primitives), so
+        # probe the distinct factories instead of every payload —
+        # deduplicated by identity, since a factory need not be
+        # hashable to be a valid callable.
+        factories = tuple(
+            {id(p[3]): p[3] for p in payloads}.values()
+        )
+        if (
+            self.workers > 1
+            and len(payloads) > 1
+            and _picklable(factories)
+        ):
+            try:
+                return self._execute_pool(payloads)
+            except (OSError, BrokenProcessPool) as exc:
+                # Pool could not start or died (sandboxes, restricted
+                # environments, spawn-bootstrap child crashes); the
+                # cells are identical either way, only slower.  Errors
+                # raised *by a worker's simulation* (SimulationError
+                # and friends) propagate — rerunning serially would
+                # only hit them again.
+                print(
+                    f"parallel: process pool unavailable "
+                    f"({type(exc).__name__}: {exc}); running "
+                    f"{len(payloads)} cells serially",
+                    file=sys.stderr,
+                )
+        self.last_mode = "serial"
+        return [_run_cell(p) for p in payloads]
+
+    def _execute_pool(
+        self, payloads: List[_CellPayload]
+    ) -> List[_CellOutcome]:
+        # 61 is ProcessPoolExecutor's hard ceiling on Windows; capping
+        # everywhere keeps auto-sized runs from crashing there.
+        workers = min(self.workers, len(payloads), 61)
+        if self.chunk_size is not None:
+            chunk = self.chunk_size
+        else:
+            chunk = max(1, len(payloads) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(
+                pool.map(_run_cell, payloads, chunksize=chunk)
+            )
+        self.last_mode = "parallel"
+        return outcomes

@@ -27,6 +27,16 @@ from repro.sim.workload import WorkloadConfig, WorkloadGenerator
 
 PolicyFactory = Callable[[], Policy]
 
+
+def _parallel_runner(workers: int):
+    """Validate a ``workers`` count and build the parallel runner
+    (shared by :func:`run_scenario` and :func:`run_matrix`)."""
+    if workers < 0:
+        raise ValueError("workers must be >= 0 (0 = one per CPU)")
+    from repro.experiments.parallel import ParallelRunner
+
+    return ParallelRunner(workers=workers or None)
+
 #: The four systems of the paper's evaluation, in presentation order.
 POLICY_ORDER: Tuple[str, ...] = ("prema", "static", "planaria", "moca")
 
@@ -111,35 +121,62 @@ class ScenarioResult:
         return sum(vals) / len(vals)
 
 
-def run_scenario(
+def run_cell(
     spec: ScenarioSpec,
-    policies: Optional[Dict[str, PolicyFactory]] = None,
+    policy_name: str,
+    factory: PolicyFactory,
+    seed: int,
     soc: Optional[SoCConfig] = None,
-) -> Dict[str, ScenarioResult]:
-    """Run one scenario for every policy across all seeds."""
-    if policies is None:
-        policies = default_policies()
+) -> MetricsSummary:
+    """Run one (scenario, policy, seed) cell of the evaluation matrix.
+
+    This is the single source of truth for how a cell is built —
+    the serial loop below and the parallel executor's workers both
+    call it, which is what makes the two paths bit-identical.  The
+    cell is a pure function of its arguments: the workload generator
+    reseeds from ``seed`` and the engine is exactly deterministic.
+    """
     if soc is None:
         soc = DEFAULT_SOC
     mem = MemoryHierarchy.from_soc(soc)
     qos = QosModel(soc, slack_factor=spec.slack_factor)
     networks: List[Network] = workload_set(spec.workload_set)
     gen = WorkloadGenerator(soc, networks, mem, qos)
+    tasks = gen.generate(
+        WorkloadConfig(
+            num_tasks=spec.num_tasks,
+            qos_level=spec.qos_level,
+            load_factor=spec.load_factor,
+            seed=seed,
+        )
+    )
+    result = run_simulation(soc, tasks, factory(), mem=mem)
+    return summarize(policy_name, result.results)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    policies: Optional[Dict[str, PolicyFactory]] = None,
+    soc: Optional[SoCConfig] = None,
+    workers: int = 1,
+) -> Dict[str, ScenarioResult]:
+    """Run one scenario for every policy across all seeds.
+
+    ``workers > 1`` (or ``0`` for auto) delegates the policy x seed
+    cells to :class:`repro.experiments.parallel.ParallelRunner`; the
+    results are numerically identical to the serial path.
+    """
+    if workers != 1:
+        return _parallel_runner(workers).run_scenario(spec, policies, soc)
+    if policies is None:
+        policies = default_policies()
 
     out: Dict[str, ScenarioResult] = {}
     for name, factory in policies.items():
-        summaries = []
-        for seed in spec.seeds:
-            tasks = gen.generate(
-                WorkloadConfig(
-                    num_tasks=spec.num_tasks,
-                    qos_level=spec.qos_level,
-                    load_factor=spec.load_factor,
-                    seed=seed,
-                )
-            )
-            result = run_simulation(soc, tasks, factory(), mem=mem)
-            summaries.append(summarize(name, result.results))
+        summaries = [
+            run_cell(spec, name, factory, seed, soc)
+            for seed in spec.seeds
+        ]
         out[name] = ScenarioResult(
             policy=name, spec=spec, per_seed=tuple(summaries)
         )
@@ -172,8 +209,16 @@ def run_matrix(
     specs: Sequence[ScenarioSpec],
     policies: Optional[Dict[str, PolicyFactory]] = None,
     soc: Optional[SoCConfig] = None,
+    workers: int = 1,
 ) -> Dict[str, Dict[str, ScenarioResult]]:
-    """Run every scenario; returns ``{scenario label: {policy: result}}``."""
+    """Run every scenario; returns ``{scenario label: {policy: result}}``.
+
+    ``workers > 1`` (or ``0`` for auto) fans all (scenario, policy,
+    seed) cells across a process pool — see
+    :mod:`repro.experiments.parallel`.
+    """
+    if workers != 1:
+        return _parallel_runner(workers).run_matrix(specs, policies, soc)
     return {
         spec.label: run_scenario(spec, policies, soc) for spec in specs
     }

@@ -18,12 +18,33 @@ current resource allocation:
 
 Events: task dispatch, block completion, stall expiry (migration or
 reconfiguration penalties) and policy-initiated changes.
+
+Incremental recomputation
+-------------------------
+
+``current_block_times()`` (each running job's block latency under the
+current allocation, including the bandwidth-arbiter solve) only depends
+on *allocation state*: the set of unstalled running jobs, their current
+blocks, tile counts and throttle caps.  The engine maintains an
+**allocation epoch** counter that every state mutation bumps
+(``start_job`` / ``set_tiles`` / ``set_bw_cap`` / ``preempt`` /
+``stall_job`` / block retirement / stall expiry); between bumps the
+solve is served from cache instead of being recomputed on every event.
+Per-block unconstrained predictions are additionally memoised on the
+:class:`~repro.core.latency.BlockCost` instances themselves, since
+jobs revisit the same blocks under the same allocations thousands of
+times per run.  Both caches are exact — the epoch cache is invalidated
+on *any* state change, the prediction memo keys on every input of the
+pure function — so the simulation stays bit-identical to the
+always-recompute engine.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import SoCConfig
 from repro.memory.arbiter import allocate_bandwidth
@@ -49,19 +70,31 @@ class SimResult:
         results: Per-task outcomes, sorted by task id.
         makespan: Cycle at which the last task finished.
         trace: The event trace (may be disabled/empty).
+        events: Simulation events processed by the engine loop.
+        block_time_recomputes: Full ``current_block_times`` solves
+            (prediction + arbiter) the run actually performed.
+        block_time_reuses: Solves served from the epoch cache instead.
     """
 
     policy_name: str
     results: Sequence[TaskResult]
     makespan: float
     trace: Trace
+    events: int = 0
+    block_time_recomputes: int = 0
+    block_time_reuses: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_by_task", {r.task_id: r for r in self.results}
+        )
 
     def result_for(self, task_id: str) -> TaskResult:
         """Look up one task's result."""
-        for r in self.results:
-            if r.task_id == task_id:
-                return r
-        raise KeyError(f"no result for task {task_id!r}")
+        try:
+            return self._by_task[task_id]
+        except KeyError:
+            raise KeyError(f"no result for task {task_id!r}") from None
 
 
 class Simulator:
@@ -101,16 +134,30 @@ class Simulator:
         self.jobs: Dict[str, Job] = {
             t.task_id: Job(task=t) for t in tasks
         }
-        self._pending: List[Job] = sorted(
+        # Arrival priority queue: (dispatch_cycle, -seq, job).  The
+        # negative sequence number reproduces the historical pop order
+        # for coincident dispatch times (descending job id).
+        ordered = sorted(
             self.jobs.values(),
-            key=lambda j: (-j.task.dispatch_cycle, j.job_id),
+            key=lambda j: (j.task.dispatch_cycle, j.job_id),
         )
+        self._pending: List[Tuple[float, int, Job]] = [
+            (j.task.dispatch_cycle, -i, j) for i, j in enumerate(ordered)
+        ]
+        heapq.heapify(self._pending)
         self.ready: List[Job] = []
         self.running: List[Job] = []
         self.finished: List[Job] = []
         self.trace = Trace(enabled=trace)
         self._max_events = max_events
-        self._block_T: Dict[str, float] = {}
+        self._block_T: Mapping[str, float] = {}
+        # Incremental-recompute state (see module docstring).
+        self._alloc_epoch = 0
+        self._times_epoch = -1
+        self._times_cache: Mapping[str, float] = MappingProxyType({})
+        self.events = 0
+        self.block_time_recomputes = 0
+        self.block_time_reuses = 0
 
     # ------------------------------------------------------------------
     # Policy-facing API
@@ -135,6 +182,7 @@ class Simulator:
         if job.started_at is None:
             job.started_at = self.now
         self.running.append(job)
+        self._alloc_epoch += 1
         self.trace.log(self.now, TraceEvent.START, job.job_id,
                        f"tiles={tiles}")
 
@@ -154,6 +202,7 @@ class Simulator:
             )
         job.tiles = tiles
         job.tile_repartitions += 1
+        self._alloc_epoch += 1
         self.stall_job(job, self.policy.compute_reconfig_cycles)
         self.trace.log(self.now, TraceEvent.TILE_REPARTITION, job.job_id,
                        f"tiles={tiles}")
@@ -172,6 +221,7 @@ class Simulator:
             return
         job.bw_cap = cap
         job.bw_reconfigs += 1
+        self._alloc_epoch += 1
         self.stall_job(job, self.policy.memory_reconfig_cycles)
         self.trace.log(
             self.now, TraceEvent.BW_RECONFIG, job.job_id,
@@ -190,6 +240,7 @@ class Simulator:
         job.preemptions += 1
         self.ready.append(job)
         self.ready.sort(key=lambda j: (j.task.dispatch_cycle, j.job_id))
+        self._alloc_epoch += 1
         self.trace.log(self.now, TraceEvent.PREEMPT, job.job_id)
 
     def stall_job(self, job: Job, cycles: float) -> None:
@@ -203,6 +254,7 @@ class Simulator:
         if new_until > base:
             job.stall_cycles += new_until - base
             job.stall_until = new_until
+            self._alloc_epoch += 1
 
     # ------------------------------------------------------------------
     # Engine core
@@ -210,10 +262,9 @@ class Simulator:
 
     def run(self) -> SimResult:
         """Run to completion and return per-task results."""
-        events = 0
         while len(self.finished) < len(self.jobs):
-            events += 1
-            if events > self._max_events:
+            self.events += 1
+            if self.events > self._max_events:
                 raise SimulationError(
                     f"exceeded {self._max_events} events; "
                     f"{len(self.finished)}/{len(self.jobs)} tasks done "
@@ -226,7 +277,7 @@ class Simulator:
             if dt is None:
                 if self._pending:
                     # Idle gap: jump to the next arrival.
-                    self.now = self._pending[-1].task.dispatch_cycle
+                    self.now = self._pending[0][0]
                     continue
                 raise SimulationError(
                     f"deadlock at cycle {self.now:,.0f}: "
@@ -241,25 +292,40 @@ class Simulator:
             results=results_from_jobs(self.finished),
             makespan=makespan,
             trace=self.trace,
+            events=self.events,
+            block_time_recomputes=self.block_time_recomputes,
+            block_time_reuses=self.block_time_reuses,
         )
 
     def _dispatch_arrivals(self) -> None:
         """Move pending tasks whose dispatch time has come to READY."""
+        appended = False
         while self._pending and (
-            self._pending[-1].task.dispatch_cycle <= self.now + _COMPLETION_EPS
+            self._pending[0][0] <= self.now + _COMPLETION_EPS
         ):
-            job = self._pending.pop()
+            _, _, job = heapq.heappop(self._pending)
             job.phase = JobPhase.READY
             self.ready.append(job)
+            appended = True
             self.trace.log(
                 job.task.dispatch_cycle, TraceEvent.DISPATCH, job.job_id,
                 f"net={job.task.network_name} prio={job.task.priority}",
             )
-        self.ready.sort(key=lambda j: (j.task.dispatch_cycle, j.job_id))
+        if appended:
+            self.ready.sort(key=lambda j: (j.task.dispatch_cycle, j.job_id))
 
-    def current_block_times(self) -> Dict[str, float]:
+    def current_block_times(self) -> Mapping[str, float]:
         """Per running job: cycles its current block needs under the
-        current allocation (the fluid rate law)."""
+        current allocation (the fluid rate law).
+
+        Served from cache while the allocation epoch is unchanged; the
+        returned mapping is a read-only view (mutating it would
+        corrupt the cache, so it is a :class:`types.MappingProxyType`).
+        """
+        if self._times_epoch == self._alloc_epoch:
+            self.block_time_reuses += 1
+            return self._times_cache
+        self.block_time_recomputes += 1
         dram_bw = self.mem.dram_bandwidth
         l2_bw = self.mem.l2_bandwidth
         overlap_f = self.soc.overlap_f
@@ -270,6 +336,8 @@ class Simulator:
         t_full: Dict[str, float] = {}
         for job in active:
             cost = job.current_block
+            # predict() is memoised on the BlockCost itself, so this
+            # is a dict lookup for revisited (tiles, bandwidth) points.
             full = cost.predict(job.tiles, dram_bw, l2_bw, overlap_f)
             t_full[job.job_id] = full
             demands[job.job_id] = (
@@ -307,16 +375,16 @@ class Simulator:
                 times[jid] = float("inf")
             else:
                 times[jid] = max(t_full[jid], from_dram / share)
-        return times
+        self._times_cache = MappingProxyType(times)
+        self._times_epoch = self._alloc_epoch
+        return self._times_cache
 
     def _next_event_dt(self) -> Optional[float]:
         """Time to the next event, or None if nothing can happen."""
         self._block_T = self.current_block_times()
         candidates: List[float] = []
         if self._pending:
-            candidates.append(
-                self._pending[-1].task.dispatch_cycle - self.now
-            )
+            candidates.append(self._pending[0][0] - self.now)
         for job in self.running:
             if job.is_stalled(self.now):
                 candidates.append(job.stall_until - self.now)
@@ -338,7 +406,14 @@ class Simulator:
             if T == float("inf") or T <= 0:
                 continue
             job.progress = min(1.0, job.progress + dt / T)
+        old_now = self.now
         self.now += dt
+        for job in self.running:
+            # A stall expiring re-activates the job: the arbiter's
+            # active set changed even though no allocation call ran.
+            if old_now < job.stall_until <= self.now:
+                self._alloc_epoch += 1
+                break
 
     def _process_completions(self) -> None:
         """Retire completed blocks and finish jobs on their last block."""
@@ -347,6 +422,7 @@ class Simulator:
                 continue
             job.block_idx += 1
             job.progress = 0.0
+            self._alloc_epoch += 1
             self.trace.log(self.now, TraceEvent.BLOCK_DONE, job.job_id,
                            f"block={job.block_idx - 1}")
             if job.block_idx >= job.num_blocks:

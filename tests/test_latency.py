@@ -11,6 +11,7 @@ from repro.core.latency import (
     EstimationError,
     build_block_cost,
     build_network_cost,
+    clear_network_cost_cache,
     estimate_layer,
     estimate_network,
 )
@@ -279,3 +280,39 @@ class TestEstimateNetwork:
         t1, _ = estimate_network(net, SOC, MEM, num_tiles=8)
         t8, _ = estimate_network(net, SOC, MEM, num_tiles=1)
         assert t8 / t1 > 3.0
+
+
+class TestNetworkCostCache:
+    """The memo key must cover every input the block accounting reads
+    (the seed omitted the memory hierarchy and the block granularity,
+    so differing configurations returned stale entries)."""
+
+    def test_block_granularity_not_aliased(self):
+        net = build_model("alexnet")
+        coarse = build_network_cost(net, SOC, MEM, max_layers_per_block=6)
+        fine = build_network_cost(net, SOC, MEM, max_layers_per_block=1)
+        assert len(fine.blocks) > len(coarse.blocks)
+
+    def test_memory_hierarchy_not_aliased(self):
+        net = build_model("alexnet")
+        small_soc = dataclasses.replace(SOC, l2_bytes=64 * 1024)
+        small_mem = MemoryHierarchy.from_soc(small_soc)
+        default = build_network_cost(net, SOC, MEM)
+        tiny_l2 = build_network_cost(net, SOC, small_mem)
+        # A 64 KiB L2 can keep almost nothing resident: DRAM traffic
+        # must strictly grow, not alias the 2 MiB entry.
+        assert tiny_l2.total_from_dram() > default.total_from_dram()
+
+    def test_repeated_build_is_cached(self):
+        net = build_model("kws")
+        a = build_network_cost(net, SOC, MEM)
+        b = build_network_cost(net, SOC, MEM)
+        assert a is b
+
+    def test_clear_cache(self):
+        net = build_model("kws")
+        a = build_network_cost(net, SOC, MEM)
+        clear_network_cost_cache()
+        b = build_network_cost(net, SOC, MEM)
+        assert a is not b
+        assert a.blocks == b.blocks

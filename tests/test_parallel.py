@@ -1,0 +1,181 @@
+"""Tests for the parallel experiment executor and the engine's
+incremental (epoch-cached) hot path — the two must be invisible:
+numerically identical outputs to the serial / always-recompute paths.
+"""
+
+import pytest
+
+from repro.baselines import PremaPolicy
+from repro.config import DEFAULT_SOC
+from repro.core.policy import MoCAPolicy
+from repro.experiments.parallel import CellTiming, ParallelRunner
+from repro.experiments.runner import (
+    POLICY_ORDER,
+    ScenarioSpec,
+    default_policies,
+    run_matrix,
+    run_scenario,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.models.zoo import workload_set
+from repro.sim.engine import Simulator
+from repro.sim.qos import QosLevel
+from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+
+SPEC = ScenarioSpec(
+    workload_set="A", qos_level=QosLevel.MEDIUM, num_tasks=16, seeds=(1, 2)
+)
+
+
+@pytest.fixture(scope="module")
+def serial_cell():
+    return run_scenario(SPEC)
+
+
+class TestParallelDeterminism:
+    def test_two_workers_identical_to_serial(self, serial_cell):
+        """ISSUE satellite: ParallelRunner(workers=2) must produce
+        numerically identical MetricsSummary values for all four
+        policies."""
+        runner = ParallelRunner(workers=2)
+        parallel_cell = runner.run_scenario(SPEC)
+        assert set(parallel_cell) == set(POLICY_ORDER)
+        for policy in POLICY_ORDER:
+            assert (
+                parallel_cell[policy].per_seed
+                == serial_cell[policy].per_seed
+            ), policy
+
+    def test_run_matrix_workers_wiring(self, serial_cell):
+        matrix = run_matrix([SPEC], workers=2)
+        assert set(matrix) == {SPEC.label}
+        for policy in POLICY_ORDER:
+            assert (
+                matrix[SPEC.label][policy].per_seed
+                == serial_cell[policy].per_seed
+            )
+
+    def test_serial_fallback_workers_1(self, serial_cell):
+        runner = ParallelRunner(workers=1)
+        cell = runner.run_scenario(SPEC)
+        assert runner.last_mode == "serial"
+        for policy in POLICY_ORDER:
+            assert cell[policy].per_seed == serial_cell[policy].per_seed
+
+    def test_non_picklable_policy_falls_back_to_serial(self):
+        runner = ParallelRunner(workers=2)
+        policies = {"moca": lambda: MoCAPolicy()}  # lambdas don't pickle
+        cell = runner.run_scenario(SPEC, policies=policies)
+        assert runner.last_mode == "serial"
+        assert cell["moca"].per_seed == run_scenario(
+            SPEC, policies=default_policies()
+        )["moca"].per_seed
+
+    def test_per_cell_timings_recorded(self):
+        runner = ParallelRunner(workers=2)
+        runner.run_scenario(SPEC)
+        cells = len(default_policies()) * len(SPEC.seeds)
+        assert len(runner.last_timings) == cells
+        for timing in runner.last_timings:
+            assert isinstance(timing, CellTiming)
+            assert timing.label == SPEC.label
+            assert timing.seconds >= 0
+
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=0)
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=2, chunk_size=0)
+        with pytest.raises(ValueError):
+            run_scenario(SPEC, workers=-1)
+        with pytest.raises(ValueError):
+            run_matrix([SPEC], workers=-2)
+
+
+def _tasks(num_tasks=12, seed=3):
+    soc = DEFAULT_SOC
+    mem = MemoryHierarchy.from_soc(soc)
+    gen = WorkloadGenerator(soc, workload_set("A"), mem)
+    return soc, mem, gen.generate(
+        WorkloadConfig(
+            num_tasks=num_tasks, qos_level=QosLevel.MEDIUM, seed=seed
+        )
+    )
+
+
+def _force_recompute(sim):
+    """Drop the epoch cache and the per-block prediction memos and
+    solve from scratch (via the base implementation, so subclass
+    instrumentation doesn't recurse)."""
+    sim._times_epoch = -1
+    for job in sim.running:
+        job.current_block.clear_predict_memo()
+    return Simulator.current_block_times(sim)
+
+
+class _CheckedSimulator(Simulator):
+    """Cross-checks every cached solve against a from-scratch one."""
+
+    checks = 0
+
+    def current_block_times(self):
+        cached = super().current_block_times()
+        forced = _force_recompute(self)
+        assert cached == forced, (
+            f"epoch cache diverged at t={self.now}: {cached} != {forced}"
+        )
+        type(self).checks += 1
+        return cached
+
+
+class TestEpochCachedBlockTimes:
+    def test_cache_matches_recompute_under_churn(self):
+        """ISSUE satellite: epoch-cached current_block_times must match
+        a from-scratch recompute after tile / bandwidth / preemption
+        churn."""
+        soc, mem, tasks = _tasks()
+        policy = PremaPolicy()
+        policy.reset()
+        sim = Simulator(soc, tasks, policy, mem=mem)
+        sim.now = max(t.dispatch_cycle for t in tasks)
+        sim._dispatch_arrivals()
+        jobs = list(sim.ready)
+        sim.start_job(jobs[0], 2)
+        sim.start_job(jobs[1], 2)
+        assert sim.current_block_times() == _force_recompute(sim)
+        sim.set_tiles(jobs[0], 4)
+        assert sim.current_block_times() == _force_recompute(sim)
+        sim.set_bw_cap(jobs[1], 2.0)
+        assert sim.current_block_times() == _force_recompute(sim)
+        # Advance past the reconfiguration stalls: the stall expiry
+        # must invalidate the cache even without an allocation call.
+        sim._block_T = sim.current_block_times()
+        sim._advance(float(policy.compute_reconfig_cycles) + 1.0)
+        assert sim.current_block_times() == _force_recompute(sim)
+        sim.preempt(jobs[0])
+        assert sim.current_block_times() == _force_recompute(sim)
+
+    def test_full_run_cross_checked(self):
+        """Every solve of a whole MoCA simulation agrees with a
+        from-scratch recompute (stall expiries, block retirements,
+        repartitions, the lot)."""
+        soc, mem, tasks = _tasks(num_tasks=10, seed=5)
+        policy = MoCAPolicy()
+        policy.reset()
+        _CheckedSimulator.checks = 0
+        sim = _CheckedSimulator(soc, tasks, policy, mem=mem)
+        result = sim.run()
+        assert len(result.results) == 10
+        assert _CheckedSimulator.checks > 0
+
+    def test_reuse_counters_exposed(self):
+        soc, mem, tasks = _tasks(num_tasks=10, seed=5)
+        policy = MoCAPolicy()
+        policy.reset()
+        result = Simulator(soc, tasks, policy, mem=mem).run()
+        assert result.events > 0
+        assert result.block_time_recomputes > 0
+        assert (
+            result.block_time_recomputes + result.block_time_reuses
+            >= result.events
+        )
