@@ -1,0 +1,47 @@
+"""Re-bless the golden reference-matrix fingerprints.
+
+Run after an *intentional* change to simulator outputs::
+
+    PYTHONPATH=src python scripts/bless_goldens.py
+
+Rewrites ``tests/goldens/reference_matrix.json``; review the diff and
+commit it with the change that moved the metrics.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.golden import (  # noqa: E402
+    GOLDEN_NUM_TASKS,
+    GOLDEN_SEEDS,
+    compute_reference_fingerprints,
+)
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "tests" / "goldens" / "reference_matrix.json"
+)
+
+
+def main() -> None:
+    t0 = time.time()
+    cells = compute_reference_fingerprints()
+    payload = {
+        "num_tasks": GOLDEN_NUM_TASKS,
+        "seeds": list(GOLDEN_SEEDS),
+        "cells": cells,
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(
+        f"blessed {len(cells)} cells -> {GOLDEN_PATH} "
+        f"({time.time() - t0:.1f}s)"
+    )
+
+
+if __name__ == "__main__":
+    main()

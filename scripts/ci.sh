@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests, the slow-marked suite, the smoke run,
+# and a 2-worker mini-sweep of two registry scenarios (which must be
+# bit-identical to serial — the sweep CLI itself asserts nothing, so
+# the slow test suite covers the identity; this run proves the
+# end-to-end path works from the shell).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 pytest =="
+python -m pytest -x -q
+
+echo "== slow suite =="
+python -m pytest -x -q -m slow
+
+echo "== smoke =="
+python scripts/smoke.py A 24 M
+
+echo "== mini-sweep (2 workers) =="
+python -m repro.cli sweep \
+    --scenarios bursty-mixed,diurnal-light \
+    --tasks 16 --seeds 1 --workers 2
+
+echo "CI OK"

@@ -7,6 +7,8 @@ Usage::
     python -m repro.cli fig6 | fig7 | fig8
     python -m repro.cli table4
     python -m repro.cli validate
+    python -m repro.cli sweep --list
+    python -m repro.cli sweep --scenarios bursty-mixed,diurnal-light --workers 2
     python -m repro.cli all       # everything, EXPERIMENTS.md style
 """
 
@@ -28,6 +30,54 @@ from repro.experiments.validation import format_validation, run_validation
 
 def _parse_seeds(text: str) -> Tuple[int, ...]:
     return tuple(int(s) for s in text.split(",") if s)
+
+
+def _parse_names(text: str) -> Tuple[str, ...]:
+    return tuple(s.strip() for s in text.split(",") if s.strip())
+
+
+def _run_sweep(args) -> str:
+    """The ``sweep`` subcommand: registry scenarios -> summary tables."""
+    from dataclasses import replace
+
+    from repro.experiments.runner import run_matrix
+    from repro.reporting import per_scenario_summary
+    from repro.scenarios import format_scenario_table, get_scenario
+
+    if args.list_scenarios:
+        return format_scenario_table()
+    if not args.scenarios:
+        raise SystemExit(
+            "sweep: pass --scenarios NAME[,NAME...] or --list "
+            "(e.g. --scenarios bursty-mixed,diurnal-light)"
+        )
+    if args.workers < 0:
+        raise SystemExit("sweep: --workers must be >= 0 (0 = one per CPU)")
+    specs = []
+    for name in args.scenarios:
+        try:
+            spec = get_scenario(name)
+        except KeyError as exc:
+            raise SystemExit(f"sweep: {exc.args[0]}") from exc
+        overrides = {}
+        if args.tasks is not None:
+            overrides["num_tasks"] = args.tasks
+        if args.seeds is not None:
+            overrides["seeds"] = args.seeds
+        try:
+            specs.append(replace(spec, **overrides) if overrides else spec)
+        except ValueError as exc:
+            raise SystemExit(f"sweep: bad override for {name}: {exc}") from exc
+    # Usage errors get clean one-liners; errors raised *inside* the
+    # simulation keep their tracebacks.
+    from repro.experiments.runner import check_unique_labels
+
+    try:
+        check_unique_labels(specs)
+    except ValueError as exc:
+        raise SystemExit(f"sweep: {exc}") from exc
+    matrix = run_matrix(specs, workers=args.workers)
+    return per_scenario_summary(matrix)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,10 +106,46 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("models", help="list the benchmark DNN zoo (Table III)")
 
     p_sweeps = sub.add_parser(
-        "sweeps", help="SoC configuration sensitivity sweeps (appendix F)"
+        "sweeps",
+        help="SoC configuration sensitivity sweeps (appendix F) — "
+             "unrelated to the scenario-registry 'sweep' command",
     )
     p_sweeps.add_argument("--tasks", type=int, default=80)
     p_sweeps.add_argument("--seeds", type=_parse_seeds, default=(1, 2))
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run named scenario-registry entries across all policies "
+             "(not the SoC 'sweeps' command)",
+        description=(
+            "Run scenarios from the registry (repro.scenarios) across "
+            "the four policies and print a per-scenario summary table. "
+            "Serial (--workers 1) and parallel (--workers N) runs are "
+            "bit-identical; --list shows the registered scenarios."
+        ),
+    )
+    p_sweep.add_argument(
+        "--scenarios", type=_parse_names, default=(),
+        metavar="NAME[,NAME...]",
+        help="comma-separated registry names (see --list)",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the matrix cells "
+             "(1 = serial, 0 = one per CPU)",
+    )
+    p_sweep.add_argument(
+        "--tasks", type=int, default=None,
+        help="override every scenario's num_tasks",
+    )
+    p_sweep.add_argument(
+        "--seeds", type=_parse_seeds, default=None,
+        help="override every scenario's seeds (comma-separated)",
+    )
+    p_sweep.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list registered scenarios and exit",
+    )
 
     p_all = sub.add_parser("all", help="run every experiment")
     p_all.add_argument("--tasks", type=int, default=250)
@@ -117,6 +203,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_validation(run_validation()))
     elif args.command == "models":
         print(_format_models())
+    elif args.command == "sweep":
+        print(_run_sweep(args))
     elif args.command == "sweeps":
         from repro.experiments.sweeps import (
             format_sweep,

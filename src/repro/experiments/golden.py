@@ -1,0 +1,85 @@
+"""Golden fingerprints of the reference evaluation matrix.
+
+The 36 reference (scenario, policy) cells — nine scenarios times four
+policies — are the paper's headline results; any refactor that
+silently perturbs simulator outputs must fail loudly.  This module fingerprints each cell's full metric bundle
+(every float at full ``repr`` precision, so the check is bit-exact)
+and the tier-1 test ``tests/test_golden.py`` compares the fingerprints
+against ``tests/goldens/reference_matrix.json``.
+
+After an *intentional* output change, re-bless the goldens with::
+
+    PYTHONPATH=src python scripts/bless_goldens.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, Tuple
+
+from repro.metrics import MetricsSummary
+
+#: Reduced scenario size used by the golden file: big enough that every
+#: policy mechanism (preemption, repartitioning, throttling) fires,
+#: small enough for tier-1.
+GOLDEN_NUM_TASKS = 30
+GOLDEN_SEEDS: Tuple[int, ...] = (1,)
+
+
+def reference_specs(
+    num_tasks: int = GOLDEN_NUM_TASKS,
+    seeds: Tuple[int, ...] = GOLDEN_SEEDS,
+):
+    """The nine registry reference scenarios at golden size."""
+    from repro.experiments.runner import standard_matrix
+
+    return standard_matrix(num_tasks=num_tasks, seeds=tuple(seeds))
+
+
+def summary_fingerprint(summary: MetricsSummary) -> str:
+    """Bit-exact digest of one seed's metric bundle.
+
+    Iterates ``dataclasses.fields`` so metrics added to
+    :class:`MetricsSummary` later are pinned automatically instead of
+    silently escaping the golden check.
+    """
+    values = []
+    for field in dataclasses.fields(MetricsSummary):
+        value = getattr(summary, field.name)
+        if isinstance(value, dict):
+            value = sorted(value.items())
+        values.append((field.name, value))
+    blob = repr(tuple(values))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def matrix_fingerprint(matrix) -> Dict[str, str]:
+    """Digest every (scenario, policy) cell of a matrix.
+
+    Returns:
+        ``{"<label>/<policy>": digest}`` where the digest chains the
+        per-seed summary fingerprints in seed order.
+    """
+    cells: Dict[str, str] = {}
+    for label, cell in matrix.items():
+        for policy, result in cell.items():
+            chained = "".join(
+                summary_fingerprint(s) for s in result.per_seed
+            )
+            cells[f"{label}/{policy}"] = hashlib.sha256(
+                chained.encode()
+            ).hexdigest()[:16]
+    return cells
+
+
+def compute_reference_fingerprints(
+    num_tasks: int = GOLDEN_NUM_TASKS,
+    seeds: Tuple[int, ...] = GOLDEN_SEEDS,
+) -> Dict[str, str]:
+    """Run the reference matrix and fingerprint every cell."""
+    from repro.experiments.runner import run_matrix
+
+    return matrix_fingerprint(
+        run_matrix(reference_specs(num_tasks, seeds))
+    )

@@ -70,10 +70,12 @@ from repro.experiments.runner import (
     PolicyFactory,
     ScenarioResult,
     ScenarioSpec,
+    check_unique_labels,
     default_policies,
     run_cell,
 )
 from repro.metrics import MetricsSummary
+from repro.scenarios import ScenarioLike, resolve_scenarios
 
 #: One unit of parallel work: (spec index, spec, policy name, policy
 #: factory, seed, SoC).  The spec index disambiguates duplicate labels.
@@ -180,30 +182,35 @@ class ParallelRunner:
 
     def run_scenario(
         self,
-        spec: ScenarioSpec,
+        spec: ScenarioLike,
         policies: Optional[Dict[str, PolicyFactory]] = None,
         soc: Optional[SoCConfig] = None,
     ) -> Dict[str, ScenarioResult]:
         """Parallel equivalent of :func:`runner.run_scenario`."""
+        spec = resolve_scenarios([spec])[0]
         matrix = self.run_matrix([spec], policies, soc)
         return matrix[spec.label]
 
     def run_matrix(
         self,
-        specs: Sequence[ScenarioSpec],
+        specs: Sequence[ScenarioLike],
         policies: Optional[Dict[str, PolicyFactory]] = None,
         soc: Optional[SoCConfig] = None,
     ) -> Dict[str, Dict[str, ScenarioResult]]:
         """Parallel equivalent of :func:`runner.run_matrix`.
 
-        Returns ``{scenario label: {policy: ScenarioResult}}`` with
-        numerically identical contents to the serial path.
+        Accepts registry names as well as specs (resolved before the
+        fan-out; specs are frozen dataclasses of primitives, so cells
+        built from registry scenarios stay picklable).  Returns
+        ``{scenario label: {policy: ScenarioResult}}`` with numerically
+        identical contents to the serial path.
         """
         if policies is None:
             policies = default_policies()
         if soc is None:
             soc = DEFAULT_SOC
-        spec_list = list(specs)
+        spec_list = resolve_scenarios(specs)
+        check_unique_labels(spec_list)
         payloads: List[_CellPayload] = [
             (i, spec, name, factory, seed, soc)
             for i, spec in enumerate(spec_list)

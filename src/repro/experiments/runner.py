@@ -9,7 +9,7 @@ format the paper's rows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import PlanariaPolicy, PremaPolicy, StaticPartitionPolicy
@@ -19,11 +19,17 @@ from repro.memory.hierarchy import MemoryHierarchy
 from repro.metrics import MetricsSummary, summarize
 from repro.models.graph import Network
 from repro.models.layers import geomean
-from repro.models.zoo import workload_set
+from repro.scenarios import (
+    ScenarioLike,
+    ScenarioSpec,
+    reference_matrix_specs,
+    resolve_scenario,
+    resolve_scenarios,
+)
 from repro.sim.engine import run_simulation
 from repro.sim.policy import Policy
-from repro.sim.qos import QosLevel, QosModel
-from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+from repro.sim.qos import QosModel
+from repro.sim.workload import WorkloadGenerator
 
 PolicyFactory = Callable[[], Policy]
 
@@ -37,6 +43,19 @@ def _parallel_runner(workers: int):
 
     return ParallelRunner(workers=workers or None)
 
+
+def check_unique_labels(specs: Sequence[ScenarioSpec]) -> None:
+    """Matrices are keyed by scenario label; duplicates would simulate
+    every cell and then silently collapse to one entry."""
+    labels = [spec.label for spec in specs]
+    duplicates = sorted({l for l in labels if labels.count(l) > 1})
+    if duplicates:
+        raise ValueError(
+            f"duplicate scenario label(s) in matrix: {duplicates}; "
+            f"give repeated scenarios distinct names"
+        )
+
+
 #: The four systems of the paper's evaluation, in presentation order.
 POLICY_ORDER: Tuple[str, ...] = ("prema", "static", "planaria", "moca")
 
@@ -49,31 +68,6 @@ def default_policies() -> Dict[str, PolicyFactory]:
         "planaria": PlanariaPolicy,
         "moca": MoCAPolicy,
     }
-
-
-@dataclass(frozen=True)
-class ScenarioSpec:
-    """One evaluation scenario (a cell of the paper's matrix).
-
-    Attributes:
-        workload_set: Table III set name ('A', 'B' or 'C').
-        qos_level: SLA tightness.
-        num_tasks: Queries per run (paper: 200-500).
-        seeds: RNG seeds to aggregate over.
-        load_factor: Offered load relative to slot capacity.
-        slack_factor: QoS baseline slack (see :class:`QosModel`).
-    """
-
-    workload_set: str = "C"
-    qos_level: QosLevel = QosLevel.MEDIUM
-    num_tasks: int = 250
-    seeds: Tuple[int, ...] = (1, 2, 3)
-    load_factor: float = 0.7
-    slack_factor: float = 2.0
-
-    @property
-    def label(self) -> str:
-        return f"Workload-{self.workload_set}/{self.qos_level.value}"
 
 
 @dataclass(frozen=True)
@@ -110,6 +104,14 @@ class ScenarioResult:
     def fairness(self) -> float:
         return self._mean(lambda s: s.fairness)
 
+    @property
+    def mean_slowdown(self) -> float:
+        return self._mean(lambda s: s.mean_slowdown)
+
+    @property
+    def p99_slowdown(self) -> float:
+        return self._mean(lambda s: s.p99_slowdown)
+
     def sla_group(self, group: str) -> float:
         vals = [
             s.sla_by_group[group]
@@ -140,32 +142,27 @@ def run_cell(
         soc = DEFAULT_SOC
     mem = MemoryHierarchy.from_soc(soc)
     qos = QosModel(soc, slack_factor=spec.slack_factor)
-    networks: List[Network] = workload_set(spec.workload_set)
+    networks: List[Network] = spec.networks()
     gen = WorkloadGenerator(soc, networks, mem, qos)
-    tasks = gen.generate(
-        WorkloadConfig(
-            num_tasks=spec.num_tasks,
-            qos_level=spec.qos_level,
-            load_factor=spec.load_factor,
-            seed=seed,
-        )
-    )
+    tasks = gen.generate(spec.workload_config(seed))
     result = run_simulation(soc, tasks, factory(), mem=mem)
     return summarize(policy_name, result.results)
 
 
 def run_scenario(
-    spec: ScenarioSpec,
+    spec: ScenarioLike,
     policies: Optional[Dict[str, PolicyFactory]] = None,
     soc: Optional[SoCConfig] = None,
     workers: int = 1,
 ) -> Dict[str, ScenarioResult]:
-    """Run one scenario for every policy across all seeds.
+    """Run one scenario (spec or registry name) for every policy
+    across all seeds.
 
     ``workers > 1`` (or ``0`` for auto) delegates the policy x seed
     cells to :class:`repro.experiments.parallel.ParallelRunner`; the
     results are numerically identical to the serial path.
     """
+    spec = resolve_scenario(spec)
     if workers != 1:
         return _parallel_runner(workers).run_scenario(spec, policies, soc)
     if policies is None:
@@ -189,38 +186,47 @@ def standard_matrix(
     load_factor: float = 0.7,
     slack_factor: float = 2.0,
 ) -> List[ScenarioSpec]:
-    """The paper's nine scenarios: 3 workload sets x 3 QoS levels."""
-    base = ScenarioSpec(
-        num_tasks=num_tasks,
-        seeds=seeds,
-        load_factor=load_factor,
-        slack_factor=slack_factor,
-    )
-    specs = []
-    for set_name in ("A", "B", "C"):
-        for level in (QosLevel.HARD, QosLevel.MEDIUM, QosLevel.LIGHT):
-            specs.append(
-                replace(base, workload_set=set_name, qos_level=level)
-            )
-    return specs
+    """The paper's nine scenarios: 3 workload sets x 3 QoS levels.
+
+    Built from :func:`repro.scenarios.reference_matrix_specs` — the
+    immutable source the registry's ``ref-*`` entries are also
+    registered from — so registry mutation cannot perturb fig5-8.
+    The specs are unnamed, keeping the classic
+    ``Workload-<set>/<QoS>`` labels fig5-8 render.
+    """
+    return [
+        replace(
+            spec,
+            num_tasks=num_tasks,
+            seeds=tuple(seeds),
+            load_factor=load_factor,
+            slack_factor=slack_factor,
+        )
+        for spec in reference_matrix_specs()
+    ]
 
 
 def run_matrix(
-    specs: Sequence[ScenarioSpec],
+    specs: Sequence[ScenarioLike],
     policies: Optional[Dict[str, PolicyFactory]] = None,
     soc: Optional[SoCConfig] = None,
     workers: int = 1,
 ) -> Dict[str, Dict[str, ScenarioResult]]:
-    """Run every scenario; returns ``{scenario label: {policy: result}}``.
+    """Run every scenario (specs and/or registry names); returns
+    ``{scenario label: {policy: result}}``.
 
     ``workers > 1`` (or ``0`` for auto) fans all (scenario, policy,
     seed) cells across a process pool — see
     :mod:`repro.experiments.parallel`.
     """
+    resolved = resolve_scenarios(specs)
     if workers != 1:
-        return _parallel_runner(workers).run_matrix(specs, policies, soc)
+        # ParallelRunner.run_matrix performs its own label check.
+        return _parallel_runner(workers).run_matrix(resolved, policies, soc)
+    check_unique_labels(resolved)
     return {
-        spec.label: run_scenario(spec, policies, soc) for spec in specs
+        spec.label: run_scenario(spec, policies, soc)
+        for spec in resolved
     }
 
 

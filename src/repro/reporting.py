@@ -73,6 +73,37 @@ def matrix_bar_charts(matrix: Matrix, metric: str, title: str) -> str:
     return "\n\n".join(sections)
 
 
+def per_scenario_summary(matrix: Matrix) -> str:
+    """One aligned table per scenario: each policy's headline metrics.
+
+    This is the ``repro.cli sweep`` output format — every scenario of
+    the matrix (registry entries keep their registry name as the
+    label) gets a block with the Section IV-C metric bundle per
+    policy, averaged over the scenario's seeds.
+    """
+    if not matrix:
+        raise ValueError("empty matrix")
+    blocks = []
+    for label, cell in matrix.items():
+        policies = [p for p in POLICY_ORDER if p in cell]
+        policies += [p for p in cell if p not in POLICY_ORDER]
+        lines = [
+            f"scenario {label} "
+            f"({len(next(iter(cell.values())).per_seed)} seed(s))",
+            f"  {'policy':<10s}{'sla':>8s}{'stp/n':>8s}{'fairness':>10s}"
+            f"{'slowdown':>10s}{'p99':>8s}",
+        ]
+        for policy in policies:
+            result = cell[policy]
+            lines.append(
+                f"  {policy:<10s}{result.sla_rate:>8.3f}"
+                f"{result.stp_normalized:>8.3f}{result.fairness:>10.4f}"
+                f"{result.mean_slowdown:>10.2f}{result.p99_slowdown:>8.2f}"
+            )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
 def matrix_to_csv(matrix: Matrix, metric: str) -> str:
     """Export one metric of a matrix as CSV text."""
     out = io.StringIO()

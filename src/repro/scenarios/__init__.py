@@ -1,0 +1,46 @@
+"""Scenario registry and declarative workload specifications.
+
+The experiment layer's scenario *supply*: frozen, picklable
+:class:`ScenarioSpec` work units plus a named registry the executor
+can shard.  Importing this package registers the built-in entries —
+the paper's nine ``ref-*`` reference scenarios and the stochastic
+bursty / diurnal / mixed-traffic ones (:mod:`repro.scenarios.builtin`).
+
+Typical use::
+
+    from repro.experiments.runner import run_matrix
+    matrix = run_matrix(["bursty-mixed", "diurnal-light"], workers=2)
+
+or from the shell::
+
+    python -m repro.cli sweep --scenarios bursty-mixed,diurnal-light --workers 2
+"""
+
+from repro.scenarios.builtin import REFERENCE_SCENARIOS, reference_matrix_specs
+from repro.scenarios.registry import (
+    ScenarioLike,
+    format_scenario_table,
+    get_scenario,
+    register_scenario,
+    resolve_scenario,
+    resolve_scenarios,
+    sample_model_mix,
+    scenario_names,
+    unregister_scenario,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "REFERENCE_SCENARIOS",
+    "ScenarioLike",
+    "ScenarioSpec",
+    "format_scenario_table",
+    "get_scenario",
+    "reference_matrix_specs",
+    "register_scenario",
+    "resolve_scenario",
+    "resolve_scenarios",
+    "sample_model_mix",
+    "scenario_names",
+    "unregister_scenario",
+]

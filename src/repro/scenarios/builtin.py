@@ -1,0 +1,139 @@
+"""Built-in scenario registry entries.
+
+Two families:
+
+- ``ref-*`` — the paper's nine reference scenarios (Table III workload
+  sets A/B/C crossed with QoS-H/M/L, uniform arrivals).  These carry
+  exactly the defaults the hardcoded fig5-8 matrix used, so running
+  them through the registry reproduces the pre-registry metrics
+  bit-for-bit (the golden regression test pins this).
+- Stochastic scenarios exercising the generator's new arrival
+  processes and mix samplers — bursty flash crowds, diurnal waves, and
+  weighted / randomly sampled model mixes.
+
+Registered on ``import repro.scenarios``; see ROADMAP.md ("Scenario
+registry") for how to add one.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.scenarios.registry import register_scenario, sample_model_mix
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.qos import QosLevel
+
+_QOS_SLUGS = (
+    (QosLevel.HARD, "qos-h"),
+    (QosLevel.MEDIUM, "qos-m"),
+    (QosLevel.LIGHT, "qos-l"),
+)
+
+#: The nine reference scenario names, in the fig5-8 presentation order
+#: (set A, B, C; QoS H, M, L within each set).
+REFERENCE_SCENARIOS: Tuple[str, ...] = tuple(
+    f"ref-{set_name.lower()}-{slug}"
+    for set_name in ("A", "B", "C")
+    for _, slug in _QOS_SLUGS
+)
+
+
+def reference_matrix_specs():
+    """Fresh, unnamed copies of the nine reference scenarios.
+
+    The immutable source behind both the ``ref-*`` registry entries
+    and :func:`repro.experiments.runner.standard_matrix` — fig5-8 and
+    the golden regression stay correct even if someone mutates the
+    registry's ``ref-*`` entries.
+    """
+    return [
+        ScenarioSpec(workload_set=set_name, qos_level=level)
+        for set_name in ("A", "B", "C")
+        for level, _ in _QOS_SLUGS
+    ]
+
+#: Production-shaped priority override: most mass in the p-Mid band
+#: with a real latency-critical tail (vs the default free-tier skew).
+_PROD_PRIORITIES: Tuple[float, ...] = (
+    4.0, 4.0, 5.0,
+    10.0, 12.0, 12.0, 10.0, 8.0, 6.0,
+    5.0, 3.0, 2.0,
+)
+
+
+def _register_builtins() -> None:
+    for name, spec in zip(REFERENCE_SCENARIOS, reference_matrix_specs()):
+        register_scenario(name, spec)
+
+    # Flash-crowd arrivals over the mixed set: six bursts, tight spread.
+    register_scenario(
+        "bursty-mixed",
+        ScenarioSpec(
+            workload_set="C",
+            qos_level=QosLevel.MEDIUM,
+            arrival="bursty",
+            burst_count=6,
+            burst_spread=0.03,
+            load_factor=0.8,
+        ),
+    )
+    # Retry-storm shape: few violent bursts of heavy models under
+    # tight SLAs.
+    register_scenario(
+        "bursty-rush",
+        ScenarioSpec(
+            workload_set="B",
+            qos_level=QosLevel.HARD,
+            arrival="bursty",
+            burst_count=3,
+            burst_spread=0.02,
+        ),
+    )
+    # Day/night wave over the light set.
+    register_scenario(
+        "diurnal-light",
+        ScenarioSpec(
+            workload_set="A",
+            qos_level=QosLevel.MEDIUM,
+            arrival="diurnal",
+            diurnal_waves=2.0,
+            diurnal_depth=0.9,
+        ),
+    )
+    # Production traffic: gentle multi-peak wave, mid-heavy priorities.
+    register_scenario(
+        "diurnal-prod",
+        ScenarioSpec(
+            workload_set="C",
+            qos_level=QosLevel.LIGHT,
+            arrival="diurnal",
+            diurnal_waves=3.0,
+            diurnal_depth=0.6,
+            priority_weights=_PROD_PRIORITIES,
+        ),
+    )
+    # Hand-weighted mix: keyword-spotting dominated edge traffic with a
+    # heavy-model tail.
+    register_scenario(
+        "skewed-mix",
+        ScenarioSpec(
+            workload_set="C",
+            qos_level=QosLevel.MEDIUM,
+            model_mix=(
+                ("kws", 0.5), ("squeezenet", 0.3), ("resnet50", 0.2)
+            ),
+        ),
+    )
+    # Seeded random mix: the sampler is deterministic, so this entry is
+    # the same scenario on every import.
+    register_scenario(
+        "random-mix",
+        ScenarioSpec(
+            workload_set="C",
+            qos_level=QosLevel.MEDIUM,
+            model_mix=sample_model_mix(seed=2023, set_name="C", size=3),
+        ),
+    )
+
+
+_register_builtins()

@@ -1,0 +1,162 @@
+"""The named scenario registry.
+
+Scenarios are registered under short kebab-case names so experiment
+entry points can address them declaratively — ``run_matrix(["ref-a-qos-h",
+"bursty-mixed"])``, ``python -m repro.cli sweep --scenarios
+bursty-mixed,diurnal-light`` — and the parallel executor can shard
+their (scenario, policy, seed) cells without callers hand-building
+specs.  Built-in entries are registered on package import
+(:mod:`repro.scenarios.builtin`); projects add their own with
+:func:`register_scenario`.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import replace
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.models.zoo import WORKLOAD_SETS
+from repro.scenarios.spec import ScenarioSpec
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
+
+#: What callers may pass wherever a scenario is expected.
+ScenarioLike = Union[str, ScenarioSpec]
+
+
+def register_scenario(
+    name: str, spec: ScenarioSpec, overwrite: bool = False
+) -> ScenarioSpec:
+    """Register ``spec`` under ``name`` (stamped onto the spec).
+
+    Args:
+        name: Kebab-case registry name.
+        spec: The scenario; its ``name`` field is replaced by ``name``.
+        overwrite: Allow replacing an existing entry.
+
+    Returns:
+        The registered (renamed) spec.
+
+    Raises:
+        ValueError: On malformed names or un-flagged collisions.
+    """
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"bad scenario name {name!r}: use lowercase kebab-case "
+            f"(letters, digits, '.', '_', '-')"
+        )
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(
+            f"scenario {name!r} already registered; "
+            f"pass overwrite=True to replace it"
+        )
+    named = replace(spec, name=name)
+    _REGISTRY[name] = named
+    return named
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registry entry (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def scenario_names() -> List[str]:
+    """All registered names, in registration order."""
+    return list(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario.
+
+    Raises:
+        KeyError: Unknown name (the message lists what exists).
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: "
+            f"{', '.join(scenario_names()) or '(none)'}"
+        ) from None
+
+
+def resolve_scenario(item: ScenarioLike) -> ScenarioSpec:
+    """Coerce a registry name or a spec to a :class:`ScenarioSpec`."""
+    if isinstance(item, ScenarioSpec):
+        return item
+    if isinstance(item, str):
+        return get_scenario(item)
+    raise TypeError(
+        f"expected a scenario name or ScenarioSpec, got {type(item).__name__}"
+    )
+
+
+def resolve_scenarios(
+    items: Union[ScenarioLike, Iterable[ScenarioLike]],
+) -> List[ScenarioSpec]:
+    """Resolve a mixed sequence of names and specs.
+
+    A bare string or spec is treated as a one-element sequence (so
+    ``run_matrix("bursty-mixed")`` does not iterate the name's
+    characters).
+    """
+    if isinstance(items, (str, ScenarioSpec)):
+        items = [items]
+    return [resolve_scenario(item) for item in items]
+
+
+def sample_model_mix(
+    seed: int,
+    set_name: str = "C",
+    size: int = 3,
+) -> Tuple[Tuple[str, float], ...]:
+    """Seeded random model mix over a Table III set.
+
+    Draws ``size`` distinct models from the set and assigns them
+    normalized random weights bounded away from zero — the stochastic
+    counterpart of the hand-written mixes, fully determined by
+    ``seed``.
+
+    Returns:
+        ``((model_name, weight), ...)`` with weights summing to 1.0.
+    """
+    key = set_name.upper()
+    if key not in WORKLOAD_SETS:
+        raise KeyError(f"unknown workload set {set_name!r}; use A, B or C")
+    pool = list(WORKLOAD_SETS[key])
+    if not 1 <= size <= len(pool):
+        raise ValueError(
+            f"size must be within 1..{len(pool)} for set {key}"
+        )
+    rng = random.Random(seed)
+    names = rng.sample(pool, k=size)
+    raw = [rng.uniform(0.25, 1.0) for _ in names]
+    total = sum(raw)
+    return tuple(
+        (name, weight / total) for name, weight in zip(names, raw)
+    )
+
+
+def format_scenario_table(names: Sequence[str] = ()) -> str:
+    """The registry (or a subset) as an aligned text table."""
+    rows = [
+        f"{'name':<16s}{'set':>4s}{'qos':>7s}{'arrival':>9s}"
+        f"{'tasks':>7s}{'seeds':>7s}{'load':>6s}  mix"
+    ]
+    for name in names or scenario_names():
+        spec = get_scenario(name)
+        mix = (
+            ",".join(f"{m}:{w:.2f}" for m, w in spec.model_mix)
+            if spec.model_mix else "-"
+        )
+        rows.append(
+            f"{name:<16s}{spec.workload_set:>4s}"
+            f"{spec.qos_level.value.replace('QoS-', ''):>7s}"
+            f"{spec.arrival:>9s}{spec.num_tasks:>7d}"
+            f"{len(spec.seeds):>7d}{spec.load_factor:>6.2f}  {mix}"
+        )
+    return "\n".join(rows)

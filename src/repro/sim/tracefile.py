@@ -11,7 +11,8 @@ workloads).
 from __future__ import annotations
 
 import json
-from typing import List, Optional, Sequence
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
 
 from repro.config import SoCConfig
 from repro.core.latency import build_network_cost
@@ -45,6 +46,49 @@ def dump_tasks(tasks: Sequence[Task]) -> str:
     return json.dumps(payload, indent=2)
 
 
+def _parse_payload(text: str) -> dict:
+    """Parse and version-check scenario JSON.
+
+    Raises:
+        ValueError: On version mismatch or malformed payloads.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not a scenario file: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("not a scenario file: expected a JSON object")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported scenario version {payload.get('version')!r}"
+        )
+    if not isinstance(payload.get("tasks"), list):
+        raise ValueError("not a scenario file: missing 'tasks' list")
+    return payload
+
+
+@lru_cache(maxsize=8)
+def load_dispatch_cycles(text: str) -> Tuple[float, ...]:
+    """Dispatch cycles of a saved scenario, sorted ascending.
+
+    The workload generator's ``"trace"`` arrival process replays these
+    (:class:`repro.sim.workload.WorkloadConfig` ``trace_text``) —
+    only the arrival pattern is reused; models, priorities and QoS
+    targets come from the consuming scenario.  Cached per trace text:
+    spec validation and every (policy, seed) cell re-read the same
+    immutable string.
+    """
+    payload = _parse_payload(text)
+    try:
+        return tuple(sorted(
+            float(entry["dispatch_cycle"]) for entry in payload["tasks"]
+        ))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(
+            f"not a scenario file: bad task entry ({exc})"
+        ) from exc
+
+
 def load_tasks(
     text: str,
     soc: SoCConfig,
@@ -63,14 +107,7 @@ def load_tasks(
     """
     if mem is None:
         mem = MemoryHierarchy.from_soc(soc)
-    try:
-        payload = json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise ValueError(f"not a scenario file: {exc}") from exc
-    if payload.get("version") != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported scenario version {payload.get('version')!r}"
-        )
+    payload = _parse_payload(text)
     tasks: List[Task] = []
     for entry in payload["tasks"]:
         network = build_model(entry["network"])

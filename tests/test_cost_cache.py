@@ -1,0 +1,121 @@
+"""Coverage for the PR 1 cost-cache helpers: the network-cost cache,
+the per-block predict memos, and their invalidation hooks."""
+
+from dataclasses import replace
+
+import pytest
+
+import repro.core.latency as latency
+from repro.config import DEFAULT_SOC
+from repro.core.latency import (
+    BlockCost,
+    build_network_cost,
+    clear_network_cost_cache,
+    clear_predict_memos,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.models.zoo import build_model
+
+
+@pytest.fixture()
+def cold_cache():
+    clear_network_cost_cache()
+    yield
+    clear_network_cost_cache()
+
+
+@pytest.fixture(scope="module")
+def mem():
+    return MemoryHierarchy.from_soc(DEFAULT_SOC)
+
+
+class TestNetworkCostCache:
+    def test_clear_forces_recompute(self, cold_cache, mem, monkeypatch):
+        """clear_network_cost_cache() actually invalidates: the block
+        build counter moves again after a clear."""
+        calls = {"n": 0}
+        real = latency.build_block_cost
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(latency, "build_block_cost", counting)
+        net = build_model("kws")
+
+        first = build_network_cost(net, DEFAULT_SOC, mem)
+        built = calls["n"]
+        assert built > 0
+
+        again = build_network_cost(net, DEFAULT_SOC, mem)
+        assert again is first
+        assert calls["n"] == built  # pure cache hit
+
+        clear_network_cost_cache()
+        rebuilt = build_network_cost(net, DEFAULT_SOC, mem)
+        assert calls["n"] == 2 * built  # recomputed from scratch
+        assert rebuilt is not first
+        assert rebuilt.blocks == first.blocks
+
+    def test_keys_differ_across_memory_hierarchies(self, cold_cache, mem):
+        net = build_model("kws")
+        base = build_network_cost(net, DEFAULT_SOC, mem)
+        assert len(latency._NETWORK_COST_CACHE) == 1
+
+        fatter_dram = MemoryHierarchy(
+            l2=mem.l2,
+            dram=replace(
+                mem.dram,
+                peak_bytes_per_cycle=mem.dram.peak_bytes_per_cycle * 2,
+            ),
+        )
+        other = build_network_cost(net, DEFAULT_SOC, fatter_dram)
+        assert len(latency._NETWORK_COST_CACHE) == 2
+        assert other is not base
+
+    def test_keys_differ_across_block_granularity(self, cold_cache, mem):
+        net = build_model("kws")
+        coarse = build_network_cost(
+            net, DEFAULT_SOC, mem, max_layers_per_block=6
+        )
+        fine = build_network_cost(
+            net, DEFAULT_SOC, mem, max_layers_per_block=2
+        )
+        assert len(latency._NETWORK_COST_CACHE) == 2
+        assert fine is not coarse
+        # Same granularity again is a pure cache hit.
+        assert build_network_cost(
+            net, DEFAULT_SOC, mem, max_layers_per_block=2
+        ) is fine
+        assert len(latency._NETWORK_COST_CACHE) == 2
+
+
+class TestPredictMemo:
+    def test_clear_predict_memos_invalidates(
+        self, cold_cache, mem, monkeypatch
+    ):
+        """clear_predict_memos() drops the per-block memo of every
+        cached cost: the compute counter moves again after a clear."""
+        cost = build_network_cost(build_model("kws"), DEFAULT_SOC, mem)
+        block = cost.blocks[0]
+        point = (4, mem.dram_bandwidth, mem.l2_bandwidth,
+                 DEFAULT_SOC.overlap_f)
+
+        calls = {"n": 0}
+        real = BlockCost.compute_ideal
+
+        def counting(self, num_tiles):
+            calls["n"] += 1
+            return real(self, num_tiles)
+
+        monkeypatch.setattr(BlockCost, "compute_ideal", counting)
+        block.clear_predict_memo()
+
+        first = block.predict(*point)
+        assert calls["n"] == 1
+        assert block.predict(*point) == first
+        assert calls["n"] == 1  # memo hit, no recompute
+
+        clear_predict_memos()
+        assert block.predict(*point) == first
+        assert calls["n"] == 2  # memo dropped, recomputed

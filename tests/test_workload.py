@@ -62,6 +62,37 @@ class TestWorkloadConfig:
         with pytest.raises(ValueError):
             WorkloadConfig(**kwargs)
 
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(arrival_window=0.0), "arrival_window"),
+        (dict(arrival_window=-5.0), "arrival_window"),
+        (dict(model_mix=()), "model_mix"),
+        (dict(model_mix=(("kws", 0.5), ("alexnet", 0.2))), "sum to 1.0"),
+        (dict(model_mix=(("kws", 1.5), ("alexnet", -0.5))), "positive"),
+        (dict(model_mix=(("kws", 0.5), ("kws", 0.5))), "repeats"),
+        (dict(arrival="lognormal"), "arrival process"),
+        (dict(arrival="trace"), "trace_text"),
+        (dict(burst_count=0), "burst_count"),
+        (dict(burst_spread=0.0), "burst_spread"),
+        (dict(diurnal_waves=0.0), "diurnal_waves"),
+        (dict(diurnal_depth=1.5), "diurnal_depth"),
+        (dict(priority_weights=(1.0,) * 11), "12 entries"),
+        (dict(priority_weights=(-1.0,) + (1.0,) * 11), "non-negative"),
+        (dict(priority_weights=(0.0,) * 12), "all be zero"),
+    ])
+    def test_invalid_stochastic_knobs(self, kwargs, match):
+        """Bad configs fail here with a clear ValueError instead of
+        surfacing as confusing downstream engine errors."""
+        with pytest.raises(ValueError, match=match):
+            WorkloadConfig(**kwargs)
+
+    def test_model_mix_accepts_mapping(self):
+        cfg = WorkloadConfig(model_mix={"kws": 0.5, "alexnet": 0.5})
+        assert cfg.model_mix == (("kws", 0.5), ("alexnet", 0.5))
+
+    def test_explicit_arrival_window_accepted(self):
+        cfg = WorkloadConfig(arrival_window=5000.0)
+        assert cfg.arrival_window == 5000.0
+
 
 class TestGenerator:
     def test_generates_requested_count(self, generator):
