@@ -7,6 +7,16 @@ the simulator's event rate with and without the incremental
 bit-identical metrics, and writes everything to ``BENCH_perf.json`` so
 every future performance PR has a trajectory to beat.
 
+Both timed legs run warm and symmetric: the parent's caches are
+pre-built, then the worker pool is started and cache-warmed (via the
+executor's pool initializer plus a barrier-rendezvoused probe per
+worker) before *either* leg's timer starts — spawn-start hosts no
+longer pay worker cold-start inside the timed region (the PR 1 review
+flag), and fork-start workers snapshot the parent before the serial
+leg can build up extra memo state for them to inherit.
+``host.start_method`` and ``parallel.cache`` in the JSON record the
+start method and the aggregated per-cell cache hit/miss counters.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_perf.py [--tasks 120]
@@ -23,13 +33,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import os
 import sys
 import time
 from typing import Dict, List, Optional
 
 from repro.config import DEFAULT_SOC
-from repro.core.latency import build_network_cost, clear_predict_memos
+from repro.core.latency import warm_network_cost_cache
 from repro.core.policy import MoCAPolicy
 from repro.experiments.parallel import ParallelRunner, matrices_identical
 from repro.experiments.runner import run_matrix, standard_matrix
@@ -110,14 +121,13 @@ def _bench_engine(num_tasks: int, seed: int) -> Dict[str, object]:
 
 
 def _prewarm_caches() -> None:
-    """Build every workload set's network costs up front so the serial
-    and parallel timings below both start from warm caches (forked
-    workers inherit them; a cold first run would bias the ratio)."""
+    """Warm the parent's network-cost and predict-memo caches up front
+    so the timed serial leg starts warm — symmetric with the parallel
+    leg, whose workers are warmed by the pool initializer before its
+    timer starts."""
     soc = DEFAULT_SOC
     mem = MemoryHierarchy.from_soc(soc)
-    for set_name in ("A", "B", "C"):
-        for net in workload_set(set_name):
-            build_network_cost(net, soc, mem)
+    warm_network_cost_cache(workload_set("C"), soc, mem)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -154,25 +164,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     specs = standard_matrix(num_tasks=args.tasks, seeds=args.seeds)
+    start_method = multiprocessing.get_start_method()
     _prewarm_caches()
 
-    # Each timed leg starts with cold per-block predict memos so the
-    # serial run's in-process warm-up cannot subsidise the forked
-    # workers (or vice versa).
-    clear_predict_memos()
+    # Spin the worker pool up and warm every worker's caches BEFORE
+    # either timer starts.  Spawn-start workers previously paid the
+    # full cold-start inside the timed parallel leg — which could
+    # fail the speed gate spuriously on spawn hosts.  Starting the
+    # pool *before the serial leg* also keeps fork hosts symmetric:
+    # workers fork from the parent at exactly the _prewarm_caches
+    # state, so the serial run's additional in-process memo build-up
+    # (reduced-bandwidth predict points it probes along the way)
+    # cannot leak into the workers and subsidise the parallel leg.
+    runner = ParallelRunner(workers=args.workers or None)
+    warm_pids = runner.start_pool(specs)
+    print(
+        f"pool warmed: {len(warm_pids)} worker(s), "
+        f"start_method={start_method}",
+        file=sys.stderr,
+    )
+
     t0 = time.perf_counter()
     serial_matrix = run_matrix(specs)
     serial_s = time.perf_counter() - t0
     print(f"serial matrix:   {serial_s:6.2f}s", file=sys.stderr)
 
-    runner = ParallelRunner(workers=args.workers or None)
-    clear_predict_memos()
     t0 = time.perf_counter()
     parallel_matrix = runner.run_matrix(specs)
     parallel_s = time.perf_counter() - t0
+    runner.close_pool()
+    cell_cache = runner.last_sweep.cache_stats()
     print(
         f"parallel matrix: {parallel_s:6.2f}s "
-        f"(workers={runner.workers}, mode={runner.last_mode})",
+        f"(workers={runner.workers}, mode={runner.last_mode}, "
+        f"cost cache {cell_cache['cost_cache_hits']} hits / "
+        f"{cell_cache['cost_cache_misses']} misses)",
         file=sys.stderr,
     )
 
@@ -194,12 +220,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             "tasks_per_cell": args.tasks,
             "cells": len(cell_seconds),
         },
-        "host": {"cpu_count": cpu_count},
+        "host": {
+            "cpu_count": cpu_count,
+            "start_method": start_method,
+        },
         "serial": {"seconds": round(serial_s, 3)},
         "parallel": {
             "seconds": round(parallel_s, 3),
             "workers": runner.workers,
             "mode": runner.last_mode,
+            "warmed_workers": len(warm_pids),
+            "worker_pids_seen": len(runner.last_sweep.worker_pids()),
+            "cache": cell_cache,
             "cell_seconds_min": round(cell_seconds[0], 3),
             "cell_seconds_max": round(cell_seconds[-1], 3),
             "cell_seconds_mean": round(

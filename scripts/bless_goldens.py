@@ -1,13 +1,17 @@
-"""Re-bless the golden reference-matrix fingerprints.
+"""Re-bless the golden fingerprints.
 
-Run after an *intentional* change to simulator outputs::
+Run after an *intentional* change to simulator outputs or to the
+sweep exporters::
 
     PYTHONPATH=src python scripts/bless_goldens.py
 
-Rewrites ``tests/goldens/reference_matrix.json``; review the diff and
-commit it with the change that moved the metrics.
+Rewrites ``tests/goldens/reference_matrix.json`` (metric fingerprints
+of the 36 reference cells) and ``tests/goldens/sweep_exports.json``
+(byte digests of the sweep JSON/CSV export files); review the diff and
+commit it with the change that moved the outputs.
 """
 
+import hashlib
 import json
 import sys
 import time
@@ -39,6 +43,43 @@ def main() -> None:
     GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(
         f"blessed {len(cells)} cells -> {GOLDEN_PATH} "
+        f"({time.time() - t0:.1f}s)"
+    )
+    bless_sweep_exports()
+
+
+def bless_sweep_exports() -> None:
+    """Pin byte digests of the sweep export files (see
+    tests/test_reporting.py::TestSweepExports)."""
+    from repro.experiments.runner import run_matrix  # noqa: E402
+    from repro.reporting import sweep_to_csv, sweep_to_json  # noqa: E402
+
+    # Import the spec list from the test module so the bless script
+    # and the test can never drift apart.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+    from test_reporting import (  # noqa: E402
+        GOLDEN_EXPORT_PATH,
+        GOLDEN_EXPORT_SPECS,
+    )
+
+    t0 = time.time()
+    matrix = run_matrix(GOLDEN_EXPORT_SPECS)
+    payload = {
+        "specs": [spec.to_dict() for spec in GOLDEN_EXPORT_SPECS],
+        "digests": {
+            "json": hashlib.sha256(
+                sweep_to_json(matrix).encode()
+            ).hexdigest()[:16],
+            "csv": hashlib.sha256(
+                sweep_to_csv(matrix).encode()
+            ).hexdigest()[:16],
+        },
+    }
+    GOLDEN_EXPORT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"blessed sweep export digests -> {GOLDEN_EXPORT_PATH} "
         f"({time.time() - t0:.1f}s)"
     )
 

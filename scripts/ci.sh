@@ -22,4 +22,21 @@ python -m repro.cli sweep \
     --scenarios bursty-mixed,diurnal-light \
     --tasks 16 --seeds 1 --workers 2
 
+echo "== streaming export identity (parallel vs serial, byte-exact) =="
+# The streaming (2-worker) sweep and the serial sweep must write
+# byte-identical JSON/CSV/manifest artifacts; any divergence in the
+# streaming aggregation or the exporters fails the diff.
+EXPORT_TMP="$(mktemp -d)"
+trap 'rm -rf "$EXPORT_TMP"' EXIT
+python -m repro.cli sweep \
+    --scenarios bursty-mixed,diurnal-light \
+    --tasks 16 --seeds 1,2 --workers 2 \
+    --out "$EXPORT_TMP/streamed" --format json,csv
+python -m repro.cli sweep \
+    --scenarios bursty-mixed,diurnal-light \
+    --tasks 16 --seeds 1,2 --workers 1 \
+    --out "$EXPORT_TMP/serial" --format json,csv
+diff -r "$EXPORT_TMP/streamed" "$EXPORT_TMP/serial"
+echo "exports byte-identical"
+
 echo "CI OK"

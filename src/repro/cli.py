@@ -9,12 +9,14 @@ Usage::
     python -m repro.cli validate
     python -m repro.cli sweep --list
     python -m repro.cli sweep --scenarios bursty-mixed,diurnal-light --workers 2
+    python -m repro.cli sweep --scenarios bursty-mixed --out results/ --format json,csv
     python -m repro.cli all       # everything, EXPERIMENTS.md style
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 import time
 from typing import List, Optional, Tuple
@@ -29,15 +31,121 @@ from repro.experiments.validation import format_validation, run_validation
 
 
 def _parse_seeds(text: str) -> Tuple[int, ...]:
-    return tuple(int(s) for s in text.split(",") if s)
+    """Parse ``--seeds 1,2,3`` — validated up front so empty or
+    malformed values exit with a clean argparse error (prefixed with
+    the subcommand, like every other argument error) instead of a
+    traceback deep inside the run."""
+    entries = [s.strip() for s in text.split(",")]
+    if not any(entries):
+        raise argparse.ArgumentTypeError(
+            "expected comma-separated integer seeds, got an empty value"
+        )
+    seeds = []
+    for entry in entries:
+        if not entry:
+            raise argparse.ArgumentTypeError(
+                f"empty entry in seed list {text!r} "
+                f"(trailing or doubled comma?)"
+            )
+        try:
+            seed = int(entry)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid seed {entry!r}: expected an integer"
+            ) from None
+        if seed < 0:
+            raise argparse.ArgumentTypeError(
+                f"invalid seed {seed}: seeds must be >= 0"
+            )
+        seeds.append(seed)
+    return tuple(seeds)
 
 
 def _parse_names(text: str) -> Tuple[str, ...]:
-    return tuple(s.strip() for s in text.split(",") if s.strip())
+    """Parse ``--scenarios a,b`` with the same up-front validation."""
+    entries = [s.strip() for s in text.split(",")]
+    if not any(entries):
+        raise argparse.ArgumentTypeError(
+            "expected comma-separated names, got an empty value"
+        )
+    if not all(entries):
+        raise argparse.ArgumentTypeError(
+            f"empty entry in name list {text!r} "
+            f"(trailing or doubled comma?)"
+        )
+    return tuple(entries)
+
+
+#: Supported sweep export format names.
+_EXPORT_FORMATS = ("json", "csv")
+
+
+def _parse_formats(text: str) -> Tuple[str, ...]:
+    """Parse ``--format json,csv`` (deduplicated, order preserved)."""
+    names = _parse_names(text)
+    unknown = [n for n in names if n not in _EXPORT_FORMATS]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown format(s) {unknown}; choose from "
+            f"{', '.join(_EXPORT_FORMATS)}"
+        )
+    return tuple(dict.fromkeys(names))
+
+
+def _export_filename(label: str) -> str:
+    """Filesystem-safe stem for a scenario label (labels like
+    ``Workload-A/QoS-M`` contain path separators)."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", label)
+
+
+def _write_sweep_exports(matrix, specs, out_dir, formats) -> List[str]:
+    """Write per-scenario export files (plus the cell manifest).
+
+    One ``<scenario>.<format>`` file per scenario per requested
+    format, and a ``manifest.json`` describing every cell of the
+    sweep.  Exports are deterministic, so a streaming (``--workers
+    N``) run writes byte-identical files to a serial one —
+    ``scripts/ci.sh`` gates on exactly that.
+
+    Returns:
+        The written paths, in write order.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.experiments.results import cell_manifest
+    from repro.reporting import sweep_to_csv, sweep_to_json
+
+    exporters = {"json": sweep_to_json, "csv": sweep_to_csv}
+    stems = {"manifest": "(the reserved manifest.json)"}
+    for label in matrix:
+        stem = _export_filename(label)
+        if stem in stems:
+            raise SystemExit(
+                f"sweep: scenario labels {stems[stem]!r} and "
+                f"{label!r} both export as {stem!r}; rename one "
+                f"to avoid overwriting its files"
+            )
+        stems[stem] = label
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    for label, cell in matrix.items():
+        for fmt in formats:
+            path = out / f"{_export_filename(label)}.{fmt}"
+            path.write_text(exporters[fmt]({label: cell}))
+            written.append(str(path))
+    manifest_path = out / "manifest.json"
+    manifest_path.write_text(
+        json.dumps(cell_manifest(specs), indent=2, sort_keys=True) + "\n"
+    )
+    written.append(str(manifest_path))
+    return written
 
 
 def _run_sweep(args) -> str:
-    """The ``sweep`` subcommand: registry scenarios -> summary tables."""
+    """The ``sweep`` subcommand: registry scenarios -> summary tables,
+    optionally exported as per-scenario JSON/CSV artifacts."""
     from dataclasses import replace
 
     from repro.experiments.runner import run_matrix
@@ -53,6 +161,8 @@ def _run_sweep(args) -> str:
         )
     if args.workers < 0:
         raise SystemExit("sweep: --workers must be >= 0 (0 = one per CPU)")
+    if args.formats is not None and args.out is None:
+        raise SystemExit("sweep: --format requires --out DIR")
     specs = []
     for name in args.scenarios:
         try:
@@ -77,6 +187,14 @@ def _run_sweep(args) -> str:
     except ValueError as exc:
         raise SystemExit(f"sweep: {exc}") from exc
     matrix = run_matrix(specs, workers=args.workers)
+    if args.out is not None:
+        written = _write_sweep_exports(
+            matrix, specs, args.out, args.formats or _EXPORT_FORMATS
+        )
+        print(
+            f"sweep: wrote {len(written)} file(s) to {args.out}",
+            file=sys.stderr,
+        )
     return per_scenario_summary(matrix)
 
 
@@ -145,6 +263,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--list", action="store_true", dest="list_scenarios",
         help="list registered scenarios and exit",
+    )
+    p_sweep.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write per-scenario export files (plus manifest.json) "
+             "into DIR",
+    )
+    p_sweep.add_argument(
+        "--format", type=_parse_formats, default=None,
+        dest="formats", metavar="FMT[,FMT...]",
+        help="export formats for --out: json,csv (default: both); "
+             "requires --out",
     )
 
     p_all = sub.add_parser("all", help="run every experiment")

@@ -6,9 +6,12 @@ from repro.core.latency import (
     NetworkCost,
     build_block_cost,
     build_network_cost,
+    cache_stats,
     clear_network_cost_cache,
     estimate_layer,
     estimate_network,
+    reset_cache_stats,
+    warm_network_cost_cache,
 )
 from repro.core.runtime import MoCARuntime, RuntimeDecision
 from repro.core.scheduler import MoCAScheduler, SchedulerConfig
@@ -25,7 +28,10 @@ __all__ = [
     "Scoreboard",
     "build_block_cost",
     "build_network_cost",
+    "cache_stats",
     "clear_network_cost_cache",
     "estimate_layer",
     "estimate_network",
+    "reset_cache_stats",
+    "warm_network_cost_cache",
 ]

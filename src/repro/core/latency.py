@@ -234,7 +234,9 @@ class BlockCost:
             object.__setattr__(self, "_predict_memo", memo)
         cached = memo.get(key)
         if cached is not None:
+            _CACHE_STATS["predict_memo_hits"] += 1
             return cached
+        _CACHE_STATS["predict_memo_misses"] += 1
         compute = self.compute_ideal(num_tiles)
         memory = self.memory_ideal(dram_bw, l2_bw)
         hi = max(compute, memory)
@@ -329,10 +331,43 @@ class NetworkCost:
 
 
 _NetworkCostKey = Tuple[
-    str, int, float, float, SoCConfig, MemoryHierarchy, int, int
+    str, str, SoCConfig, MemoryHierarchy, int, int
 ]
 
 _NETWORK_COST_CACHE: Dict[_NetworkCostKey, NetworkCost] = {}
+
+#: The cache telemetry contract: every counter name consumers
+#: (``SimResult``, ``CellResult``, ``BENCH_perf.json``) carry.  Code
+#: that splats counter deltas into those dataclasses iterates THIS
+#: tuple, so adding a counter here requires adding the matching field
+#: there (a loud TypeError at the splat site, caught by any test that
+#: runs a simulation) rather than silently dropping telemetry.
+CACHE_COUNTER_FIELDS: Tuple[str, ...] = (
+    "cost_cache_hits",
+    "cost_cache_misses",
+    "predict_memo_hits",
+    "predict_memo_misses",
+)
+
+#: Process-global cache telemetry.  ``cost_cache_*`` counts
+#: :func:`build_network_cost` probes of ``_NETWORK_COST_CACHE``;
+#: ``predict_memo_*`` counts :meth:`BlockCost.predict` memo probes.
+#: The parallel executor snapshots these around each cell so warm
+#: workers are observable (a pre-warmed worker's cells run at ~100 %
+#: cost-cache hit rate), and ``scripts/bench_perf.py`` publishes the
+#: aggregates in ``BENCH_perf.json``.
+_CACHE_STATS: Dict[str, int] = {name: 0 for name in CACHE_COUNTER_FIELDS}
+
+
+def cache_stats() -> Dict[str, int]:
+    """Snapshot of the process-global cache hit/miss counters."""
+    return dict(_CACHE_STATS)
+
+
+def reset_cache_stats() -> None:
+    """Zero the cache telemetry counters (the caches stay intact)."""
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
 
 
 def clear_network_cost_cache() -> None:
@@ -367,24 +402,28 @@ def build_network_cost(
     the experiment harness builds costs for the same seven networks
     thousands of times.  Both config dataclasses are frozen, so the
     key captures every configuration parameter the block accounting
-    reads; the network itself is identified by name plus a cheap
-    structural fingerprint (layer count, total MACs, total weight
-    bytes) so a modified model reusing a zoo name cannot alias.
+    reads; the network itself is identified by name plus its
+    order-sensitive :attr:`~repro.models.graph.Network.
+    structural_digest`, which chains every layer's full structural
+    identity in execution order — a modified model reusing a zoo
+    name cannot alias, and neither can one that merely *reorders*
+    layers (aggregate totals like MAC/weight sums are order-blind;
+    the digest is not).
     """
     if mem is None:
         mem = MemoryHierarchy.from_soc(soc)
     key = (
         network.name,
-        len(network.layers),
-        float(network.total_macs),
-        float(network.total_weight_bytes),
+        network.structural_digest,
         soc,
         mem,
         num_sharers,
         max_layers_per_block,
     )
     if key in _NETWORK_COST_CACHE:
+        _CACHE_STATS["cost_cache_hits"] += 1
         return _NETWORK_COST_CACHE[key]
+    _CACHE_STATS["cost_cache_misses"] += 1
     blocks = partition_into_blocks(
         network, max_layers_per_block=max_layers_per_block
     )
@@ -396,6 +435,40 @@ def build_network_cost(
     )
     _NETWORK_COST_CACHE[key] = cost
     return cost
+
+
+def warm_network_cost_cache(
+    networks: Sequence[Network],
+    soc: SoCConfig,
+    mem: Optional[MemoryHierarchy] = None,
+    num_sharers: int = 1,
+) -> int:
+    """Pre-build network costs and pre-evaluate their predict memos.
+
+    For every network, builds (or cache-hits) its :class:`NetworkCost`
+    and evaluates each block's :meth:`BlockCost.predict` memo at every
+    tile count the SoC can grant, at full DRAM/L2 bandwidth — exactly
+    the ``T_full`` points the simulator's ``current_block_times`` and
+    the workload generator's isolated/QoS sizing evaluate, so a warmed
+    process serves those lookups from memo from the first cell.  The
+    parallel executor's worker initializer calls this once per worker
+    process; ``scripts/bench_perf.py`` uses it to keep cold-start out
+    of the timed legs.
+
+    Returns:
+        The number of networks warmed.
+    """
+    if mem is None:
+        mem = MemoryHierarchy.from_soc(soc)
+    for network in networks:
+        cost = build_network_cost(network, soc, mem, num_sharers)
+        for block in cost.blocks:
+            for tiles in range(1, soc.num_tiles + 1):
+                block.predict(
+                    tiles, mem.dram_bandwidth, mem.l2_bandwidth,
+                    soc.overlap_f,
+                )
+    return len(networks)
 
 
 def estimate_network(

@@ -7,22 +7,39 @@ cell's seed, the engine is exactly deterministic).  That makes the
 harness embarrassingly parallel, and this module exploits it with a
 :class:`concurrent.futures.ProcessPoolExecutor`.
 
-Process-pool model
-------------------
+Streaming model
+---------------
 
-:class:`ParallelRunner` flattens ``specs x policies x seeds`` into a
-list of cell payloads and ships them to worker processes with
-``Executor.map`` in chunks (``chunk_size`` cells per pickle round-trip;
-the default splits the payload list evenly across workers with a small
-oversubscription factor so stragglers rebalance).  Each worker rebuilds
-the scenario environment — memory hierarchy, QoS model, workload
-generator — from the payload, regenerates the cell's task stream from
-its seed, runs the simulation and returns the
-:class:`~repro.metrics.MetricsSummary` plus the cell's wall-clock
-seconds.  Results are reassembled into exactly the mapping the serial
-:func:`repro.experiments.runner.run_matrix` produces, with per-seed
-summaries in spec order, so the two paths are drop-in interchangeable
-and numerically identical.
+:meth:`ParallelRunner.iter_cells` flattens ``specs x policies x
+seeds`` into indexed cell payloads, ships them to worker processes in
+chunks, and **yields one** :class:`~repro.experiments.results.
+CellResult` **per completed cell as its future resolves** — no barrier
+across the sweep.  Completion order is nondeterministic in pool mode;
+every cell carries its global submission index, and
+:class:`~repro.experiments.results.SweepResults` folds the stream back
+into the deterministic ``{label: {policy: ScenarioResult}}`` matrix.
+:meth:`ParallelRunner.run_matrix` is exactly that composition, so it
+stays drop-in interchangeable and numerically identical with the
+serial :func:`repro.experiments.runner.run_matrix`.
+
+Warm workers
+------------
+
+Every worker process is started with an initializer that pre-warms the
+process-global network-cost cache and the per-block predict memos for
+the models of the sweep (:func:`repro.core.latency.
+warm_network_cost_cache`).  Fork-start hosts inherit the parent's warm
+caches anyway; on spawn-start hosts the initializer is what keeps each
+cell from paying the cold-start that PR 1's review flagged.  Each
+:class:`CellResult` carries cache hit/miss deltas, so warmth is
+observable: a warm worker's cells report zero ``cost_cache_misses``.
+
+For timing-sensitive callers, :meth:`ParallelRunner.start_pool` makes
+the pool persistent and forces every worker to spawn (and warm) *now*;
+subsequent :meth:`run_matrix` / :meth:`iter_cells` calls reuse it —
+``scripts/bench_perf.py`` warms the pool before its timed leg this
+way.  :meth:`close_pool` (or using the runner as a context manager)
+releases it.
 
 Pickling constraints
 --------------------
@@ -34,13 +51,9 @@ top-level classes and pickle fine; a lambda or closure factory does
 not, and the runner detects this up front and **falls back to serial
 in-process execution** (same cell code, same results) rather than
 failing.  The fallback also engages for ``workers=1``, single-cell
-matrices, and sandboxes where process pools cannot start.
-
-Per-cell worker state is cold: each forked/spawned worker re-derives
-the (deterministic) network block costs on first use, so the global
-``_NETWORK_COST_CACHE`` warms independently per process.  See
-:func:`repro.core.latency.clear_network_cost_cache` for tests that
-want explicit cold starts.
+matrices, sandboxes where process pools cannot start, and pools that
+break mid-sweep (already-yielded cells are kept; only the remainder
+reruns serially).
 
 Reading ``BENCH_perf.json``
 ---------------------------
@@ -50,8 +63,10 @@ paths and writes ``BENCH_perf.json``: ``serial.seconds`` vs
 ``parallel.seconds`` (and their ratio, ``speedup``) measure this
 module; ``engine.events_per_sec`` and the ``block_time_*`` counters
 measure the simulator's incremental hot path; ``identical_metrics``
-asserts the two paths agreed bit-for-bit.  Every future performance PR
-should beat the checked-in trajectory.
+asserts the two paths agreed bit-for-bit; ``host.start_method`` and
+``parallel.cache`` record the worker start method and the aggregated
+cache counters the warm-worker path is judged by.  Every future
+performance PR should beat the checked-in trajectory.
 """
 
 from __future__ import annotations
@@ -60,12 +75,21 @@ import os
 import pickle
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.config import DEFAULT_SOC, SoCConfig
+from repro.experiments.results import CellResult, SweepResults
 from repro.experiments.runner import (
     PolicyFactory,
     ScenarioResult,
@@ -74,16 +98,15 @@ from repro.experiments.runner import (
     default_policies,
     run_cell,
 )
-from repro.metrics import MetricsSummary
 from repro.scenarios import ScenarioLike, resolve_scenarios
 
-#: One unit of parallel work: (spec index, spec, policy name, policy
-#: factory, seed, SoC).  The spec index disambiguates duplicate labels.
-_CellPayload = Tuple[int, ScenarioSpec, str, PolicyFactory, int, SoCConfig]
-
-#: What a worker returns: (spec index, policy name, seed, summary,
-#: wall seconds spent on the cell).
-_CellOutcome = Tuple[int, str, int, MetricsSummary, float]
+#: One unit of parallel work: (global cell index, spec index, spec,
+#: policy name, policy factory, seed, SoC).  The global index is the
+#: deterministic aggregation key; the spec index disambiguates
+#: duplicate labels.
+_CellPayload = Tuple[
+    int, int, ScenarioSpec, str, PolicyFactory, int, SoCConfig
+]
 
 
 @dataclass(frozen=True)
@@ -103,16 +126,94 @@ class CellTiming:
     seconds: float
 
 
-def _run_cell(payload: _CellPayload) -> _CellOutcome:
+def _run_cell(payload: _CellPayload) -> CellResult:
     """Execute one matrix cell (runs inside a worker process).
 
     Delegates to :func:`repro.experiments.runner.run_cell` — the same
-    recipe the serial path uses — and adds the wall-clock timing.
+    recipe the serial path uses — and wraps the summary with timing
+    and cache telemetry (hit/miss deltas across the whole cell,
+    generation included, so warm-cache behaviour is observable from
+    the parent).
     """
-    spec_idx, spec, policy_name, factory, seed, soc = payload
+    from repro.core.latency import CACHE_COUNTER_FIELDS, cache_stats
+
+    index, spec_idx, spec, policy_name, factory, seed, soc = payload
+    before = cache_stats()
     t0 = time.perf_counter()
     summary = run_cell(spec, policy_name, factory, seed, soc)
-    return spec_idx, policy_name, seed, summary, time.perf_counter() - t0
+    seconds = time.perf_counter() - t0
+    after = cache_stats()
+    return CellResult(
+        index=index,
+        spec_index=spec_idx,
+        label=spec.label,
+        policy=policy_name,
+        seed=seed,
+        summary=summary,
+        seconds=seconds,
+        worker_pid=os.getpid(),
+        **{
+            name: after[name] - before[name]
+            for name in CACHE_COUNTER_FIELDS
+        },
+    )
+
+
+def _run_cell_chunk(payloads: Sequence[_CellPayload]) -> List[CellResult]:
+    """Worker entry point for one submission chunk."""
+    return [_run_cell(p) for p in payloads]
+
+
+def _warm_worker(model_names: Sequence[str], soc: SoCConfig) -> int:
+    """Pool initializer: pre-warm this worker's cost/predict caches.
+
+    Runs once per worker process before it takes any cell; idempotent
+    (re-running is a pure cache hit), so it doubles as the payload of
+    :meth:`ParallelRunner.start_pool`'s spawn-forcing probes.
+    """
+    from repro.core.latency import warm_network_cost_cache
+    from repro.models.zoo import build_model
+
+    return warm_network_cost_cache(
+        [build_model(name) for name in model_names], soc
+    )
+
+
+def _warm_probe(
+    model_names: Sequence[str],
+    soc: SoCConfig,
+    barrier=None,
+) -> int:
+    """Pool task that warms (idempotently) and reports its worker pid.
+
+    ``barrier`` (a manager-proxied ``multiprocessing.Barrier`` sized
+    to the worker count) makes the probes a true rendezvous: each
+    probe blocks until every worker holds one, so N probes provably
+    ran on N *distinct*, fully initialized workers — without it, one
+    fast worker could drain every probe while its siblings are still
+    cold-starting.  A broken/timed-out barrier (e.g. a worker died)
+    degrades to returning anyway rather than wedging the pool.
+    """
+    _warm_worker(model_names, soc)
+    if barrier is not None:
+        try:
+            barrier.wait(timeout=60)
+        except Exception:
+            pass
+    return os.getpid()
+
+
+def _spec_model_names(specs: Sequence[ScenarioSpec]) -> Tuple[str, ...]:
+    """Distinct zoo model names the sweep's cells will build."""
+    from repro.models.zoo import WORKLOAD_SETS
+
+    names: Set[str] = set()
+    for spec in specs:
+        if spec.model_mix is not None:
+            names.update(name for name, _ in spec.model_mix)
+        else:
+            names.update(WORKLOAD_SETS[spec.workload_set.upper()])
+    return tuple(sorted(names))
 
 
 def matrices_identical(
@@ -152,20 +253,36 @@ class ParallelRunner:
     Attributes:
         workers: Worker process count; ``None`` auto-sizes to the CPU
             count.  ``1`` always runs serially in-process.
-        chunk_size: Cells per ``Executor.map`` chunk; ``None`` derives
-            a chunk that splits the payload across ``4 x workers``
-            slices so uneven cells rebalance.
+        chunk_size: Cells per submission chunk; ``None`` derives a
+            chunk that splits the payload across ``4 x workers``
+            slices so uneven cells rebalance.  Streaming granularity
+            is one chunk: a chunk's cells are yielded together when
+            its future completes.
+        warm_start: Start every worker with the cache-warming
+            initializer (default True; fork hosts inherit warmth
+            either way, spawn hosts need it).
         last_timings: Per-cell wall-clock timings of the most recent
             :meth:`run_matrix` call, in submission order (spec, then
             policy, then seed) — not completion order.
+        last_cells: The :class:`CellResult` stream of the most recent
+            :meth:`run_matrix` call, in submission order.
+        last_sweep: The :class:`~repro.experiments.results.
+            SweepResults` accumulator of the most recent
+            :meth:`run_matrix` call (``None`` before the first) —
+            exposes :meth:`~repro.experiments.results.SweepResults.
+            cache_stats` and :meth:`~repro.experiments.results.
+            SweepResults.worker_pids` for telemetry consumers.
         last_mode: ``"parallel"`` or ``"serial"`` — which path the most
-            recent :meth:`run_matrix` call actually took.
+            recent :meth:`run_matrix` / :meth:`iter_cells` call
+            actually took (a pool that broke mid-sweep reports
+            ``"serial"``, the degraded mode the remainder ran in).
     """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        warm_start: bool = True,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -175,9 +292,119 @@ class ParallelRunner:
             raise ValueError("chunk_size must be >= 1")
         self.workers = workers
         self.chunk_size = chunk_size
+        self.warm_start = warm_start
         self.last_timings: List[CellTiming] = []
+        self.last_cells: List[CellResult] = []
+        self.last_sweep: Optional[SweepResults] = None
         self.last_mode: str = "serial"
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
 
+    # ------------------------------------------------------------------
+    # Persistent pool management
+    # ------------------------------------------------------------------
+
+    def start_pool(
+        self,
+        specs: Sequence[ScenarioLike] = (),
+        soc: Optional[SoCConfig] = None,
+    ) -> List[int]:
+        """Start a persistent worker pool and warm it *now*.
+
+        Creates the pool (with the warm initializer covering the
+        models of ``specs``), then submits one warm probe per worker,
+        rendezvoused on a barrier so every worker process provably
+        spawns and builds its caches before this call returns —
+        moving cold-start out of whatever the caller times next.
+        (Without the rendezvous a fast worker could consume all the
+        probes while its siblings are still initializing.)  If the
+        barrier machinery itself is unavailable (no manager process
+        in this sandbox), the probes still run, just without the
+        distinct-worker guarantee.  Subsequent :meth:`run_matrix` /
+        :meth:`iter_cells` calls reuse the pool until
+        :meth:`close_pool`.
+
+        Returns:
+            The distinct worker pids that answered the probes (empty
+            if the pool could not start; the runner then degrades to
+            per-call pools / serial fallback as usual).
+        """
+        if self._pool is not None:
+            raise RuntimeError("pool already started")
+        if self.workers == 1:
+            # The executor will run serially in-process; a warm pool
+            # would sit idle (and its telemetry would contradict
+            # last_mode == "serial").
+            return []
+        spec_list = resolve_scenarios(specs) if specs else []
+        if soc is None:
+            soc = DEFAULT_SOC
+        workers = min(self.workers, 61)
+        pool = None
+        manager = None
+        try:
+            pool = self._make_pool(workers, spec_list, soc)
+            model_names = _spec_model_names(spec_list)
+            barrier = None
+            if workers > 1:
+                import multiprocessing
+
+                try:
+                    manager = multiprocessing.Manager()
+                    barrier = manager.Barrier(workers)
+                except Exception:
+                    manager = None  # degrade: probes without rendezvous
+            probes = [
+                pool.submit(_warm_probe, model_names, soc, barrier)
+                for _ in range(workers)
+            ]
+            wait(probes)
+            pids = sorted({p.result() for p in probes})
+        except (OSError, BrokenProcessPool) as exc:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+            print(
+                f"parallel: persistent pool unavailable "
+                f"({type(exc).__name__}: {exc})",
+                file=sys.stderr,
+            )
+            return []
+        finally:
+            if manager is not None:
+                manager.shutdown()
+        self._pool = pool
+        self._pool_workers = workers
+        return pids
+
+    def close_pool(self) -> None:
+        """Shut the persistent pool down (no-op without one)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+            self._pool_workers = 0
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close_pool()
+
+    def _make_pool(
+        self,
+        workers: int,
+        spec_list: Sequence[ScenarioSpec],
+        soc: SoCConfig,
+    ) -> ProcessPoolExecutor:
+        if self.warm_start and spec_list:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_warm_worker,
+                initargs=(_spec_model_names(spec_list), soc),
+            )
+        return ProcessPoolExecutor(max_workers=workers)
+
+    # ------------------------------------------------------------------
+    # Running
     # ------------------------------------------------------------------
 
     def run_scenario(
@@ -199,11 +426,46 @@ class ParallelRunner:
     ) -> Dict[str, Dict[str, ScenarioResult]]:
         """Parallel equivalent of :func:`runner.run_matrix`.
 
-        Accepts registry names as well as specs (resolved before the
-        fan-out; specs are frozen dataclasses of primitives, so cells
-        built from registry scenarios stay picklable).  Returns
-        ``{scenario label: {policy: ScenarioResult}}`` with numerically
-        identical contents to the serial path.
+        Streams cells through :meth:`iter_cells` and folds each one
+        into a :class:`~repro.experiments.results.SweepResults` the
+        moment it completes — per-seed summaries aggregate
+        incrementally, there is no end-of-sweep barrier beyond
+        exhausting the stream.  Accepts registry names as well as
+        specs.  Returns ``{scenario label: {policy: ScenarioResult}}``
+        with numerically identical contents to the serial path.
+        """
+        if policies is None:
+            policies = default_policies()
+        spec_list = resolve_scenarios(specs)
+        acc = SweepResults(spec_list, list(policies))
+        for cell in self.iter_cells(spec_list, policies, soc):
+            acc.add(cell)
+        cells = acc.cells()
+        self.last_sweep = acc
+        self.last_cells = cells
+        self.last_timings = [
+            CellTiming(
+                label=c.label, policy=c.policy, seed=c.seed,
+                seconds=c.seconds,
+            )
+            for c in cells
+        ]
+        return acc.matrix()
+
+    def iter_cells(
+        self,
+        specs: Sequence[ScenarioLike],
+        policies: Optional[Dict[str, PolicyFactory]] = None,
+        soc: Optional[SoCConfig] = None,
+    ) -> Iterator[CellResult]:
+        """Yield every cell of the sweep as it completes.
+
+        Pool mode yields in completion order (nondeterministic);
+        serial mode in submission order.  The *set* of cells is
+        deterministic either way, and every cell carries its global
+        submission ``index``, so feeding the stream to
+        :class:`~repro.experiments.results.SweepResults` yields the
+        same aggregate regardless of arrival order.
         """
         if policies is None:
             policies = default_policies()
@@ -211,90 +473,104 @@ class ParallelRunner:
             soc = DEFAULT_SOC
         spec_list = resolve_scenarios(specs)
         check_unique_labels(spec_list)
-        payloads: List[_CellPayload] = [
-            (i, spec, name, factory, seed, soc)
-            for i, spec in enumerate(spec_list)
+        cells = [
+            (spec_idx, spec, name, factory, seed)
+            for spec_idx, spec in enumerate(spec_list)
             for name, factory in policies.items()
             for seed in spec.seeds
         ]
-        outcomes = self._execute(payloads)
-
-        by_cell: Dict[Tuple[int, str], Dict[int, MetricsSummary]] = {}
-        timings: List[CellTiming] = []
-        for spec_idx, name, seed, summary, seconds in outcomes:
-            by_cell.setdefault((spec_idx, name), {})[seed] = summary
-            timings.append(
-                CellTiming(
-                    label=spec_list[spec_idx].label,
-                    policy=name,
-                    seed=seed,
-                    seconds=seconds,
-                )
-            )
-        matrix: Dict[str, Dict[str, ScenarioResult]] = {}
-        for i, spec in enumerate(spec_list):
-            cell = {}
-            for name in policies:
-                per_seed = tuple(
-                    by_cell[(i, name)][seed] for seed in spec.seeds
-                )
-                cell[name] = ScenarioResult(
-                    policy=name, spec=spec, per_seed=per_seed
-                )
-            matrix[spec.label] = cell
-        self.last_timings = timings
-        return matrix
+        payloads: List[_CellPayload] = [
+            (index, spec_idx, spec, name, factory, seed, soc)
+            for index, (spec_idx, spec, name, factory, seed)
+            in enumerate(cells)
+        ]
+        yield from self._execute(payloads, spec_list, soc)
 
     # ------------------------------------------------------------------
 
     def _execute(
-        self, payloads: List[_CellPayload]
-    ) -> List[_CellOutcome]:
-        """Run the cells, preferring the pool, degrading to serial."""
+        self,
+        payloads: List[_CellPayload],
+        spec_list: Sequence[ScenarioSpec],
+        soc: SoCConfig,
+    ) -> Iterator[CellResult]:
+        """Stream the cells, preferring the pool, degrading to serial."""
         # Only the policy factories can realistically fail to pickle
         # (specs and SoCs are frozen dataclasses of primitives), so
         # probe the distinct factories instead of every payload —
         # deduplicated by identity, since a factory need not be
         # hashable to be a valid callable.
         factories = tuple(
-            {id(p[3]): p[3] for p in payloads}.values()
+            {id(p[4]): p[4] for p in payloads}.values()
         )
+        remaining = payloads
         if (
             self.workers > 1
             and len(payloads) > 1
             and _picklable(factories)
         ):
+            done: Set[int] = set()
             try:
-                return self._execute_pool(payloads)
+                for cell in self._stream_pool(payloads, spec_list, soc):
+                    done.add(cell.index)
+                    yield cell
+                self.last_mode = "parallel"
+                return
             except (OSError, BrokenProcessPool) as exc:
                 # Pool could not start or died (sandboxes, restricted
                 # environments, spawn-bootstrap child crashes); the
                 # cells are identical either way, only slower.  Errors
                 # raised *by a worker's simulation* (SimulationError
                 # and friends) propagate — rerunning serially would
-                # only hit them again.
+                # only hit them again.  Cells that already streamed
+                # out stay streamed; only the remainder reruns here.
+                # A broken *persistent* pool is discarded so the next
+                # run can start a fresh one instead of resubmitting to
+                # the corpse forever.
+                self.close_pool()
+                remaining = [p for p in payloads if p[0] not in done]
                 print(
                     f"parallel: process pool unavailable "
                     f"({type(exc).__name__}: {exc}); running "
-                    f"{len(payloads)} cells serially",
+                    f"{len(remaining)} cells serially",
                     file=sys.stderr,
                 )
         self.last_mode = "serial"
-        return [_run_cell(p) for p in payloads]
+        for payload in remaining:
+            yield _run_cell(payload)
 
-    def _execute_pool(
-        self, payloads: List[_CellPayload]
-    ) -> List[_CellOutcome]:
+    def _stream_pool(
+        self,
+        payloads: List[_CellPayload],
+        spec_list: Sequence[ScenarioSpec],
+        soc: SoCConfig,
+    ) -> Iterator[CellResult]:
         # 61 is ProcessPoolExecutor's hard ceiling on Windows; capping
         # everywhere keeps auto-sized runs from crashing there.
-        workers = min(self.workers, len(payloads), 61)
+        pool = self._pool
+        if pool is not None:
+            workers = min(self._pool_workers, len(payloads))
+        else:
+            workers = min(self.workers, len(payloads), 61)
         if self.chunk_size is not None:
             chunk = self.chunk_size
         else:
             chunk = max(1, len(payloads) // (workers * 4))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(
-                pool.map(_run_cell, payloads, chunksize=chunk)
-            )
-        self.last_mode = "parallel"
-        return outcomes
+        chunks = [
+            payloads[i:i + chunk]
+            for i in range(0, len(payloads), chunk)
+        ]
+        owns_pool = pool is None
+        if owns_pool:
+            pool = self._make_pool(workers, spec_list, soc)
+        try:
+            pending = {pool.submit(_run_cell_chunk, c) for c in chunks}
+            while pending:
+                finished, pending = wait(
+                    pending, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    yield from future.result()
+        finally:
+            if owns_pool:
+                pool.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,236 @@
+"""First-class sweep results: streaming accumulation and manifests.
+
+The streaming executor (:meth:`repro.experiments.parallel.
+ParallelRunner.iter_cells`) yields one :class:`CellResult` per
+(scenario, policy, seed) cell *as futures complete* — in whatever
+order the workers finish.  This module turns that unordered stream
+back into the deterministic structures the rest of the harness
+consumes:
+
+- :class:`SweepResults` accumulates cells incrementally (no barrier:
+  each cell is folded in the moment it arrives) and, once complete,
+  assembles exactly the ``{label: {policy: ScenarioResult}}`` matrix
+  the serial :func:`repro.experiments.runner.run_matrix` produces —
+  same spec order, same policy order, same per-seed tuples, so the
+  streaming path is bit-identical to serial by construction.
+- :func:`cell_manifest` renders the full cell list of a sweep as a
+  JSON-serialisable document (specs included via
+  :meth:`ScenarioSpec.to_dict`).  Every cell entry carries the global
+  submission index, so the manifest is the seam for future
+  cross-machine sharding: a remote worker needs nothing but its slice
+  of this document to run its cells and return indexed
+  :class:`CellResult`-shaped rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.latency import CACHE_COUNTER_FIELDS
+from repro.metrics import MetricsSummary
+from repro.scenarios import ScenarioLike, ScenarioSpec, resolve_scenarios
+
+__all__ = [
+    "CACHE_COUNTER_FIELDS",
+    "CellResult",
+    "SweepResults",
+    "cell_manifest",
+]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one (scenario, policy, seed) cell of a sweep.
+
+    Attributes:
+        index: Global submission index of the cell (spec order, then
+            policy order, then seed order) — the deterministic key
+            streaming aggregation sorts by.
+        spec_index: Index of the cell's scenario in the sweep's spec
+            list.
+        label: Scenario label.
+        policy: Policy name.
+        seed: Workload seed.
+        summary: The cell's metric bundle.
+        seconds: Wall seconds the cell took inside its worker.
+        worker_pid: OS pid of the process that ran the cell.
+        cost_cache_hits / cost_cache_misses: Network-cost cache probes
+            during the cell (generation + simulation); a pre-warmed
+            worker runs every cell at zero misses.
+        predict_memo_hits / predict_memo_misses: ``BlockCost.predict``
+            memo probes during the cell.
+    """
+
+    index: int
+    spec_index: int
+    label: str
+    policy: str
+    seed: int
+    summary: MetricsSummary
+    seconds: float
+    worker_pid: int = 0
+    cost_cache_hits: int = 0
+    cost_cache_misses: int = 0
+    predict_memo_hits: int = 0
+    predict_memo_misses: int = 0
+
+
+class SweepResults:
+    """Incremental, completion-order-independent sweep accumulator.
+
+    Construct with the sweep's resolved shape (specs and policy
+    names), then :meth:`add` every :class:`CellResult` in *any* order;
+    :meth:`matrix` assembles the deterministic serial-identical result
+    once all expected cells have arrived.  Duplicate or unexpected
+    cells fail loudly — silent double-aggregation would corrupt the
+    per-seed tuples.
+
+    Attributes:
+        specs: Resolved scenario specs, in sweep order.
+        policies: Policy names, in sweep order.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[ScenarioLike],
+        policies: Sequence[str],
+    ) -> None:
+        from repro.experiments.runner import check_unique_labels
+
+        self.specs: List[ScenarioSpec] = resolve_scenarios(specs)
+        check_unique_labels(self.specs)
+        self.policies: List[str] = list(policies)
+        if not self.policies:
+            raise ValueError("need at least one policy")
+        #: index -> (spec_index, policy, seed), in submission order.
+        self._slots: List[Tuple[int, str, int]] = [
+            (spec_idx, policy, seed)
+            for spec_idx, spec in enumerate(self.specs)
+            for policy in self.policies
+            for seed in spec.seeds
+        ]
+        self._cells: Dict[int, CellResult] = {}
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def expected(self) -> int:
+        """Total cells this sweep comprises."""
+        return len(self._slots)
+
+    @property
+    def complete(self) -> bool:
+        return len(self._cells) == len(self._slots)
+
+    def add(self, cell: CellResult) -> None:
+        """Fold one completed cell in (any order, exactly once)."""
+        if not 0 <= cell.index < len(self._slots):
+            raise ValueError(
+                f"cell index {cell.index} outside sweep of "
+                f"{len(self._slots)} cells"
+            )
+        expected = self._slots[cell.index]
+        got = (cell.spec_index, cell.policy, cell.seed)
+        if got != expected:
+            raise ValueError(
+                f"cell {cell.index} is {got}, expected {expected}"
+            )
+        if cell.index in self._cells:
+            raise ValueError(f"duplicate cell {cell.index}")
+        self._cells[cell.index] = cell
+
+    def cells(self) -> List[CellResult]:
+        """Accumulated cells, sorted back into submission order."""
+        return [self._cells[i] for i in sorted(self._cells)]
+
+    def matrix(self) -> Dict[str, Dict[str, "ScenarioResult"]]:
+        """The deterministic ``{label: {policy: ScenarioResult}}``.
+
+        Requires completeness; the assembly iterates specs, policies
+        and seeds in sweep order, so the output is independent of the
+        order cells were added in and identical to the serial path.
+        """
+        from repro.experiments.runner import ScenarioResult
+
+        if not self.complete:
+            missing = [
+                i for i in range(len(self._slots)) if i not in self._cells
+            ]
+            raise ValueError(
+                f"sweep incomplete: {len(missing)} of "
+                f"{len(self._slots)} cells missing (first: {missing[:5]})"
+            )
+        by_slot: Dict[Tuple[int, str], List[MetricsSummary]] = {}
+        for index, (spec_idx, policy, _seed) in enumerate(self._slots):
+            by_slot.setdefault((spec_idx, policy), []).append(
+                self._cells[index].summary
+            )
+        out: Dict[str, Dict[str, ScenarioResult]] = {}
+        for spec_idx, spec in enumerate(self.specs):
+            out[spec.label] = {
+                policy: ScenarioResult(
+                    policy=policy,
+                    spec=spec,
+                    per_seed=tuple(by_slot[(spec_idx, policy)]),
+                )
+                for policy in self.policies
+            }
+        return out
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Cache counters summed over every accumulated cell."""
+        return {
+            name: sum(getattr(c, name) for c in self._cells.values())
+            for name in CACHE_COUNTER_FIELDS
+        }
+
+    def worker_pids(self) -> List[int]:
+        """Distinct worker pids observed, sorted."""
+        return sorted({c.worker_pid for c in self._cells.values()})
+
+
+def cell_manifest(
+    specs: Sequence[ScenarioLike],
+    policies: Optional[Sequence[str]] = None,
+) -> dict:
+    """Serialisable manifest of every cell a sweep comprises.
+
+    The returned document is pure JSON material: the resolved specs
+    (via :meth:`ScenarioSpec.to_dict`) plus one entry per cell with
+    its global index — the same (spec, policy, seed) flattening order
+    the executor submits in.  A future cross-machine shard needs only
+    a slice of ``cells`` plus the referenced scenario entries.
+    """
+    if policies is None:
+        from repro.experiments.runner import default_policies
+
+        policies = list(default_policies())
+    spec_list = resolve_scenarios(specs)
+    from repro.experiments.runner import check_unique_labels
+
+    check_unique_labels(spec_list)
+    cells = []
+    index = 0
+    for spec_idx, spec in enumerate(spec_list):
+        for policy in policies:
+            for seed in spec.seeds:
+                cells.append(
+                    {
+                        "index": index,
+                        "scenario": spec.label,
+                        "spec_index": spec_idx,
+                        "policy": policy,
+                        "seed": seed,
+                    }
+                )
+                index += 1
+    return {
+        "scenarios": [
+            {"label": spec.label, "spec": spec.to_dict()}
+            for spec in spec_list
+        ],
+        "policies": list(policies),
+        "cells": cells,
+    }

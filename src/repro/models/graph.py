@@ -89,6 +89,34 @@ class Network:
         mem = self.total_mem_bytes
         return self.total_macs / mem if mem else 0.0
 
+    @property
+    def structural_digest(self) -> str:
+        """Order-sensitive digest of the full layer sequence.
+
+        Chains every layer's :func:`~repro.models.layers.
+        layer_structural_digest` in execution order (plus the network
+        name and input size), so any in-place edit — including
+        *reordering* layers without changing aggregate totals —
+        produces a different digest.  The network-cost cache keys on
+        this.  Memoised per layer tuple (keyed on the tuple's
+        identity, so even a forced in-place swap of ``layers`` on the
+        frozen instance cannot serve a stale digest).
+        """
+        import hashlib
+
+        from repro.models.layers import layer_structural_digest
+
+        cached = self.__dict__.get("_structural_digest")
+        if cached is None or cached[0] is not self.layers:
+            blob = "|".join(
+                [self.name, str(self.input_bytes)]
+                + [layer_structural_digest(l) for l in self.layers]
+            )
+            digest = hashlib.sha256(blob.encode()).hexdigest()[:16]
+            cached = (self.layers, digest)
+            object.__setattr__(self, "_structural_digest", cached)
+        return cached[1]
+
     def layer_index(self, name: str) -> int:
         """Index of the layer named ``name`` (raises if absent)."""
         for i, layer in enumerate(self.layers):

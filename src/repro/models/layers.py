@@ -15,6 +15,7 @@ datatype (:data:`repro.config.ELEM_BYTES`).
 from __future__ import annotations
 
 import enum
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Tuple
@@ -405,6 +406,19 @@ class ConcatLayer(Layer):
     @property
     def output_bytes(self) -> int:
         return self.h * self.w * self.out_channels * ELEM_BYTES
+
+
+def layer_structural_digest(layer: Layer) -> str:
+    """Stable digest of one layer's complete structural identity.
+
+    Layers are frozen dataclasses, so their ``repr`` enumerates the
+    class name and every constructor field (dimensions, kernel,
+    stride, groups, ...) — everything the latency model's shape
+    accounting can read.  Two layers digest equal iff they are
+    structurally interchangeable; consumers that care about *order*
+    (e.g. the network-cost cache) chain these digests in sequence.
+    """
+    return hashlib.sha256(repr(layer).encode()).hexdigest()[:16]
 
 
 def macs_to_flops(macs: int) -> int:

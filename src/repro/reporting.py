@@ -11,11 +11,13 @@ them.
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 import json
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.runner import POLICY_ORDER, ScenarioResult
+from repro.metrics import MetricsSummary
 from repro.sim.job import TaskResult
 
 Matrix = Dict[str, Dict[str, ScenarioResult]]
@@ -135,6 +137,198 @@ def matrix_to_json(matrix: Matrix) -> str:
             for policy, result in cell.items()
         }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _ordered_policies(cell: Dict[str, ScenarioResult]) -> List[str]:
+    """Presentation order: the paper's four systems, then extras."""
+    policies = [p for p in POLICY_ORDER if p in cell]
+    policies += [p for p in cell if p not in POLICY_ORDER]
+    return policies
+
+
+def _summary_to_dict(summary: MetricsSummary) -> dict:
+    """One seed's full metric bundle as JSON-ready primitives.
+
+    Iterates ``dataclasses.fields`` so metrics added later are
+    exported automatically instead of silently escaping the files
+    (the same philosophy as the golden fingerprints).
+    """
+    out = {}
+    for field in dataclasses.fields(MetricsSummary):
+        value = getattr(summary, field.name)
+        out[field.name] = dict(value) if isinstance(value, dict) else value
+    return out
+
+
+def _summary_from_dict(payload: dict) -> MetricsSummary:
+    """Rebuild one seed's metric bundle from :func:`_summary_to_dict`."""
+    kwargs = {}
+    for field in dataclasses.fields(MetricsSummary):
+        value = payload[field.name]
+        kwargs[field.name] = dict(value) if isinstance(value, dict) else value
+    return MetricsSummary(**kwargs)
+
+
+#: Aggregate (seed-averaged) metrics exported per (scenario, policy).
+_AGGREGATE_METRICS = (
+    "sla_rate", "stp", "stp_normalized", "fairness",
+    "mean_slowdown", "p99_slowdown",
+)
+
+
+def sweep_to_json(matrix: Matrix) -> str:
+    """Export a sweep matrix as a full-fidelity JSON document.
+
+    Per scenario: the spec (via ``ScenarioSpec.to_dict``, so the file
+    is self-describing and re-runnable), per-policy seed-averaged
+    aggregates, and the complete per-seed metric bundles at full float
+    precision (JSON round-trips Python floats exactly).  Output is
+    deterministic — scenario order follows the matrix, everything
+    else is sorted — so serial and streaming runs of the same sweep
+    export byte-identical files (``scripts/ci.sh`` gates on this).
+    """
+    if not matrix:
+        raise ValueError("empty matrix")
+    scenarios = []
+    for label, cell in matrix.items():
+        spec = next(iter(cell.values())).spec
+        policies = {}
+        for policy in _ordered_policies(cell):
+            result = cell[policy]
+            policies[policy] = {
+                "aggregate": {
+                    name: getattr(result, name)
+                    for name in _AGGREGATE_METRICS
+                },
+                "per_seed": [
+                    {"seed": seed, **_summary_to_dict(summary)}
+                    for seed, summary in zip(spec.seeds, result.per_seed)
+                ],
+            }
+        scenarios.append(
+            {
+                "label": label,
+                "spec": spec.to_dict(),
+                "policies": policies,
+            }
+        )
+    return json.dumps(
+        {"format": "repro-sweep/1", "scenarios": scenarios},
+        indent=2,
+        sort_keys=True,
+    ) + "\n"
+
+
+def sweep_from_json(text: str) -> Matrix:
+    """Rebuild a sweep matrix from :func:`sweep_to_json` output.
+
+    Round-trips exactly: specs are reconstructed via
+    ``ScenarioSpec.from_dict`` and every per-seed
+    :class:`MetricsSummary` compares equal to the original.
+    """
+    from repro.scenarios import ScenarioSpec
+
+    payload = json.loads(text)
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != "repro-sweep/1"
+    ):
+        raise ValueError(
+            "not a repro-sweep/1 document (format="
+            + repr(
+                payload.get("format")
+                if isinstance(payload, dict) else type(payload).__name__
+            )
+            + ")"
+        )
+    matrix: Matrix = {}
+    for entry in payload["scenarios"]:
+        spec = ScenarioSpec.from_dict(entry["spec"])
+        cell = {}
+        for policy, block in entry["policies"].items():
+            cell[policy] = ScenarioResult(
+                policy=policy,
+                spec=spec,
+                per_seed=tuple(
+                    _summary_from_dict(row) for row in block["per_seed"]
+                ),
+            )
+        matrix[entry["label"]] = cell
+    return matrix
+
+
+#: Scalar MetricsSummary columns of the sweep CSV, in export order.
+_SWEEP_SCALAR_FIELDS = tuple(
+    f.name for f in dataclasses.fields(MetricsSummary)
+    if f.name not in ("policy", "sla_by_group")
+)
+
+
+def sweep_to_csv(matrix: Matrix) -> str:
+    """Export a sweep matrix as one per-seed row per cell.
+
+    Columns: scenario, policy, seed, every scalar
+    :class:`MetricsSummary` field (full ``repr`` precision, so values
+    survive a text round-trip bit-exactly), and ``sla_by_group`` as a
+    compact sorted-JSON object.  Row order is deterministic (matrix
+    order, paper policy order, seed order) — serial and streaming
+    runs export byte-identical files.
+    """
+    if not matrix:
+        raise ValueError("empty matrix")
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        ["scenario", "policy", "seed"]
+        + list(_SWEEP_SCALAR_FIELDS)
+        + ["sla_by_group"]
+    )
+    for label, cell in matrix.items():
+        for policy in _ordered_policies(cell):
+            result = cell[policy]
+            for seed, summary in zip(result.spec.seeds, result.per_seed):
+                row = [label, policy, seed]
+                for name in _SWEEP_SCALAR_FIELDS:
+                    value = getattr(summary, name)
+                    row.append(
+                        repr(value) if isinstance(value, float) else value
+                    )
+                row.append(
+                    json.dumps(
+                        summary.sla_by_group,
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                )
+                writer.writerow(row)
+    return out.getvalue()
+
+
+def sweep_from_csv(
+    text: str,
+) -> Dict[str, Dict[str, List[Tuple[int, MetricsSummary]]]]:
+    """Rebuild per-seed metric bundles from :func:`sweep_to_csv`.
+
+    The CSV does not carry the scenario specs, so the result is the
+    metric payload only: ``{scenario: {policy: [(seed, summary),
+    ...]}}`` with every :class:`MetricsSummary` equal to the
+    exporter's input.
+    """
+    reader = csv.DictReader(io.StringIO(text))
+    out: Dict[str, Dict[str, List[Tuple[int, MetricsSummary]]]] = {}
+    for row in reader:
+        kwargs = {"policy": row["policy"]}
+        for name in _SWEEP_SCALAR_FIELDS:
+            field_type = MetricsSummary.__dataclass_fields__[name].type
+            raw = row[name]
+            kwargs[name] = (
+                int(raw) if field_type in ("int", int) else float(raw)
+            )
+        kwargs["sla_by_group"] = json.loads(row["sla_by_group"])
+        out.setdefault(row["scenario"], {}).setdefault(
+            row["policy"], []
+        ).append((int(row["seed"]), MetricsSummary(**kwargs)))
+    return out
 
 
 _TASK_FIELDS = (

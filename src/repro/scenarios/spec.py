@@ -123,6 +123,50 @@ class ScenarioSpec:
             seed=seed, **{name: getattr(self, name) for name in shared}
         )
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form of the spec (see :meth:`from_dict`).
+
+        Every field is a primitive, a list of primitives, or the QoS
+        level's string value — the serialisation seam the sweep-export
+        files and the cell manifest use.
+        """
+        out = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, QosLevel):
+                value = value.value
+            elif isinstance(value, tuple):
+                value = [
+                    list(item) if isinstance(item, tuple) else item
+                    for item in value
+                ]
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Round-trips exactly: ``ScenarioSpec.from_dict(s.to_dict()) ==
+        s`` (list/tuple coercion is handled here and by the
+        constructor's own normalisation).
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown ScenarioSpec fields: {unknown}")
+        kwargs = dict(payload)
+        if "qos_level" in kwargs:
+            kwargs["qos_level"] = QosLevel(kwargs["qos_level"])
+        for name in ("seeds", "priority_weights"):
+            if kwargs.get(name) is not None:
+                kwargs[name] = tuple(kwargs[name])
+        if kwargs.get("model_mix") is not None:
+            kwargs["model_mix"] = tuple(
+                (name, weight) for name, weight in kwargs["model_mix"]
+            )
+        return cls(**kwargs)
+
     def networks(self) -> List[Network]:
         """The scenario's candidate model pool.
 

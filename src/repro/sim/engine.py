@@ -74,6 +74,12 @@ class SimResult:
         block_time_recomputes: Full ``current_block_times`` solves
             (prediction + arbiter) the run actually performed.
         block_time_reuses: Solves served from the epoch cache instead.
+        cost_cache_hits / cost_cache_misses: Network-cost cache probes
+            during this run (deltas of the process-global counters
+            between simulator construction and completion — a warm
+            worker shows zero misses here).
+        predict_memo_hits / predict_memo_misses: ``BlockCost.predict``
+            memo probes during this run, same delta convention.
     """
 
     policy_name: str
@@ -83,6 +89,10 @@ class SimResult:
     events: int = 0
     block_time_recomputes: int = 0
     block_time_reuses: int = 0
+    cost_cache_hits: int = 0
+    cost_cache_misses: int = 0
+    predict_memo_hits: int = 0
+    predict_memo_misses: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -158,6 +168,9 @@ class Simulator:
         self.events = 0
         self.block_time_recomputes = 0
         self.block_time_reuses = 0
+        from repro.core.latency import cache_stats
+
+        self._cache_stats_at_init = cache_stats()
 
     # ------------------------------------------------------------------
     # Policy-facing API
@@ -287,6 +300,13 @@ class Simulator:
             self._advance(max(dt, _MIN_DT))
             self._process_completions()
         makespan = max((j.finished_at or 0.0) for j in self.finished)
+        from repro.core.latency import CACHE_COUNTER_FIELDS, cache_stats
+
+        after = cache_stats()
+        cache_delta = {
+            key: after[key] - self._cache_stats_at_init[key]
+            for key in CACHE_COUNTER_FIELDS
+        }
         return SimResult(
             policy_name=self.policy.name,
             results=results_from_jobs(self.finished),
@@ -295,6 +315,7 @@ class Simulator:
             events=self.events,
             block_time_recomputes=self.block_time_recomputes,
             block_time_reuses=self.block_time_reuses,
+            **cache_delta,
         )
 
     def _dispatch_arrivals(self) -> None:

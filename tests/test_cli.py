@@ -1,0 +1,164 @@
+"""Tests for the CLI argument parsing (ISSUE bugfix: malformed
+--seeds / --scenarios values must exit with clean argparse errors, not
+tracebacks) and the sweep export path."""
+
+import json
+
+import pytest
+
+from repro.cli import (
+    _export_filename,
+    _parse_formats,
+    _parse_names,
+    _parse_seeds,
+    build_parser,
+    main,
+)
+
+
+class TestParseSeeds:
+    def test_valid(self):
+        assert _parse_seeds("1,2,3") == (1, 2, 3)
+        assert _parse_seeds(" 4 , 5 ") == (4, 5)
+        assert _parse_seeds("0") == (0,)
+
+    @pytest.mark.parametrize("bad", ["", "   ", ","])
+    def test_empty_rejected(self, bad):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="empty"):
+            _parse_seeds(bad)
+
+    def test_trailing_comma_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="comma"):
+            _parse_seeds("1,2,")
+
+    def test_non_integer_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="integer"):
+            _parse_seeds("1,x")
+
+    def test_negative_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match=">= 0"):
+            _parse_seeds("1,-3")
+
+
+class TestParseNames:
+    def test_valid(self):
+        assert _parse_names("a,b") == ("a", "b")
+        assert _parse_names(" a , b ") == ("a", "b")
+
+    def test_empty_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="empty"):
+            _parse_names("")
+
+    def test_trailing_comma_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="comma"):
+            _parse_names("a,b,")
+
+
+class TestParseFormats:
+    def test_valid_and_deduplicated(self):
+        assert _parse_formats("json,csv") == ("json", "csv")
+        assert _parse_formats("csv,csv") == ("csv",)
+
+    def test_unknown_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="unknown"):
+            _parse_formats("json,xml")
+
+
+class TestParserExitBehaviour:
+    """Malformed values exit via argparse (status 2, clean
+    subcommand-prefixed message on stderr) instead of a traceback."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["sweep", "--scenarios", "a,", "--seeds", "1"],
+            ["sweep", "--scenarios", "bursty-mixed", "--seeds", ""],
+            ["sweep", "--scenarios", "bursty-mixed", "--seeds", "1,q"],
+            ["sweep", "--scenarios", "bursty-mixed", "--seeds", "-1"],
+            ["fig5", "--seeds", "2,"],
+        ],
+    )
+    def test_malformed_values_exit_cleanly(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert f"{argv[0]}: error:" in err
+
+    def test_unknown_scenario_prefixed(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--scenarios", "no-such-scenario"])
+        assert str(excinfo.value).startswith("sweep:")
+
+    def test_format_without_out_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["sweep", "--scenarios", "bursty-mixed",
+                 "--format", "csv"]
+            )
+        assert "requires --out" in str(excinfo.value)
+
+
+class TestExportFilename:
+    def test_sanitizes_path_separators(self):
+        assert _export_filename("Workload-A/QoS-M") == "Workload-A-QoS-M"
+        assert _export_filename("bursty-mixed") == "bursty-mixed"
+
+    def test_colliding_labels_rejected_not_overwritten(self, tmp_path):
+        """Two labels sanitizing to the same stem must fail loudly
+        instead of silently overwriting one scenario's files."""
+        from repro.cli import _write_sweep_exports
+
+        with pytest.raises(SystemExit, match="both export as"):
+            _write_sweep_exports(
+                {"a/b": {}, "a b": {}}, [], tmp_path, ("json",)
+            )
+
+    def test_manifest_label_rejected(self, tmp_path):
+        """A scenario labeled 'manifest' would collide with the
+        reserved manifest.json."""
+        from repro.cli import _write_sweep_exports
+
+        with pytest.raises(SystemExit, match="manifest"):
+            _write_sweep_exports({"manifest": {}}, [], tmp_path, ("json",))
+
+
+@pytest.mark.slow
+class TestSweepOut:
+    def test_writes_per_scenario_exports_and_manifest(self, tmp_path):
+        out = tmp_path / "exports"
+        rc = main(
+            [
+                "sweep",
+                "--scenarios", "ref-a-qos-m",
+                "--tasks", "8",
+                "--seeds", "1",
+                "--out", str(out),
+                "--format", "json,csv",
+            ]
+        )
+        assert rc == 0
+        names = sorted(p.name for p in out.iterdir())
+        assert names == [
+            "manifest.json", "ref-a-qos-m.csv", "ref-a-qos-m.json",
+        ]
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert len(manifest["cells"]) == 4  # 1 scenario x 4 policies x 1 seed
+        from repro.reporting import sweep_from_json
+
+        back = sweep_from_json((out / "ref-a-qos-m.json").read_text())
+        assert set(back) == {"ref-a-qos-m"}

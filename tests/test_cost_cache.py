@@ -1,5 +1,6 @@
 """Coverage for the PR 1 cost-cache helpers: the network-cost cache,
-the per-block predict memos, and their invalidation hooks."""
+the per-block predict memos, their invalidation hooks, the
+order-sensitive structural fingerprint and the cache telemetry."""
 
 from dataclasses import replace
 
@@ -10,8 +11,11 @@ from repro.config import DEFAULT_SOC
 from repro.core.latency import (
     BlockCost,
     build_network_cost,
+    cache_stats,
     clear_network_cost_cache,
     clear_predict_memos,
+    reset_cache_stats,
+    warm_network_cost_cache,
 )
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.models.zoo import build_model
@@ -88,6 +92,97 @@ class TestNetworkCostCache:
             net, DEFAULT_SOC, mem, max_layers_per_block=2
         ) is fine
         assert len(latency._NETWORK_COST_CACHE) == 2
+
+
+def _reorder_layers(net):
+    """The same network with two middle layers swapped in place —
+    aggregate totals (layer count, MAC sum, weight sum) are untouched,
+    only the execution order moves."""
+    layers = list(net.layers)
+    i = len(layers) // 2
+    layers[i - 1], layers[i] = layers[i], layers[i - 1]
+    return replace(net, layers=tuple(layers))
+
+
+class TestOrderSensitiveFingerprint:
+    def test_reordering_is_a_cache_miss(self, cold_cache, mem):
+        """ISSUE bugfix regression: a cached zoo model whose layers are
+        reordered must MISS the network-cost cache.  The old
+        fingerprint (name + layer count + total MACs/weights) is
+        order-blind and aliased exactly this case."""
+        net = build_model("resnet50")
+        reordered = _reorder_layers(net)
+
+        # The reordered model is indistinguishable to the old key ...
+        assert reordered.name == net.name
+        assert len(reordered.layers) == len(net.layers)
+        assert reordered.total_macs == net.total_macs
+        assert reordered.total_weight_bytes == net.total_weight_bytes
+        # ... but not to the order-sensitive digest.
+        assert reordered.structural_digest != net.structural_digest
+
+        base = build_network_cost(net, DEFAULT_SOC, mem)
+        assert len(latency._NETWORK_COST_CACHE) == 1
+        other = build_network_cost(reordered, DEFAULT_SOC, mem)
+        assert len(latency._NETWORK_COST_CACHE) == 2  # miss, not alias
+        assert other is not base
+        # Same model again is still a pure hit.
+        assert build_network_cost(net, DEFAULT_SOC, mem) is base
+
+    def test_digest_stable_for_equal_structure(self):
+        net = build_model("kws")
+        rebuilt = replace(net, layers=tuple(net.layers))
+        assert rebuilt.structural_digest == net.structural_digest
+
+    def test_forced_inplace_layer_swap_not_served_stale(self, cold_cache):
+        """Even a forced in-place mutation of the frozen instance's
+        layer tuple (object.__setattr__) recomputes the digest."""
+        net = build_model("kws")
+        before = net.structural_digest
+        mutated = replace(net, layers=tuple(net.layers))
+        swapped = _reorder_layers(net)
+        object.__setattr__(mutated, "layers", swapped.layers)
+        assert mutated.structural_digest != before
+        assert mutated.structural_digest == swapped.structural_digest
+
+
+class TestCacheTelemetry:
+    def test_hit_miss_counters_move(self, cold_cache, mem):
+        reset_cache_stats()
+        net = build_model("kws")
+        build_network_cost(net, DEFAULT_SOC, mem)
+        stats = cache_stats()
+        assert stats["cost_cache_misses"] == 1
+        assert stats["cost_cache_hits"] == 0
+        build_network_cost(net, DEFAULT_SOC, mem)
+        stats = cache_stats()
+        assert stats["cost_cache_hits"] == 1
+        assert stats["cost_cache_misses"] == 1
+
+    def test_warm_then_predict_is_all_hits(self, cold_cache, mem):
+        """After warm_network_cost_cache, every full-bandwidth predict
+        point the engine evaluates is a memo hit."""
+        net = build_model("kws")
+        warm_network_cost_cache([net], DEFAULT_SOC, mem)
+        reset_cache_stats()
+        cost = build_network_cost(net, DEFAULT_SOC, mem)  # pure hit
+        for block in cost.blocks:
+            for tiles in range(1, DEFAULT_SOC.num_tiles + 1):
+                block.predict(
+                    tiles, mem.dram_bandwidth, mem.l2_bandwidth,
+                    DEFAULT_SOC.overlap_f,
+                )
+        stats = cache_stats()
+        assert stats["predict_memo_misses"] == 0
+        assert stats["predict_memo_hits"] > 0
+        assert stats["cost_cache_hits"] == 1  # the build above
+
+    def test_reset_zeroes_counters_not_caches(self, cold_cache, mem):
+        net = build_model("kws")
+        first = build_network_cost(net, DEFAULT_SOC, mem)
+        reset_cache_stats()
+        assert all(v == 0 for v in cache_stats().values())
+        assert build_network_cost(net, DEFAULT_SOC, mem) is first
 
 
 class TestPredictMemo:

@@ -1,10 +1,12 @@
 """Tests for repro.reporting (charts and exports)."""
 
+import hashlib
 import json
+from pathlib import Path
 
 import pytest
 
-from repro.experiments.runner import ScenarioSpec, run_scenario
+from repro.experiments.runner import ScenarioSpec, run_matrix, run_scenario
 from repro.reporting import (
     ascii_bar_chart,
     matrix_bar_charts,
@@ -12,14 +14,35 @@ from repro.reporting import (
     matrix_to_json,
     results_from_csv,
     results_to_csv,
+    sweep_from_csv,
+    sweep_from_json,
+    sweep_to_csv,
+    sweep_to_json,
 )
 from repro.sim.job import TaskResult
+
+#: The fixed matrix the sweep-export goldens pin (see
+#: tests/goldens/sweep_exports.json and scripts/bless_goldens.py).
+GOLDEN_EXPORT_SPECS = [
+    ScenarioSpec(workload_set="A", num_tasks=16, seeds=(1, 2)),
+]
+
+GOLDEN_EXPORT_PATH = (
+    Path(__file__).parent / "goldens" / "sweep_exports.json"
+)
+
+RE_BLESS = "PYTHONPATH=src python scripts/bless_goldens.py"
 
 
 @pytest.fixture(scope="module")
 def tiny_matrix():
     spec = ScenarioSpec(workload_set="A", num_tasks=16, seeds=(1,))
     return {spec.label: run_scenario(spec)}
+
+
+@pytest.fixture(scope="module")
+def golden_matrix():
+    return run_matrix(GOLDEN_EXPORT_SPECS)
 
 
 def _result(task_id="t0"):
@@ -73,6 +96,73 @@ class TestMatrixExport:
         label = next(iter(tiny_matrix))
         assert set(payload[label]) == {"prema", "static", "planaria", "moca"}
         assert 0.0 <= payload[label]["moca"]["sla_rate"] <= 1.0
+
+
+class TestSweepExports:
+    def test_json_round_trip_exact(self, golden_matrix):
+        """ISSUE satellite: sweep_to_json -> sweep_from_json rebuilds
+        every spec and per-seed summary exactly."""
+        text = sweep_to_json(golden_matrix)
+        back = sweep_from_json(text)
+        assert set(back) == set(golden_matrix)
+        for label, cell in golden_matrix.items():
+            assert set(back[label]) == set(cell)
+            for policy, result in cell.items():
+                assert back[label][policy].per_seed == result.per_seed
+                assert back[label][policy].spec == result.spec
+
+    def test_csv_round_trip_exact(self, golden_matrix):
+        text = sweep_to_csv(golden_matrix)
+        back = sweep_from_csv(text)
+        for label, cell in golden_matrix.items():
+            for policy, result in cell.items():
+                rows = back[label][policy]
+                assert [seed for seed, _ in rows] == list(
+                    result.spec.seeds
+                )
+                assert (
+                    tuple(summary for _, summary in rows)
+                    == result.per_seed
+                )
+
+    def test_json_rejects_foreign_documents(self):
+        with pytest.raises(ValueError, match="repro-sweep"):
+            sweep_from_json(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="repro-sweep"):
+            sweep_from_json("[1, 2]")  # valid JSON, wrong shape
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_to_json({})
+        with pytest.raises(ValueError):
+            sweep_to_csv({})
+
+    def test_exports_deterministic(self, golden_matrix):
+        assert sweep_to_json(golden_matrix) == sweep_to_json(golden_matrix)
+        assert sweep_to_csv(golden_matrix) == sweep_to_csv(golden_matrix)
+
+    def test_export_files_match_goldens(self, golden_matrix):
+        """ISSUE satellite: golden fingerprints for the new export
+        files — a refactor that perturbs exporter bytes (or the
+        underlying metrics) fails here.  Re-bless after intentional
+        changes with scripts/bless_goldens.py."""
+        assert GOLDEN_EXPORT_PATH.exists(), (
+            f"missing golden file {GOLDEN_EXPORT_PATH}; "
+            f"create it with: {RE_BLESS}"
+        )
+        golden = json.loads(GOLDEN_EXPORT_PATH.read_text())
+        actual = {
+            "json": hashlib.sha256(
+                sweep_to_json(golden_matrix).encode()
+            ).hexdigest()[:16],
+            "csv": hashlib.sha256(
+                sweep_to_csv(golden_matrix).encode()
+            ).hexdigest()[:16],
+        }
+        assert actual == golden["digests"], (
+            f"sweep export bytes changed; if intentional, re-bless "
+            f"with: {RE_BLESS}"
+        )
 
 
 class TestResultsCsv:

@@ -1,0 +1,234 @@
+"""Tests for the streaming results pipeline: iter_cells, the
+SweepResults accumulator (completion-order independence), the cell
+manifest, and the warm-worker cache telemetry."""
+
+import json
+import random
+
+import pytest
+
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.results import (
+    CellResult,
+    SweepResults,
+    cell_manifest,
+)
+from repro.experiments.runner import (
+    ScenarioSpec,
+    default_policies,
+    run_matrix,
+)
+from repro.scenarios import ScenarioSpec as RegistrySpec
+from repro.sim.qos import QosLevel
+
+SPECS = [
+    ScenarioSpec(
+        workload_set="A", qos_level=QosLevel.MEDIUM,
+        num_tasks=12, seeds=(1, 2),
+    ),
+    ScenarioSpec(
+        workload_set="A", qos_level=QosLevel.LIGHT,
+        num_tasks=12, seeds=(3,),
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def serial_matrix():
+    return run_matrix(SPECS)
+
+
+@pytest.fixture(scope="module")
+def streamed_cells():
+    runner = ParallelRunner(workers=2)
+    return list(runner.iter_cells(SPECS)), runner
+
+
+class TestIterCells:
+    def test_yields_every_cell_exactly_once(self, streamed_cells):
+        cells, _ = streamed_cells
+        expected = len(SPECS[0].seeds + SPECS[1].seeds) * len(
+            default_policies()
+        )
+        assert len(cells) == expected
+        assert sorted(c.index for c in cells) == list(range(expected))
+
+    def test_cells_carry_identity_and_telemetry(self, streamed_cells):
+        cells, _ = streamed_cells
+        for cell in cells:
+            assert cell.label == SPECS[cell.spec_index].label
+            assert cell.seed in SPECS[cell.spec_index].seeds
+            assert cell.policy in default_policies()
+            assert cell.seconds >= 0
+            assert cell.worker_pid > 0
+            assert cell.cost_cache_hits >= 0
+
+    def test_aggregate_identical_to_serial(
+        self, streamed_cells, serial_matrix
+    ):
+        """ISSUE tentpole: streaming aggregation must be bit-identical
+        to the serial path on the same specs."""
+        cells, _ = streamed_cells
+        acc = SweepResults(SPECS, list(default_policies()))
+        for cell in cells:
+            acc.add(cell)
+        matrix = acc.matrix()
+        assert set(matrix) == set(serial_matrix)
+        for label, cell in serial_matrix.items():
+            for policy, result in cell.items():
+                assert (
+                    matrix[label][policy].per_seed == result.per_seed
+                ), (label, policy)
+
+    def test_warm_workers_pay_no_cost_cache_misses(self, streamed_cells):
+        """ISSUE tentpole: the pool initializer pre-warms each worker,
+        so pool-mode cells run at a 100 % cost-cache hit rate."""
+        cells, runner = streamed_cells
+        if runner.last_mode != "parallel":
+            pytest.skip("process pool unavailable; warm path not exercised")
+        assert sum(c.cost_cache_misses for c in cells) == 0
+        assert sum(c.cost_cache_hits for c in cells) > 0
+
+    def test_run_matrix_records_cells_in_submission_order(
+        self, serial_matrix
+    ):
+        runner = ParallelRunner(workers=2)
+        matrix = runner.run_matrix(SPECS)
+        assert [c.index for c in runner.last_cells] == list(
+            range(len(runner.last_cells))
+        )
+        assert [t.seconds for t in runner.last_timings] == [
+            c.seconds for c in runner.last_cells
+        ]
+        for label, cell in serial_matrix.items():
+            for policy, result in cell.items():
+                assert matrix[label][policy].per_seed == result.per_seed
+
+
+class TestSweepResultsOrderIndependence:
+    def _cells(self):
+        runner = ParallelRunner(workers=1)
+        return list(runner.iter_cells(SPECS))
+
+    def test_shuffled_completion_order_same_matrix(self, serial_matrix):
+        """ISSUE satellite: feeding the stream in any completion order
+        must produce the identical aggregate."""
+        cells = self._cells()
+        for trial in range(4):
+            shuffled = cells[:]
+            random.Random(trial).shuffle(shuffled)
+            acc = SweepResults(SPECS, list(default_policies()))
+            for cell in shuffled:
+                acc.add(cell)
+            matrix = acc.matrix()
+            for label, cell in serial_matrix.items():
+                for policy, result in cell.items():
+                    assert (
+                        matrix[label][policy].per_seed == result.per_seed
+                    )
+
+    def test_incomplete_matrix_raises(self):
+        cells = self._cells()
+        acc = SweepResults(SPECS, list(default_policies()))
+        for cell in cells[:-1]:
+            acc.add(cell)
+        assert not acc.complete
+        with pytest.raises(ValueError, match="incomplete"):
+            acc.matrix()
+
+    def test_duplicate_cell_rejected(self):
+        cells = self._cells()
+        acc = SweepResults(SPECS, list(default_policies()))
+        acc.add(cells[0])
+        with pytest.raises(ValueError, match="duplicate"):
+            acc.add(cells[0])
+
+    def test_mismatched_cell_rejected(self):
+        cells = self._cells()
+        acc = SweepResults(SPECS, list(default_policies()))
+        imposter = CellResult(
+            index=cells[0].index,
+            spec_index=cells[0].spec_index,
+            label=cells[0].label,
+            policy="not-a-policy",
+            seed=cells[0].seed,
+            summary=cells[0].summary,
+            seconds=0.0,
+        )
+        with pytest.raises(ValueError, match="expected"):
+            acc.add(imposter)
+
+    def test_duplicate_labels_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="duplicate scenario label"):
+            SweepResults([SPECS[0], SPECS[0]], list(default_policies()))
+
+    def test_cache_stats_aggregate(self):
+        acc = SweepResults(SPECS, list(default_policies()))
+        for cell in self._cells():
+            acc.add(cell)
+        stats = acc.cache_stats()
+        assert set(stats) == {
+            "cost_cache_hits", "cost_cache_misses",
+            "predict_memo_hits", "predict_memo_misses",
+        }
+        assert stats["predict_memo_hits"] > 0
+
+
+class TestCellManifest:
+    def test_manifest_is_json_serialisable_and_complete(self):
+        manifest = cell_manifest(SPECS)
+        text = json.dumps(manifest, sort_keys=True)
+        back = json.loads(text)
+        expected_cells = len(SPECS[0].seeds + SPECS[1].seeds) * len(
+            default_policies()
+        )
+        assert len(back["cells"]) == expected_cells
+        assert [c["index"] for c in back["cells"]] == list(
+            range(expected_cells)
+        )
+        assert back["policies"] == list(default_policies())
+        labels = [s["label"] for s in back["scenarios"]]
+        assert labels == [spec.label for spec in SPECS]
+
+    def test_manifest_specs_round_trip(self):
+        manifest = cell_manifest(SPECS)
+        for entry, spec in zip(manifest["scenarios"], SPECS):
+            rebuilt = RegistrySpec.from_dict(entry["spec"])
+            assert rebuilt == spec
+
+    def test_manifest_accepts_registry_names(self):
+        manifest = cell_manifest(["bursty-mixed"])
+        assert manifest["scenarios"][0]["label"] == "bursty-mixed"
+        assert all(
+            c["scenario"] == "bursty-mixed" for c in manifest["cells"]
+        )
+
+    def test_spec_to_dict_round_trips_rich_fields(self):
+        spec = RegistrySpec(
+            workload_set="A",
+            num_tasks=8,
+            seeds=(1, 2),
+            arrival="bursty",
+            model_mix=(("kws", 0.6), ("squeezenet", 0.4)),
+            priority_weights=tuple(float(i + 1) for i in range(12)),
+        )
+        assert RegistrySpec.from_dict(spec.to_dict()) == spec
+        with pytest.raises(ValueError, match="unknown"):
+            RegistrySpec.from_dict({"not_a_field": 1})
+
+
+class TestEngineCacheCounters:
+    def test_sim_result_carries_cache_deltas(self, task_factory):
+        from repro.core.policy import MoCAPolicy
+        from repro.sim.engine import run_simulation
+
+        tasks = [
+            task_factory(task_id=f"t{i}", dispatch=float(i) * 10.0)
+            for i in range(4)
+        ]
+        from repro.config import DEFAULT_SOC
+
+        result = run_simulation(DEFAULT_SOC, tasks, MoCAPolicy())
+        assert result.predict_memo_hits + result.predict_memo_misses > 0
+        assert result.cost_cache_hits >= 0
+        assert result.cost_cache_misses >= 0
