@@ -22,11 +22,17 @@ Usage::
     PYTHONPATH=src python scripts/bench_perf.py [--tasks 120]
         [--seeds 1,2] [--workers N] [--out BENCH_perf.json]
 
-Exit status is non-zero when the parallel path produced different
-metrics than the serial path, or when it was *slower* than serial while
-``workers >= 2`` on a machine that actually has >= 2 CPUs (on a 1-CPU
-box a process pool can only add overhead, so the speed gate is
-informational there).
+The matrix is also run as 2 shard partials (``repro.experiments.
+sharding.run_shard`` on the warm pool) and merged back; ``shards`` in
+the JSON records per-shard wall time — ``max_shard_seconds`` projects
+a 2-host run — so the shard-scaling trajectory is tracked alongside
+the single-host one.
+
+Exit status is non-zero when the parallel path or the sharded merge
+produced different metrics than the serial path, or when the parallel
+path was *slower* than serial while ``workers >= 2`` on a machine that
+actually has >= 2 CPUs (on a 1-CPU box a process pool can only add
+overhead, so the speed gate is informational there).
 """
 
 from __future__ import annotations
@@ -43,7 +49,9 @@ from repro.config import DEFAULT_SOC
 from repro.core.latency import warm_network_cost_cache
 from repro.core.policy import MoCAPolicy
 from repro.experiments.parallel import ParallelRunner, matrices_identical
+from repro.experiments.results import SweepResults, cell_manifest
 from repro.experiments.runner import run_matrix, standard_matrix
+from repro.experiments.sharding import run_shard
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.models.zoo import workload_set
 from repro.sim.engine import Simulator
@@ -192,23 +200,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     t0 = time.perf_counter()
     parallel_matrix = runner.run_matrix(specs)
     parallel_s = time.perf_counter() - t0
-    runner.close_pool()
     cell_cache = runner.last_sweep.cache_stats()
+    # Snapshot mode/pids now: the shard legs below reuse the runner
+    # and overwrite last_mode / last_sweep.
+    parallel_mode = runner.last_mode
+    parallel_pids = len(runner.last_sweep.worker_pids())
+    parallel_timings = list(runner.last_timings)
     print(
         f"parallel matrix: {parallel_s:6.2f}s "
-        f"(workers={runner.workers}, mode={runner.last_mode}, "
+        f"(workers={runner.workers}, mode={parallel_mode}, "
         f"cost cache {cell_cache['cost_cache_hits']} hits / "
         f"{cell_cache['cost_cache_misses']} misses)",
         file=sys.stderr,
     )
 
+    # Shard-scaling trajectory: the same matrix as 2 shard partials
+    # (reusing the warm pool), merged back and checked against serial.
+    # max(shard seconds) projects the wall time of a 2-host run; every
+    # sharding PR should improve (or hold) these numbers.
+    num_shards = 2
+    manifest = cell_manifest(specs)
+    shard_partials = []
+    for i in range(num_shards):
+        partial = run_shard(manifest, i, num_shards, runner=runner)
+        shard = partial["shard"]
+        print(
+            f"shard {i + 1}/{num_shards}:  {shard['wall_seconds']:6.2f}s "
+            f"({len(partial['cells'])} cells, cost {shard['cost']}, "
+            f"mode={shard['mode']})",
+            file=sys.stderr,
+        )
+        shard_partials.append(partial)
+    runner.close_pool()
+    merged_matrix = SweepResults.from_partials(shard_partials).matrix()
+    shards_identical = matrices_identical(serial_matrix, merged_matrix)
+    shard_seconds = [
+        p["shard"]["wall_seconds"] for p in shard_partials
+    ]
+
     identical = matrices_identical(serial_matrix, parallel_matrix)
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
-    cell_seconds = sorted(t.seconds for t in runner.last_timings)
+    cell_seconds = sorted(t.seconds for t in parallel_timings)
     gate_applies = (
         runner.workers >= 2
         and cpu_count >= 2
-        and runner.last_mode == "parallel"
+        and parallel_mode == "parallel"
     )
     gate_ok = (not gate_applies) or speedup >= 1.0
 
@@ -228,9 +264,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "parallel": {
             "seconds": round(parallel_s, 3),
             "workers": runner.workers,
-            "mode": runner.last_mode,
+            "mode": parallel_mode,
             "warmed_workers": len(warm_pids),
-            "worker_pids_seen": len(runner.last_sweep.worker_pids()),
+            "worker_pids_seen": parallel_pids,
             "cache": cell_cache,
             "cell_seconds_min": round(cell_seconds[0], 3),
             "cell_seconds_max": round(cell_seconds[-1], 3),
@@ -240,6 +276,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         },
         "speedup": round(speedup, 3),
         "identical_metrics": identical,
+        "shards": {
+            "count": num_shards,
+            "per_shard": [
+                {
+                    "index": i + 1,
+                    "cells": len(p["cells"]),
+                    "cost": p["shard"]["cost"],
+                    "seconds": round(p["shard"]["wall_seconds"], 3),
+                    "mode": p["shard"]["mode"],
+                }
+                for i, p in enumerate(shard_partials)
+            ],
+            "max_shard_seconds": round(max(shard_seconds), 3),
+            "projected_2_host_speedup": round(
+                serial_s / max(shard_seconds), 3
+            ) if max(shard_seconds) > 0 else None,
+            "merge_identical": shards_identical,
+        },
         "engine": engine,
         "gate": {
             "applies": gate_applies,
@@ -262,6 +316,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if not identical:
         print("FAIL: parallel metrics differ from serial", file=sys.stderr)
+        return 1
+    if not shards_identical:
+        print(
+            "FAIL: sharded merge metrics differ from serial",
+            file=sys.stderr,
+        )
         return 1
     if not gate_ok:
         print(

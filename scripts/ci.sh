@@ -39,4 +39,21 @@ python -m repro.cli sweep \
 diff -r "$EXPORT_TMP/streamed" "$EXPORT_TMP/serial"
 echo "exports byte-identical"
 
+echo "== shard/merge identity (2 shards -> merge vs unsharded, byte-exact) =="
+# ISSUE acceptance gate: running the same sweep as two shard partials
+# and merging them must write byte-identical JSON/CSV/manifest
+# artifacts to the unsharded serial run above.
+python -m repro.cli sweep \
+    --scenarios bursty-mixed,diurnal-light \
+    --tasks 16 --seeds 1,2 --workers 2 \
+    --shard 1/2 --out "$EXPORT_TMP/shards"
+python -m repro.cli sweep \
+    --scenarios bursty-mixed,diurnal-light \
+    --tasks 16 --seeds 1,2 --workers 2 \
+    --shard 2/2 --out "$EXPORT_TMP/shards"
+python -m repro.cli merge "$EXPORT_TMP/shards" \
+    --out "$EXPORT_TMP/merged" --format json,csv
+diff -r "$EXPORT_TMP/merged" "$EXPORT_TMP/serial"
+echo "sharded merge byte-identical"
+
 echo "CI OK"

@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli sweep --list
     python -m repro.cli sweep --scenarios bursty-mixed,diurnal-light --workers 2
     python -m repro.cli sweep --scenarios bursty-mixed --out results/ --format json,csv
+    python -m repro.cli sweep --scenarios bursty-mixed --shard 1/2 --out shards/
+    python -m repro.cli merge shards/ --out merged/
     python -m repro.cli all       # everything, EXPERIMENTS.md style
 """
 
@@ -92,20 +94,139 @@ def _parse_formats(text: str) -> Tuple[str, ...]:
     return tuple(dict.fromkeys(names))
 
 
+def _parse_shard(text: str) -> Tuple[int, int]:
+    """Parse ``--shard I/N`` (1-based I) to a 0-based (index, count)."""
+    match = re.fullmatch(r"\s*(\d+)\s*/\s*(\d+)\s*", text)
+    if not match:
+        raise argparse.ArgumentTypeError(
+            f"expected I/N (e.g. 1/4), got {text!r}"
+        )
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1:
+        raise argparse.ArgumentTypeError("shard count must be >= 1")
+    if not 1 <= index <= count:
+        raise argparse.ArgumentTypeError(
+            f"shard index {index} outside 1..{count}"
+        )
+    return index - 1, count
+
+
 def _export_filename(label: str) -> str:
     """Filesystem-safe stem for a scenario label (labels like
     ``Workload-A/QoS-M`` contain path separators)."""
     return re.sub(r"[^A-Za-z0-9._-]+", "-", label)
 
 
-def _write_sweep_exports(matrix, specs, out_dir, formats) -> List[str]:
+def _ensure_out_dir(out_dir, force: bool, prog: str,
+                    allow_non_empty: bool = False,
+                    create: bool = True):
+    """Create (or vet) an export directory — vetting only, no deletion.
+
+    ISSUE bugfix: an existing directory with prior artifacts used to
+    be clobbered without warning.  A non-empty directory is now
+    refused unless ``--force`` was passed; empty or absent
+    directories are created silently.  Called *before* the run so a
+    refusal cannot discard computed results; the actual cleanup of
+    prior artifacts is :func:`_clean_out_dir`, deferred until the
+    new results exist.  ``allow_non_empty`` skips the emptiness check
+    (the shard path shares one directory across N partials and guards
+    only its own file).  ``create=False`` vets without mkdir — the
+    pre-sweep check must not leave a stray empty directory behind
+    when the run itself later fails (the export writer creates the
+    directory once results exist).
+    """
+    from pathlib import Path
+
+    out = Path(out_dir)
+    if out.exists() and not out.is_dir():
+        raise SystemExit(
+            f"{prog}: --out {out} exists and is not a directory"
+        )
+    if out.exists() and not force and not allow_non_empty:
+        existing = sorted(p.name for p in out.iterdir())
+        if existing:
+            raise SystemExit(
+                f"{prog}: output directory {out} already contains "
+                f"{len(existing)} entr{'y' if len(existing) == 1 else 'ies'} "
+                f"(e.g. {existing[0]!r}); pass --force to overwrite"
+            )
+    if create:
+        out.mkdir(parents=True, exist_ok=True)
+    return out
+
+
+def _clean_out_dir(out_dir) -> None:
+    """Remove the prior export artifacts this tool itself wrote.
+
+    A ``--force`` re-export with different scenarios must not leave
+    stale files mixed into the new artifact set — but it must also
+    not delete unrelated files (``--out .`` would otherwise eat any
+    JSON/CSV in the working directory).  The prior ``manifest.json``
+    names exactly the scenarios the previous export wrote, so
+    deletion is scoped to those stems plus the manifest itself;
+    without a parseable prior manifest nothing is removed (same-named
+    files are still overwritten by the write that follows).
+    Deliberately called only once the new results are in hand —
+    never before a potentially long (and fallible) sweep or merge,
+    which would risk destroying the old artifacts and producing
+    nothing.
+    """
+    import json
+    from pathlib import Path
+
+    out = Path(out_dir)
+    manifest_path = out / "manifest.json"
+    if not manifest_path.is_file():
+        return
+    try:
+        manifest = json.loads(manifest_path.read_text())
+        labels = [
+            entry["label"] for entry in manifest["scenarios"]
+        ]
+    except (ValueError, KeyError, TypeError):
+        return
+    for label in labels:
+        for fmt in _EXPORT_FORMATS:
+            stale = out / f"{_export_filename(label)}.{fmt}"
+            if stale.is_file():
+                stale.unlink()
+    manifest_path.unlink()
+
+
+def _check_export_stems(labels) -> None:
+    """Refuse scenario labels whose filesystem stems collide (or
+    shadow the reserved ``manifest.json``).
+
+    Stems depend only on the labels, so callers with a long run ahead
+    (``sweep --out``) check *before* simulating — a collision must
+    not be able to discard completed results.
+    """
+    stems = {"manifest": "(the reserved manifest.json)"}
+    for label in labels:
+        stem = _export_filename(label)
+        if stem in stems:
+            raise SystemExit(
+                f"sweep: scenario labels {stems[stem]!r} and "
+                f"{label!r} both export as {stem!r}; rename one "
+                f"to avoid overwriting its files"
+            )
+        stems[stem] = label
+
+
+def _write_sweep_exports(
+    matrix, specs, out_dir, formats, policies=None, clean=False
+) -> List[str]:
     """Write per-scenario export files (plus the cell manifest).
 
     One ``<scenario>.<format>`` file per scenario per requested
     format, and a ``manifest.json`` describing every cell of the
     sweep.  Exports are deterministic, so a streaming (``--workers
-    N``) run writes byte-identical files to a serial one —
-    ``scripts/ci.sh`` gates on exactly that.
+    N``) run writes byte-identical files to a serial one, and a
+    sharded run merged back (``merge``) writes byte-identical files
+    to an unsharded run — ``scripts/ci.sh`` gates on exactly that.
+    ``clean`` (the ``--force`` path) removes prior artifacts — only
+    after the stem validation below, so a refused export can never
+    have already destroyed the old files.
 
     Returns:
         The written paths, in write order.
@@ -117,17 +238,10 @@ def _write_sweep_exports(matrix, specs, out_dir, formats) -> List[str]:
     from repro.reporting import sweep_to_csv, sweep_to_json
 
     exporters = {"json": sweep_to_json, "csv": sweep_to_csv}
-    stems = {"manifest": "(the reserved manifest.json)"}
-    for label in matrix:
-        stem = _export_filename(label)
-        if stem in stems:
-            raise SystemExit(
-                f"sweep: scenario labels {stems[stem]!r} and "
-                f"{label!r} both export as {stem!r}; rename one "
-                f"to avoid overwriting its files"
-            )
-        stems[stem] = label
+    _check_export_stems(matrix)
     out = Path(out_dir)
+    if clean:
+        _clean_out_dir(out)
     out.mkdir(parents=True, exist_ok=True)
     written = []
     for label, cell in matrix.items():
@@ -137,7 +251,9 @@ def _write_sweep_exports(matrix, specs, out_dir, formats) -> List[str]:
             written.append(str(path))
     manifest_path = out / "manifest.json"
     manifest_path.write_text(
-        json.dumps(cell_manifest(specs), indent=2, sort_keys=True) + "\n"
+        json.dumps(
+            cell_manifest(specs, policies), indent=2, sort_keys=True
+        ) + "\n"
     )
     written.append(str(manifest_path))
     return written
@@ -163,6 +279,17 @@ def _run_sweep(args) -> str:
         raise SystemExit("sweep: --workers must be >= 0 (0 = one per CPU)")
     if args.formats is not None and args.out is None:
         raise SystemExit("sweep: --format requires --out DIR")
+    if args.shard is not None:
+        if args.out is None:
+            raise SystemExit(
+                "sweep: --shard requires --out DIR (the partial "
+                "artifact destination)"
+            )
+        if args.formats is not None:
+            raise SystemExit(
+                "sweep: --format has no effect with --shard (partial "
+                "artifacts are always JSON; pass --format to merge)"
+            )
     specs = []
     for name in args.scenarios:
         try:
@@ -186,13 +313,138 @@ def _run_sweep(args) -> str:
         check_unique_labels(specs)
     except ValueError as exc:
         raise SystemExit(f"sweep: {exc}") from exc
+    if args.shard is not None:
+        return _run_sweep_shard(specs, args)
+    if args.out is not None:
+        # Vet the destination and export names BEFORE the
+        # (potentially long) sweep so a refusal cannot discard
+        # completed results — but create nothing yet: a sweep that
+        # fails mid-run must not leave a stray empty directory.
+        _ensure_out_dir(args.out, args.force, "sweep", create=False)
+        _check_export_stems(spec.label for spec in specs)
     matrix = run_matrix(specs, workers=args.workers)
     if args.out is not None:
         written = _write_sweep_exports(
-            matrix, specs, args.out, args.formats or _EXPORT_FORMATS
+            matrix, specs, args.out, args.formats or _EXPORT_FORMATS,
+            clean=args.force,
         )
         print(
             f"sweep: wrote {len(written)} file(s) to {args.out}",
+            file=sys.stderr,
+        )
+    return per_scenario_summary(matrix)
+
+
+def _run_sweep_shard(specs, args) -> str:
+    """``sweep --shard I/N``: run one shard, write its partial artifact.
+
+    Every shard of the same sweep must be invoked with identical
+    scenarios and overrides (same manifest, hence same digest) —
+    ``merge`` refuses partials whose digests differ.  Partial files
+    are named ``partial-I-of-N.json`` (1-based, matching the --shard
+    notation) so any number of shards can share one directory.
+    """
+    from repro.experiments.results import cell_manifest
+    from repro.experiments.sharding import partial_to_json, run_shard
+
+    shard_index, num_shards = args.shard
+    manifest = cell_manifest(specs)
+    # Vet only; the directory is created just before the write so a
+    # shard failing mid-run leaves no stray empty directory behind.
+    out = _ensure_out_dir(args.out, args.force, "sweep",
+                          allow_non_empty=True, create=False)
+    path = out / f"partial-{shard_index + 1}-of-{num_shards}.json"
+    if path.exists() and not args.force:
+        raise SystemExit(
+            f"sweep: {path} already exists; pass --force to overwrite"
+        )
+    partial = run_shard(
+        manifest, shard_index, num_shards, workers=args.workers
+    )
+    out.mkdir(parents=True, exist_ok=True)
+    path.write_text(partial_to_json(partial))
+    shard = partial["shard"]
+    print(
+        f"sweep: wrote shard partial {path}",
+        file=sys.stderr,
+    )
+    return (
+        f"shard {shard_index + 1}/{num_shards}: "
+        f"{len(partial['cells'])} of {len(manifest['cells'])} cells "
+        f"(cost {shard['cost']}) in {shard['wall_seconds']:.2f}s, "
+        f"mode={shard['mode']}\n"
+        f"manifest digest {partial['manifest_digest'][:12]}"
+    )
+
+
+def _run_merge(args) -> str:
+    """The ``merge`` subcommand: fold shard partials, print the same
+    per-scenario summary a one-host sweep prints, optionally write
+    the byte-identical export files."""
+    from pathlib import Path
+
+    from repro.experiments.results import SweepResults
+    from repro.experiments.sharding import partial_from_json
+    from repro.reporting import per_scenario_summary
+
+    if args.formats is not None and args.out is None:
+        raise SystemExit("merge: --format requires --out DIR")
+    files = []
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            found = sorted(path.glob("partial-*.json"))
+            if not found:
+                raise SystemExit(
+                    f"merge: no partial-*.json files in {path}"
+                )
+            files.extend(found)
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise SystemExit(f"merge: {path} does not exist")
+    if args.out is not None:
+        # Writing (and --force cleaning) into a directory that holds
+        # the input partials would destroy them mid-merge.
+        out_resolved = Path(args.out).resolve()
+        inside = [p for p in files if p.resolve().parent == out_resolved]
+        if inside:
+            raise SystemExit(
+                f"merge: --out {args.out} contains input partial "
+                f"{inside[0].name}; write the merged exports to a "
+                f"different directory"
+            )
+    partials = []
+    for path in files:
+        try:
+            partials.append(partial_from_json(path.read_text()))
+        except ValueError as exc:
+            raise SystemExit(f"merge: {path}: {exc}") from exc
+    try:
+        acc = SweepResults.from_partials(partials)
+    except ValueError as exc:
+        raise SystemExit(f"merge: {exc}") from exc
+    if args.out is not None:
+        # Vetted only now that the inputs parsed and merged — and not
+        # created yet (the export writer mkdirs after its own stem
+        # check), so no refusal path can leave a stray empty output
+        # directory behind.
+        _ensure_out_dir(args.out, args.force, "merge", create=False)
+    matrix = acc.matrix()
+    print(
+        f"merge: folded {len(partials)} partial(s), {len(acc)} cells, "
+        f"manifest digest {partials[0]['manifest_digest'][:12]}",
+        file=sys.stderr,
+    )
+    if args.out is not None:
+        written = _write_sweep_exports(
+            matrix, acc.specs, args.out,
+            args.formats or _EXPORT_FORMATS,
+            policies=acc.policies,
+            clean=args.force,
+        )
+        print(
+            f"merge: wrote {len(written)} file(s) to {args.out}",
             file=sys.stderr,
         )
     return per_scenario_summary(matrix)
@@ -275,6 +527,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="export formats for --out: json,csv (default: both); "
              "requires --out",
     )
+    p_sweep.add_argument(
+        "--shard", type=_parse_shard, default=None, metavar="I/N",
+        help="run only shard I of N (1-based; cost-balanced, "
+             "deterministic) and write a partial-I-of-N.json "
+             "artifact into --out DIR; merge the partials with the "
+             "'merge' command",
+    )
+    p_sweep.add_argument(
+        "--force", action="store_true",
+        help="replace the prior export artifacts in --out DIR (the "
+             "files its manifest.json names) instead of refusing",
+    )
+
+    p_merge = sub.add_parser(
+        "merge",
+        help="merge sweep shard partials back into one result set",
+        description=(
+            "Fold partial-*.json artifacts written by "
+            "'sweep --shard I/N --out DIR' (any order, any mix of "
+            "directories and files) back into the full sweep. "
+            "Partials from different manifests, overlapping cells "
+            "and gaps are refused. The printed summary and the "
+            "--out export files are byte-identical to running the "
+            "sweep unsharded on one host."
+        ),
+    )
+    p_merge.add_argument(
+        "paths", nargs="+", metavar="DIR_OR_FILE",
+        help="directories (scanned for partial-*.json) and/or "
+             "partial files",
+    )
+    p_merge.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write the merged per-scenario export files (plus "
+             "manifest.json) into DIR",
+    )
+    p_merge.add_argument(
+        "--format", type=_parse_formats, default=None,
+        dest="formats", metavar="FMT[,FMT...]",
+        help="export formats for --out: json,csv (default: both); "
+             "requires --out",
+    )
+    p_merge.add_argument(
+        "--force", action="store_true",
+        help="replace the prior export artifacts in --out DIR (the "
+             "files its manifest.json names) instead of refusing",
+    )
 
     p_all = sub.add_parser("all", help="run every experiment")
     p_all.add_argument("--tasks", type=int, default=250)
@@ -334,6 +633,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(_format_models())
     elif args.command == "sweep":
         print(_run_sweep(args))
+    elif args.command == "merge":
+        print(_run_merge(args))
     elif args.command == "sweeps":
         from repro.experiments.sweeps import (
             format_sweep,

@@ -11,6 +11,7 @@ from repro.core.latency import (
     estimate_layer,
     estimate_network,
     reset_cache_stats,
+    track_cache_deltas,
     warm_network_cost_cache,
 )
 from repro.core.runtime import MoCARuntime, RuntimeDecision
@@ -33,5 +34,6 @@ __all__ = [
     "estimate_layer",
     "estimate_network",
     "reset_cache_stats",
+    "track_cache_deltas",
     "warm_network_cost_cache",
 ]

@@ -358,6 +358,13 @@ CACHE_COUNTER_FIELDS: Tuple[str, ...] = (
 #: aggregates in ``BENCH_perf.json``.
 _CACHE_STATS: Dict[str, int] = {name: 0 for name in CACHE_COUNTER_FIELDS}
 
+#: Open :class:`track_cache_deltas` frames, kept only so
+#: :func:`reset_cache_stats` can re-base their start snapshots.  The
+#: probe sites stay plain inline increments — the predict-memo path
+#: runs millions of probes per sweep and must not pay a function call
+#: or a frame loop per probe.
+_DELTA_FRAMES: list = []
+
 
 def cache_stats() -> Dict[str, int]:
     """Snapshot of the process-global cache hit/miss counters."""
@@ -365,9 +372,54 @@ def cache_stats() -> Dict[str, int]:
 
 
 def reset_cache_stats() -> None:
-    """Zero the cache telemetry counters (the caches stay intact)."""
+    """Zero the cache telemetry counters (the caches stay intact).
+
+    Open :func:`track_cache_deltas` frames are re-based so a run in
+    flight keeps attributing its own probes correctly across the
+    reset (its delta can never go negative).
+    """
+    for frame in _DELTA_FRAMES:
+        for name in CACHE_COUNTER_FIELDS:
+            # Preserve the probes accumulated so far: with the globals
+            # about to drop to zero, delta = current' - start stays
+            # continuous iff start shifts down by the current counts.
+            frame._start[name] -= _CACHE_STATS[name]
     for key in _CACHE_STATS:
         _CACHE_STATS[key] = 0
+
+
+class track_cache_deltas:
+    """Context manager attributing cache probes to one run.
+
+    Entering snapshots the process-global counters and yields a
+    ``{counter: 0}`` dict; exiting fills that dict with the probes
+    made while the frame was open (read it *after* the ``with``
+    block).  Frames nest: an inner run's probes count toward both the
+    inner and the enclosing frame (a sweep cell's frame deliberately
+    contains its simulation's frame), sibling runs never leak into
+    each other, and :func:`reset_cache_stats` mid-frame cannot drive
+    the delta negative — the failure modes the old "diff two
+    snapshots taken at construction time" convention had.
+    ``SimResult`` and ``CellResult`` cache deltas are measured
+    through this; the probe hot paths stay untouched inline
+    increments.
+    """
+
+    def __enter__(self) -> Dict[str, int]:
+        self._start = dict(_CACHE_STATS)
+        self._delta = {name: 0 for name in CACHE_COUNTER_FIELDS}
+        _DELTA_FRAMES.append(self)
+        return self._delta
+
+    def __exit__(self, *exc_info) -> None:
+        # Remove by identity, not equality (list.remove would match
+        # another frame comparing equal).
+        for i in range(len(_DELTA_FRAMES) - 1, -1, -1):
+            if _DELTA_FRAMES[i] is self:
+                del _DELTA_FRAMES[i]
+                break
+        for name in CACHE_COUNTER_FIELDS:
+            self._delta[name] = _CACHE_STATS[name] - self._start[name]
 
 
 def clear_network_cost_cache() -> None:

@@ -1,6 +1,11 @@
 """Experiment harness: one module per paper figure/table (DESIGN.md §3)."""
 
 from repro.experiments.parallel import CellTiming, ParallelRunner
+from repro.experiments.results import (
+    CellResult,
+    SweepResults,
+    cell_manifest,
+)
 from repro.experiments.runner import (
     PolicyFactory,
     ScenarioResult,
@@ -10,15 +15,28 @@ from repro.experiments.runner import (
     run_matrix,
     run_scenario,
 )
+from repro.experiments.sharding import (
+    ShardPlan,
+    manifest_digest,
+    merge_partials,
+    run_shard,
+)
 
 __all__ = [
+    "CellResult",
     "CellTiming",
     "ParallelRunner",
     "PolicyFactory",
     "ScenarioResult",
     "ScenarioSpec",
+    "ShardPlan",
+    "SweepResults",
+    "cell_manifest",
     "default_policies",
+    "manifest_digest",
+    "merge_partials",
     "run_cell",
     "run_matrix",
     "run_scenario",
+    "run_shard",
 ]

@@ -131,18 +131,19 @@ def _run_cell(payload: _CellPayload) -> CellResult:
 
     Delegates to :func:`repro.experiments.runner.run_cell` — the same
     recipe the serial path uses — and wraps the summary with timing
-    and cache telemetry (hit/miss deltas across the whole cell,
-    generation included, so warm-cache behaviour is observable from
-    the parent).
+    and cache telemetry (a per-cell delta frame spanning the whole
+    cell, generation included, so warm-cache behaviour is observable
+    from the parent and concurrent accounting in the same process —
+    e.g. the broken-pool serial fallback rerunning cells in the
+    parent — cannot double-count).
     """
-    from repro.core.latency import CACHE_COUNTER_FIELDS, cache_stats
+    from repro.core.latency import track_cache_deltas
 
     index, spec_idx, spec, policy_name, factory, seed, soc = payload
-    before = cache_stats()
     t0 = time.perf_counter()
-    summary = run_cell(spec, policy_name, factory, seed, soc)
+    with track_cache_deltas() as cache_delta:
+        summary = run_cell(spec, policy_name, factory, seed, soc)
     seconds = time.perf_counter() - t0
-    after = cache_stats()
     return CellResult(
         index=index,
         spec_index=spec_idx,
@@ -152,10 +153,7 @@ def _run_cell(payload: _CellPayload) -> CellResult:
         summary=summary,
         seconds=seconds,
         worker_pid=os.getpid(),
-        **{
-            name: after[name] - before[name]
-            for name in CACHE_COUNTER_FIELDS
-        },
+        **cache_delta,
     )
 
 
@@ -457,6 +455,7 @@ class ParallelRunner:
         specs: Sequence[ScenarioLike],
         policies: Optional[Dict[str, PolicyFactory]] = None,
         soc: Optional[SoCConfig] = None,
+        indices: Optional[Sequence[int]] = None,
     ) -> Iterator[CellResult]:
         """Yield every cell of the sweep as it completes.
 
@@ -466,6 +465,13 @@ class ParallelRunner:
         submission ``index``, so feeding the stream to
         :class:`~repro.experiments.results.SweepResults` yields the
         same aggregate regardless of arrival order.
+
+        ``indices`` restricts execution to a subset of the sweep's
+        global cell indices — the seam shard execution
+        (:func:`repro.experiments.sharding.run_shard`) rides on.  The
+        yielded cells keep their *global* indices (a shard's cells
+        slot straight into the full sweep's accumulator); unknown or
+        duplicate indices are rejected.
         """
         if policies is None:
             policies = default_policies()
@@ -484,6 +490,23 @@ class ParallelRunner:
             for index, (spec_idx, spec, name, factory, seed)
             in enumerate(cells)
         ]
+        if indices is not None:
+            wanted = list(indices)
+            bad = sorted(
+                {i for i in wanted if not 0 <= i < len(payloads)}
+            )
+            if bad:
+                raise ValueError(
+                    f"cell indices {bad} outside sweep of "
+                    f"{len(payloads)} cells"
+                )
+            if len(set(wanted)) != len(wanted):
+                raise ValueError("duplicate cell indices requested")
+            chosen = set(wanted)
+            payloads = [p for p in payloads if p[0] in chosen]
+            if not payloads:
+                self.last_mode = "serial"
+                return
         yield from self._execute(payloads, spec_list, soc)
 
     # ------------------------------------------------------------------
@@ -563,6 +586,7 @@ class ParallelRunner:
         owns_pool = pool is None
         if owns_pool:
             pool = self._make_pool(workers, spec_list, soc)
+        pending = set()
         try:
             pending = {pool.submit(_run_cell_chunk, c) for c in chunks}
             while pending:
@@ -574,3 +598,10 @@ class ParallelRunner:
         finally:
             if owns_pool:
                 pool.shutdown(wait=True, cancel_futures=True)
+            else:
+                # A caller abandoning the stream mid-sweep (breaking
+                # out of iter_cells) must not leave a persistent pool
+                # grinding through discarded chunks; cancel whatever
+                # has not started (in-flight chunks still finish).
+                for future in pending:
+                    future.cancel()

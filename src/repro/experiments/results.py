@@ -35,7 +35,9 @@ __all__ = [
     "CACHE_COUNTER_FIELDS",
     "CellResult",
     "SweepResults",
+    "cell_from_dict",
     "cell_manifest",
+    "cell_to_dict",
 ]
 
 
@@ -145,6 +147,32 @@ class SweepResults:
         """Accumulated cells, sorted back into submission order."""
         return [self._cells[i] for i in sorted(self._cells)]
 
+    def missing_indices(self) -> List[int]:
+        """Global indices of cells not yet folded in (gap detection
+        for the shard merge path)."""
+        return [
+            i for i in range(len(self._slots)) if i not in self._cells
+        ]
+
+    @classmethod
+    def from_partials(
+        cls, partials: Sequence[dict], require_complete: bool = True
+    ) -> "SweepResults":
+        """Fold shard partial artifacts back into one accumulator.
+
+        ``partials`` are parsed shard documents (see
+        :func:`repro.experiments.sharding.run_shard` /
+        :func:`~repro.experiments.sharding.partial_from_json`),
+        acceptable in any order.  Partials from different manifests
+        (by digest), overlapping cells, and — unless
+        ``require_complete=False`` — gaps are all rejected loudly;
+        the merged accumulator's :meth:`matrix` (and any export built
+        from it) is bit-identical to the same sweep run unsharded.
+        """
+        from repro.experiments.sharding import merge_partials
+
+        return merge_partials(partials, require_complete=require_complete)
+
     def matrix(self) -> Dict[str, Dict[str, "ScenarioResult"]]:
         """The deterministic ``{label: {policy: ScenarioResult}}``.
 
@@ -155,9 +183,7 @@ class SweepResults:
         from repro.experiments.runner import ScenarioResult
 
         if not self.complete:
-            missing = [
-                i for i in range(len(self._slots)) if i not in self._cells
-            ]
+            missing = self.missing_indices()
             raise ValueError(
                 f"sweep incomplete: {len(missing)} of "
                 f"{len(self._slots)} cells missing (first: {missing[:5]})"
@@ -189,6 +215,44 @@ class SweepResults:
     def worker_pids(self) -> List[int]:
         """Distinct worker pids observed, sorted."""
         return sorted({c.worker_pid for c in self._cells.values()})
+
+
+def cell_to_dict(cell: CellResult) -> dict:
+    """A :class:`CellResult` as JSON-ready primitives.
+
+    The serialisation seam shard partial artifacts use; the metric
+    bundle goes through :meth:`MetricsSummary.to_dict`, which
+    round-trips floats exactly, so :func:`cell_from_dict` rebuilds a
+    cell whose summary compares equal bit-for-bit.
+    """
+    return {
+        "index": cell.index,
+        "spec_index": cell.spec_index,
+        "label": cell.label,
+        "policy": cell.policy,
+        "seed": cell.seed,
+        "summary": cell.summary.to_dict(),
+        "seconds": cell.seconds,
+        "worker_pid": cell.worker_pid,
+        **{name: getattr(cell, name) for name in CACHE_COUNTER_FIELDS},
+    }
+
+
+def cell_from_dict(payload: dict) -> CellResult:
+    """Rebuild a :class:`CellResult` from :func:`cell_to_dict`."""
+    return CellResult(
+        index=payload["index"],
+        spec_index=payload["spec_index"],
+        label=payload["label"],
+        policy=payload["policy"],
+        seed=payload["seed"],
+        summary=MetricsSummary.from_dict(payload["summary"]),
+        seconds=payload["seconds"],
+        worker_pid=payload.get("worker_pid", 0),
+        **{
+            name: payload.get(name, 0) for name in CACHE_COUNTER_FIELDS
+        },
+    )
 
 
 def cell_manifest(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
@@ -37,6 +38,57 @@ class MetricsSummary:
     fairness: float
     mean_slowdown: float
     p99_slowdown: float
+
+    def to_dict(self) -> dict:
+        """The bundle as JSON-ready primitives.
+
+        Iterates ``dataclasses.fields`` so metrics added later are
+        exported automatically instead of silently escaping the sweep
+        export files and shard partial artifacts that serialise
+        through here.  Floats pass through untouched — JSON round-trips
+        Python floats exactly, so :meth:`from_dict` rebuilds a bundle
+        that compares equal bit-for-bit.
+        """
+        out = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            out[field.name] = (
+                dict(value) if isinstance(value, dict) else value
+            )
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsSummary":
+        """Rebuild a bundle from :meth:`to_dict` output (exact).
+
+        Value types are validated so a corrupt document (a metric
+        stored as a string, a priority table where a dict belongs)
+        refuses here with a ValueError instead of crashing later in
+        whatever arithmetic first touches the bad field.
+        """
+        kwargs = {}
+        for field in dataclasses.fields(cls):
+            value = payload[field.name]
+            if field.type in ("int", int):
+                ok = isinstance(value, int) and not isinstance(value, bool)
+            elif field.type in ("float", float):
+                ok = (
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                )
+            elif field.type in ("str", str):
+                ok = isinstance(value, str)
+            else:  # sla_by_group
+                ok = isinstance(value, dict)
+            if not ok:
+                raise ValueError(
+                    f"metric field {field.name!r} has wrong type "
+                    f"{type(value).__name__} (corrupt document?)"
+                )
+            kwargs[field.name] = (
+                dict(value) if isinstance(value, dict) else value
+            )
+        return cls(**kwargs)
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:

@@ -146,29 +146,6 @@ def _ordered_policies(cell: Dict[str, ScenarioResult]) -> List[str]:
     return policies
 
 
-def _summary_to_dict(summary: MetricsSummary) -> dict:
-    """One seed's full metric bundle as JSON-ready primitives.
-
-    Iterates ``dataclasses.fields`` so metrics added later are
-    exported automatically instead of silently escaping the files
-    (the same philosophy as the golden fingerprints).
-    """
-    out = {}
-    for field in dataclasses.fields(MetricsSummary):
-        value = getattr(summary, field.name)
-        out[field.name] = dict(value) if isinstance(value, dict) else value
-    return out
-
-
-def _summary_from_dict(payload: dict) -> MetricsSummary:
-    """Rebuild one seed's metric bundle from :func:`_summary_to_dict`."""
-    kwargs = {}
-    for field in dataclasses.fields(MetricsSummary):
-        value = payload[field.name]
-        kwargs[field.name] = dict(value) if isinstance(value, dict) else value
-    return MetricsSummary(**kwargs)
-
-
 #: Aggregate (seed-averaged) metrics exported per (scenario, policy).
 _AGGREGATE_METRICS = (
     "sla_rate", "stp", "stp_normalized", "fairness",
@@ -193,15 +170,18 @@ def sweep_to_json(matrix: Matrix) -> str:
     for label, cell in matrix.items():
         spec = next(iter(cell.values())).spec
         policies = {}
-        for policy in _ordered_policies(cell):
-            result = cell[policy]
+        # Plain dict order: the sort_keys=True dump below re-orders
+        # object keys alphabetically anyway, so curated POLICY_ORDER
+        # cannot survive into this file (the CSV's row order is the
+        # presentation-ordered export).
+        for policy, result in cell.items():
             policies[policy] = {
                 "aggregate": {
                     name: getattr(result, name)
                     for name in _AGGREGATE_METRICS
                 },
                 "per_seed": [
-                    {"seed": seed, **_summary_to_dict(summary)}
+                    {"seed": seed, **summary.to_dict()}
                     for seed, summary in zip(spec.seeds, result.per_seed)
                 ],
             }
@@ -250,7 +230,8 @@ def sweep_from_json(text: str) -> Matrix:
                 policy=policy,
                 spec=spec,
                 per_seed=tuple(
-                    _summary_from_dict(row) for row in block["per_seed"]
+                    MetricsSummary.from_dict(row)
+                    for row in block["per_seed"]
                 ),
             )
         matrix[entry["label"]] = cell
@@ -269,10 +250,16 @@ def sweep_to_csv(matrix: Matrix) -> str:
 
     Columns: scenario, policy, seed, every scalar
     :class:`MetricsSummary` field (full ``repr`` precision, so values
-    survive a text round-trip bit-exactly), and ``sla_by_group`` as a
-    compact sorted-JSON object.  Row order is deterministic (matrix
-    order, paper policy order, seed order) — serial and streaming
-    runs export byte-identical files.
+    survive a text round-trip bit-exactly), ``sla_by_group`` as a
+    compact sorted-JSON object, and the scenario ``spec`` as a
+    compact sorted-JSON object — the CSV is self-describing, like the
+    JSON export, so :func:`sweep_from_csv` rebuilds the full matrix.
+    All structured columns (and any hostile scenario label containing
+    commas, quotes or newlines) go through the ``csv`` module's
+    quoting, so values that embed the delimiter cannot corrupt the
+    row.  Row order is deterministic (matrix order, paper policy
+    order, seed order) — serial and streaming runs export
+    byte-identical files.
     """
     if not matrix:
         raise ValueError("empty matrix")
@@ -281,11 +268,16 @@ def sweep_to_csv(matrix: Matrix) -> str:
     writer.writerow(
         ["scenario", "policy", "seed"]
         + list(_SWEEP_SCALAR_FIELDS)
-        + ["sla_by_group"]
+        + ["sla_by_group", "spec"]
     )
     for label, cell in matrix.items():
         for policy in _ordered_policies(cell):
             result = cell[policy]
+            spec_json = json.dumps(
+                result.spec.to_dict(),
+                sort_keys=True,
+                separators=(",", ":"),
+            )
             for seed, summary in zip(result.spec.seeds, result.per_seed):
                 row = [label, policy, seed]
                 for name in _SWEEP_SCALAR_FIELDS:
@@ -300,35 +292,95 @@ def sweep_to_csv(matrix: Matrix) -> str:
                         separators=(",", ":"),
                     )
                 )
+                row.append(spec_json)
                 writer.writerow(row)
     return out.getvalue()
 
 
-def sweep_from_csv(
-    text: str,
-) -> Dict[str, Dict[str, List[Tuple[int, MetricsSummary]]]]:
-    """Rebuild per-seed metric bundles from :func:`sweep_to_csv`.
+def sweep_from_csv(text: str) -> Matrix:
+    """Rebuild a sweep matrix from :func:`sweep_to_csv` output.
 
-    The CSV does not carry the scenario specs, so the result is the
-    metric payload only: ``{scenario: {policy: [(seed, summary),
-    ...]}}`` with every :class:`MetricsSummary` equal to the
-    exporter's input.
+    Round-trips exactly: specs are reconstructed from the ``spec``
+    column and every per-seed :class:`MetricsSummary` compares equal
+    to the exporter's input, so a CSV-exported sweep carries the same
+    information as the JSON export.
     """
+    from repro.scenarios import ScenarioSpec
+
     reader = csv.DictReader(io.StringIO(text))
-    out: Dict[str, Dict[str, List[Tuple[int, MetricsSummary]]]] = {}
+    if reader.fieldnames is None or "spec" not in reader.fieldnames:
+        raise ValueError(
+            "not a sweep CSV (missing the 'spec' column; files from "
+            "older exporters are not self-describing)"
+        )
+    required = (
+        ("scenario", "policy", "seed")
+        + _SWEEP_SCALAR_FIELDS
+        + ("sla_by_group",)
+    )
+    absent = [c for c in required if c not in reader.fieldnames]
+    if absent:
+        raise ValueError(
+            f"not a sweep CSV (missing column(s) {absent})"
+        )
+    rows: Dict[str, Dict[str, List[Tuple[int, MetricsSummary]]]] = {}
+    specs: Dict[str, ScenarioSpec] = {}
     for row in reader:
         kwargs = {"policy": row["policy"]}
-        for name in _SWEEP_SCALAR_FIELDS:
-            field_type = MetricsSummary.__dataclass_fields__[name].type
-            raw = row[name]
-            kwargs[name] = (
-                int(raw) if field_type in ("int", int) else float(raw)
+        try:
+            for name in _SWEEP_SCALAR_FIELDS:
+                field_type = MetricsSummary.__dataclass_fields__[name].type
+                raw = row[name]
+                kwargs[name] = (
+                    int(raw) if field_type in ("int", int) else float(raw)
+                )
+            kwargs["sla_by_group"] = json.loads(row["sla_by_group"])
+        except TypeError:
+            # DictReader fills short rows with None: a file cut
+            # mid-row must read as truncation, not a cryptic
+            # float(None) TypeError.
+            raise ValueError(
+                f"sweep CSV row for scenario {row['scenario']!r} is "
+                f"incomplete (truncated file?)"
+            ) from None
+        label = row["scenario"]
+        spec = ScenarioSpec.from_dict(json.loads(row["spec"]))
+        if spec.label != label:
+            raise ValueError(
+                f"scenario column {label!r} does not match the "
+                f"embedded spec's label {spec.label!r} (hand-edited "
+                f"file?)"
             )
-        kwargs["sla_by_group"] = json.loads(row["sla_by_group"])
-        out.setdefault(row["scenario"], {}).setdefault(
-            row["policy"], []
-        ).append((int(row["seed"]), MetricsSummary(**kwargs)))
-    return out
+        if label in specs:
+            if specs[label] != spec:
+                raise ValueError(
+                    f"scenario {label!r} carries two different specs "
+                    f"(corrupt or hand-edited file?)"
+                )
+        else:
+            specs[label] = spec
+        rows.setdefault(label, {}).setdefault(row["policy"], []).append(
+            (int(row["seed"]), MetricsSummary(**kwargs))
+        )
+    matrix: Matrix = {}
+    for label, by_policy in rows.items():
+        spec = specs[label]
+        cell = {}
+        for policy, seeded in by_policy.items():
+            if tuple(seed for seed, _ in seeded) != spec.seeds:
+                raise ValueError(
+                    f"scenario {label!r} policy {policy!r}: seed rows "
+                    f"{[s for s, _ in seeded]} do not match the "
+                    f"spec's seeds {list(spec.seeds)} (truncated or "
+                    f"reordered file?)"
+                )
+            cell[policy] = ScenarioResult(
+                policy=policy,
+                spec=spec,
+                per_seed=tuple(summary for _, summary in seeded),
+            )
+        matrix[label] = cell
+    return matrix
 
 
 _TASK_FIELDS = (

@@ -26,6 +26,7 @@ from repro.scenarios.registry import (
     resolve_scenarios,
     sample_model_mix,
     scenario_names,
+    temporary_scenario,
     unregister_scenario,
 )
 from repro.scenarios.spec import ScenarioSpec
@@ -42,5 +43,6 @@ __all__ = [
     "resolve_scenarios",
     "sample_model_mix",
     "scenario_names",
+    "temporary_scenario",
     "unregister_scenario",
 ]

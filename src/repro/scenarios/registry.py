@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import random
 import re
+from contextlib import contextmanager
 from dataclasses import replace
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple, Union
 
 from repro.models.zoo import WORKLOAD_SETS
 from repro.scenarios.spec import ScenarioSpec
@@ -62,6 +63,33 @@ def register_scenario(
 def unregister_scenario(name: str) -> None:
     """Remove a registry entry (primarily for tests)."""
     _REGISTRY.pop(name, None)
+
+
+@contextmanager
+def temporary_scenario(
+    name: str, spec: ScenarioSpec, overwrite: bool = False
+) -> Iterator[ScenarioSpec]:
+    """Register ``spec`` for the duration of a ``with`` block.
+
+    The registry is module-global state, so an ad-hoc
+    :func:`register_scenario` in a test or example leaks into
+    everything that runs later.  This scopes the mutation: on exit
+    the entry is removed, and if ``overwrite=True`` replaced an
+    existing entry, the previous spec is restored — the registry is
+    returned to exactly its prior state even when the body raises.
+
+    Yields:
+        The registered (renamed) spec.
+    """
+    previous = _REGISTRY.get(name)
+    named = register_scenario(name, spec, overwrite=overwrite)
+    try:
+        yield named
+    finally:
+        if previous is not None:
+            _REGISTRY[name] = previous
+        else:
+            _REGISTRY.pop(name, None)
 
 
 def scenario_names() -> List[str]:

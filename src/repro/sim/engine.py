@@ -75,8 +75,9 @@ class SimResult:
             (prediction + arbiter) the run actually performed.
         block_time_reuses: Solves served from the epoch cache instead.
         cost_cache_hits / cost_cache_misses: Network-cost cache probes
-            during this run (deltas of the process-global counters
-            between simulator construction and completion — a warm
+            during this run (attributed per run via
+            :class:`repro.core.latency.track_cache_deltas`, so
+            interleaved or nested runs cannot double-count — a warm
             worker shows zero misses here).
         predict_memo_hits / predict_memo_misses: ``BlockCost.predict``
             memo probes during this run, same delta convention.
@@ -168,9 +169,6 @@ class Simulator:
         self.events = 0
         self.block_time_recomputes = 0
         self.block_time_reuses = 0
-        from repro.core.latency import cache_stats
-
-        self._cache_stats_at_init = cache_stats()
 
     # ------------------------------------------------------------------
     # Policy-facing API
@@ -275,38 +273,40 @@ class Simulator:
 
     def run(self) -> SimResult:
         """Run to completion and return per-task results."""
-        while len(self.finished) < len(self.jobs):
-            self.events += 1
-            if self.events > self._max_events:
-                raise SimulationError(
-                    f"exceeded {self._max_events} events; "
-                    f"{len(self.finished)}/{len(self.jobs)} tasks done "
-                    f"at cycle {self.now:,.0f}"
-                )
-            self._dispatch_arrivals()
-            self.policy.on_event(self)
-            self._validate()
-            dt = self._next_event_dt()
-            if dt is None:
-                if self._pending:
-                    # Idle gap: jump to the next arrival.
-                    self.now = self._pending[0][0]
-                    continue
-                raise SimulationError(
-                    f"deadlock at cycle {self.now:,.0f}: "
-                    f"{len(self.ready)} ready, {len(self.running)} running, "
-                    f"policy {self.policy.name!r} made no progress"
-                )
-            self._advance(max(dt, _MIN_DT))
-            self._process_completions()
-        makespan = max((j.finished_at or 0.0) for j in self.finished)
-        from repro.core.latency import CACHE_COUNTER_FIELDS, cache_stats
+        # Cache telemetry is attributed through a per-run frame (not a
+        # diff of the process-global counters), so interleaved
+        # construct-then-run sequences, nested simulations and
+        # mid-run reset_cache_stats() calls can neither double-count
+        # nor drive the deltas negative.
+        from repro.core.latency import track_cache_deltas
 
-        after = cache_stats()
-        cache_delta = {
-            key: after[key] - self._cache_stats_at_init[key]
-            for key in CACHE_COUNTER_FIELDS
-        }
+        with track_cache_deltas() as cache_delta:
+            while len(self.finished) < len(self.jobs):
+                self.events += 1
+                if self.events > self._max_events:
+                    raise SimulationError(
+                        f"exceeded {self._max_events} events; "
+                        f"{len(self.finished)}/{len(self.jobs)} tasks done "
+                        f"at cycle {self.now:,.0f}"
+                    )
+                self._dispatch_arrivals()
+                self.policy.on_event(self)
+                self._validate()
+                dt = self._next_event_dt()
+                if dt is None:
+                    if self._pending:
+                        # Idle gap: jump to the next arrival.
+                        self.now = self._pending[0][0]
+                        continue
+                    raise SimulationError(
+                        f"deadlock at cycle {self.now:,.0f}: "
+                        f"{len(self.ready)} ready, "
+                        f"{len(self.running)} running, "
+                        f"policy {self.policy.name!r} made no progress"
+                    )
+                self._advance(max(dt, _MIN_DT))
+                self._process_completions()
+        makespan = max((j.finished_at or 0.0) for j in self.finished)
         return SimResult(
             policy_name=self.policy.name,
             results=results_from_jobs(self.finished),

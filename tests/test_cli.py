@@ -11,6 +11,7 @@ from repro.cli import (
     _parse_formats,
     _parse_names,
     _parse_seeds,
+    _parse_shard,
     build_parser,
     main,
 )
@@ -78,6 +79,21 @@ class TestParseFormats:
             _parse_formats("json,xml")
 
 
+class TestParseShard:
+    def test_valid_one_based_to_zero_based(self):
+        assert _parse_shard("1/4") == (0, 4)
+        assert _parse_shard("4/4") == (3, 4)
+        assert _parse_shard(" 2 / 3 ") == (1, 3)
+        assert _parse_shard("1/1") == (0, 1)
+
+    @pytest.mark.parametrize("bad", ["", "2", "a/2", "1/0", "0/2", "3/2"])
+    def test_malformed_rejected(self, bad):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_shard(bad)
+
+
 class TestParserExitBehaviour:
     """Malformed values exit via argparse (status 2, clean
     subcommand-prefixed message on stderr) instead of a traceback."""
@@ -112,6 +128,173 @@ class TestParserExitBehaviour:
             )
         assert "requires --out" in str(excinfo.value)
 
+    def test_shard_without_out_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["sweep", "--scenarios", "bursty-mixed",
+                 "--shard", "1/2"]
+            )
+        assert "requires --out" in str(excinfo.value)
+
+    def test_shard_with_format_rejected(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["sweep", "--scenarios", "bursty-mixed",
+                 "--shard", "1/2", "--out", str(tmp_path / "s"),
+                 "--format", "csv"]
+            )
+        assert "no effect with --shard" in str(excinfo.value)
+
+    def test_merge_missing_path_rejected(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["merge", str(tmp_path / "nowhere")])
+        assert "does not exist" in str(excinfo.value)
+
+    def test_merge_input_error_leaves_no_stray_out_dir(self, tmp_path):
+        """Review finding: a typo'd or unparsable input must not
+        leave behind a freshly created empty --out directory."""
+        out = tmp_path / "merged"
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(
+                ["merge", str(tmp_path / "nowhere"), "--out", str(out)]
+            )
+        assert not out.exists()
+        bad = tmp_path / "partial-1-of-2.json"
+        bad.write_text('{"format": "repro-sweep-partial/1"}')
+        with pytest.raises(SystemExit, match="malformed"):
+            main(["merge", str(bad), "--out", str(out)])
+        assert not out.exists()
+
+    def test_sweep_stem_collision_refused_before_running(self, tmp_path):
+        """Review finding: export-name validation depends only on the
+        labels, so the refusal must come before any simulation — a
+        'manifest'-named scenario with a huge task count exits
+        immediately instead of sweeping first and discarding the
+        result."""
+        import time
+
+        from repro.scenarios import ScenarioSpec, temporary_scenario
+
+        spec = ScenarioSpec(workload_set="A", num_tasks=5000, seeds=(1,))
+        with temporary_scenario("manifest", spec):
+            t0 = time.time()
+            with pytest.raises(SystemExit, match="manifest"):
+                main(
+                    ["sweep", "--scenarios", "manifest",
+                     "--out", str(tmp_path / "out")]
+                )
+            assert time.time() - t0 < 5.0
+
+    def test_merge_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["merge", str(tmp_path)])
+        assert "no partial-" in str(excinfo.value)
+
+    def test_merge_format_without_out_rejected(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["merge", str(tmp_path), "--format", "csv"])
+        assert "requires --out" in str(excinfo.value)
+
+
+class TestOverwriteGuard:
+    def test_non_empty_out_dir_refused_without_force(self, tmp_path):
+        """ISSUE satellite: prior artifacts are never silently
+        clobbered."""
+        from repro.cli import _ensure_out_dir
+
+        out = tmp_path / "exports"
+        out.mkdir()
+        (out / "prior.json").write_text("{}")
+        with pytest.raises(SystemExit, match="--force"):
+            _ensure_out_dir(out, False, "sweep")
+        assert _ensure_out_dir(out, True, "sweep") == out
+
+    def test_out_pointing_at_file_rejected_cleanly(self, tmp_path):
+        """Review finding: --out at an existing regular file must be
+        a clean usage error, not a NotADirectoryError/FileExistsError
+        traceback."""
+        from repro.cli import _ensure_out_dir
+
+        notadir = tmp_path / "notadir"
+        notadir.write_text("x")
+        with pytest.raises(SystemExit, match="not a directory"):
+            _ensure_out_dir(notadir, False, "sweep")
+        with pytest.raises(SystemExit, match="not a directory"):
+            _ensure_out_dir(notadir, True, "merge")
+        with pytest.raises(SystemExit, match="not a directory"):
+            main(
+                ["sweep", "--scenarios", "bursty-mixed",
+                 "--tasks", "8", "--seeds", "1",
+                 "--shard", "1/2", "--out", str(notadir)]
+            )
+
+    def test_empty_or_absent_dir_accepted(self, tmp_path):
+        from repro.cli import _ensure_out_dir
+
+        fresh = tmp_path / "fresh"
+        assert _ensure_out_dir(fresh, False, "sweep") == fresh
+        assert _ensure_out_dir(fresh, False, "sweep") == fresh
+
+    def test_vetting_never_deletes(self, tmp_path):
+        """Review finding: the pre-run vet must not delete anything —
+        cleanup is deferred until results exist, so a failed run
+        cannot leave the directory emptied."""
+        from repro.cli import _ensure_out_dir
+
+        out = tmp_path / "exports"
+        out.mkdir()
+        (out / "old-scenario.json").write_text("{}")
+        _ensure_out_dir(out, True, "sweep")
+        assert (out / "old-scenario.json").exists()
+
+    def test_clean_clears_manifest_named_artifacts_only(self, tmp_path):
+        """Review findings: --force must remove the prior export
+        artifacts (a re-export with different scenarios would
+        otherwise leave stale files mixed in) — but only the files
+        the prior manifest.json names, never unrelated JSON/CSV
+        sitting in the directory (e.g. --out . in a repo root)."""
+        import json
+
+        from repro.cli import _clean_out_dir
+
+        out = tmp_path / "exports"
+        out.mkdir()
+        (out / "manifest.json").write_text(json.dumps(
+            {"scenarios": [{"label": "old-scenario", "spec": {}}],
+             "policies": [], "cells": []}
+        ))
+        (out / "old-scenario.json").write_text("{}")
+        (out / "old-scenario.csv").write_text("a,b\n")
+        (out / "unrelated.json").write_text("{}")
+        (out / "notes.txt").write_text("keep me")
+        (out / "subdir").mkdir()
+        _clean_out_dir(out)
+        assert sorted(p.name for p in out.iterdir()) == [
+            "notes.txt", "subdir", "unrelated.json",
+        ]
+        _clean_out_dir(tmp_path / "absent")  # no-op
+
+    def test_pre_run_vet_does_not_create_the_directory(self, tmp_path):
+        """Review finding: the pre-sweep vet must not mkdir — a run
+        failing after it must leave no stray empty directory (the
+        export writer creates it once results exist)."""
+        from repro.cli import _ensure_out_dir
+
+        out = tmp_path / "results"
+        _ensure_out_dir(out, False, "sweep", create=False)
+        assert not out.exists()
+        _ensure_out_dir(out, False, "sweep")
+        assert out.is_dir()
+
+    def test_clean_without_prior_manifest_removes_nothing(self, tmp_path):
+        from repro.cli import _clean_out_dir
+
+        out = tmp_path / "exports"
+        out.mkdir()
+        (out / "data.json").write_text("{}")
+        _clean_out_dir(out)
+        assert (out / "data.json").exists()
+
 
 class TestExportFilename:
     def test_sanitizes_path_separators(self):
@@ -135,6 +318,22 @@ class TestExportFilename:
 
         with pytest.raises(SystemExit, match="manifest"):
             _write_sweep_exports({"manifest": {}}, [], tmp_path, ("json",))
+
+    def test_refused_export_with_clean_keeps_prior_artifacts(
+        self, tmp_path
+    ):
+        """Review finding: the --force cleanup must run only after
+        the stem validation, so a refused export cannot have already
+        destroyed the old artifacts."""
+        from repro.cli import _write_sweep_exports
+
+        prior = tmp_path / "prior.json"
+        prior.write_text("{}")
+        with pytest.raises(SystemExit, match="manifest"):
+            _write_sweep_exports(
+                {"manifest": {}}, [], tmp_path, ("json",), clean=True
+            )
+        assert prior.exists()
 
 
 @pytest.mark.slow
@@ -162,3 +361,66 @@ class TestSweepOut:
 
         back = sweep_from_json((out / "ref-a-qos-m.json").read_text())
         assert set(back) == {"ref-a-qos-m"}
+
+
+@pytest.mark.slow
+class TestShardMergeCli:
+    def test_shard_merge_exports_byte_identical_to_unsharded(
+        self, tmp_path
+    ):
+        """ISSUE acceptance: `sweep --shard I/N` partials merged via
+        `merge` write the same export bytes as one unsharded run."""
+        base = [
+            "sweep", "--scenarios", "ref-a-qos-m",
+            "--tasks", "8", "--seeds", "1,2",
+        ]
+        shards = tmp_path / "shards"
+        for shard in ("1/2", "2/2"):
+            assert main(
+                base + ["--shard", shard, "--out", str(shards)]
+            ) == 0
+        assert sorted(p.name for p in shards.iterdir()) == [
+            "partial-1-of-2.json", "partial-2-of-2.json",
+        ]
+        merged = tmp_path / "merged"
+        assert main(["merge", str(shards), "--out", str(merged)]) == 0
+        unsharded = tmp_path / "unsharded"
+        assert main(base + ["--out", str(unsharded)]) == 0
+        names = sorted(p.name for p in merged.iterdir())
+        assert names == sorted(p.name for p in unsharded.iterdir())
+        for name in names:
+            assert (merged / name).read_bytes() == (
+                unsharded / name
+            ).read_bytes(), name
+
+    def test_merge_out_overlapping_inputs_refused(self, tmp_path):
+        """Review finding: `merge shards/ --out shards/ --force` used
+        to delete its own input partials; the overlap is now refused
+        with the partials intact."""
+        shards = tmp_path / "shards"
+        assert main([
+            "sweep", "--scenarios", "ref-a-qos-m", "--tasks", "8",
+            "--seeds", "1", "--shard", "1/1", "--out", str(shards),
+        ]) == 0
+        for argv in (
+            ["merge", str(shards), "--out", str(shards), "--force"],
+            ["merge", str(shards), "--out", str(shards)],
+            ["merge", str(shards / "partial-1-of-1.json"),
+             "--out", str(shards), "--force"],
+        ):
+            with pytest.raises(SystemExit, match="different directory"):
+                main(argv)
+        assert (shards / "partial-1-of-1.json").exists()
+
+    def test_merge_refuses_mixed_digests(self, tmp_path):
+        shards = tmp_path / "shards"
+        assert main([
+            "sweep", "--scenarios", "ref-a-qos-m", "--tasks", "8",
+            "--seeds", "1", "--shard", "1/2", "--out", str(shards),
+        ]) == 0
+        assert main([
+            "sweep", "--scenarios", "ref-a-qos-m", "--tasks", "9",
+            "--seeds", "1", "--shard", "2/2", "--out", str(shards),
+        ]) == 0
+        with pytest.raises(SystemExit, match="different sweeps"):
+            main(["merge", str(shards)])

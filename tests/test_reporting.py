@@ -112,18 +112,73 @@ class TestSweepExports:
                 assert back[label][policy].spec == result.spec
 
     def test_csv_round_trip_exact(self, golden_matrix):
+        """The CSV is self-describing: specs and per-seed summaries
+        rebuild exactly, like the JSON export."""
         text = sweep_to_csv(golden_matrix)
         back = sweep_from_csv(text)
+        assert set(back) == set(golden_matrix)
         for label, cell in golden_matrix.items():
             for policy, result in cell.items():
-                rows = back[label][policy]
-                assert [seed for seed, _ in rows] == list(
-                    result.spec.seeds
-                )
-                assert (
-                    tuple(summary for _, summary in rows)
-                    == result.per_seed
-                )
+                assert back[label][policy].per_seed == result.per_seed
+                assert back[label][policy].spec == result.spec
+
+    def test_csv_round_trip_hostile_names(self):
+        """ISSUE satellite: scenario labels carrying the CSV
+        delimiter, quotes or newlines must survive the text
+        round-trip (the csv module quotes them) instead of
+        corrupting rows."""
+        hostile = 'evil,label "quoted"\nnewline'
+        spec = ScenarioSpec(
+            workload_set="A", num_tasks=8, seeds=(1,), name=hostile,
+            priority_weights=tuple(float(i + 1) for i in range(12)),
+            model_mix=(("kws", 0.5), ("squeezenet", 0.5)),
+        )
+        matrix = {spec.label: run_scenario(spec)}
+        back = sweep_from_csv(sweep_to_csv(matrix))
+        assert set(back) == {hostile}
+        for policy, result in matrix[hostile].items():
+            assert back[hostile][policy].per_seed == result.per_seed
+            assert back[hostile][policy].spec == spec
+
+    def test_csv_without_spec_column_rejected(self):
+        with pytest.raises(ValueError, match="spec"):
+            sweep_from_csv("scenario,policy,seed\na,moca,1\n")
+
+    def test_csv_missing_metric_column_rejected(self, golden_matrix):
+        """Review finding: a dropped metric column must refuse with a
+        ValueError naming it, not leak a KeyError."""
+        text = sweep_to_csv(golden_matrix)
+        header, rest = text.split("\r\n", 1)
+        mangled = header.replace("sla_rate,", "") + "\r\n" + rest
+        with pytest.raises(ValueError, match="sla_rate"):
+            sweep_from_csv(mangled)
+
+    def test_csv_row_cut_mid_line_rejected(self, golden_matrix):
+        """A file truncated mid-row reads as truncation, not a
+        float(None) TypeError."""
+        text = sweep_to_csv(golden_matrix)
+        lines = text.split("\r\n")
+        cut = "\r\n".join(lines[:2]) + "\r\n" + lines[2][:40] + "\r\n"
+        with pytest.raises(ValueError):
+            sweep_from_csv(cut)
+
+    def test_csv_scenario_column_must_match_spec_label(
+        self, golden_matrix
+    ):
+        """A hand-edited scenario column that disagrees with the
+        embedded spec's label must be refused, not rebuilt into an
+        internally inconsistent matrix."""
+        text = sweep_to_csv(golden_matrix)
+        label = next(iter(golden_matrix))
+        with pytest.raises(ValueError, match="does not match"):
+            sweep_from_csv(text.replace(f"\r\n{label},", "\r\nrenamed,"))
+
+    def test_csv_truncated_rows_rejected(self, golden_matrix):
+        """Dropping a seed row must fail the seeds consistency check,
+        not silently rebuild a shorter per_seed tuple."""
+        lines = sweep_to_csv(golden_matrix).splitlines(keepends=True)
+        with pytest.raises(ValueError, match="seed"):
+            sweep_from_csv("".join(lines[:-1]))
 
     def test_json_rejects_foreign_documents(self):
         with pytest.raises(ValueError, match="repro-sweep"):

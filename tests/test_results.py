@@ -218,17 +218,124 @@ class TestCellManifest:
 
 
 class TestEngineCacheCounters:
-    def test_sim_result_carries_cache_deltas(self, task_factory):
-        from repro.core.policy import MoCAPolicy
-        from repro.sim.engine import run_simulation
-
-        tasks = [
+    def _tasks(self, task_factory):
+        return [
             task_factory(task_id=f"t{i}", dispatch=float(i) * 10.0)
             for i in range(4)
         ]
-        from repro.config import DEFAULT_SOC
 
+    @staticmethod
+    def _deltas(result):
+        from repro.core.latency import CACHE_COUNTER_FIELDS
+
+        return {name: getattr(result, name) for name in CACHE_COUNTER_FIELDS}
+
+    def test_sim_result_carries_cache_deltas(self, task_factory):
+        from repro.config import DEFAULT_SOC
+        from repro.core.policy import MoCAPolicy
+        from repro.sim.engine import run_simulation
+
+        tasks = self._tasks(task_factory)
         result = run_simulation(DEFAULT_SOC, tasks, MoCAPolicy())
         assert result.predict_memo_hits + result.predict_memo_misses > 0
         assert result.cost_cache_hits >= 0
         assert result.cost_cache_misses >= 0
+
+    def test_interleaved_runs_do_not_double_count(self, task_factory):
+        """ISSUE satellite: deltas used to be diffs of process-global
+        counters snapshotted at *construction*, so constructing two
+        simulators and running them in reverse order attributed the
+        first run's probes to both results."""
+        from repro.config import DEFAULT_SOC
+        from repro.core.policy import MoCAPolicy
+        from repro.sim.engine import Simulator
+
+        tasks = self._tasks(task_factory)
+        # Warm every cache, then measure one clean run as reference.
+        Simulator(DEFAULT_SOC, tasks, MoCAPolicy()).run()
+        reference = self._deltas(
+            Simulator(DEFAULT_SOC, tasks, MoCAPolicy()).run()
+        )
+        sim_a = Simulator(DEFAULT_SOC, tasks, MoCAPolicy())
+        sim_b = Simulator(DEFAULT_SOC, tasks, MoCAPolicy())
+        result_b = sim_b.run()
+        result_a = sim_a.run()
+        assert self._deltas(result_b) == reference
+        assert self._deltas(result_a) == reference
+
+    def test_reset_between_construction_and_run_stays_non_negative(
+        self, task_factory
+    ):
+        """A reset_cache_stats() after construction used to drive the
+        deltas negative (after-run counters < at-init snapshot)."""
+        from repro.config import DEFAULT_SOC
+        from repro.core.latency import reset_cache_stats
+        from repro.core.policy import MoCAPolicy
+        from repro.sim.engine import Simulator
+
+        tasks = self._tasks(task_factory)
+        Simulator(DEFAULT_SOC, tasks, MoCAPolicy()).run()
+        reference = self._deltas(
+            Simulator(DEFAULT_SOC, tasks, MoCAPolicy()).run()
+        )
+        sim = Simulator(DEFAULT_SOC, tasks, MoCAPolicy())
+        reset_cache_stats()
+        deltas = self._deltas(sim.run())
+        assert all(v >= 0 for v in deltas.values())
+        assert deltas == reference
+
+    def test_track_cache_deltas_nests_without_sibling_leakage(
+        self, task_factory
+    ):
+        """An outer frame (a sweep cell) contains its inner run's
+        probes; a sibling frame opened afterwards sees none of them."""
+        from repro.config import DEFAULT_SOC
+        from repro.core.latency import track_cache_deltas
+        from repro.core.policy import MoCAPolicy
+        from repro.sim.engine import run_simulation
+
+        tasks = self._tasks(task_factory)
+        with track_cache_deltas() as outer:
+            result = run_simulation(DEFAULT_SOC, tasks, MoCAPolicy())
+        inner = self._deltas(result)
+        for name, count in inner.items():
+            assert outer[name] >= count
+        with track_cache_deltas() as sibling:
+            pass
+        assert all(v == 0 for v in sibling.values())
+
+    def test_nested_equal_frames_close_by_identity(self):
+        """Regression (review finding): two nested frames must each
+        close their own frame on exit — equality-based removal used to
+        pop the wrong frame when their contents compared equal."""
+        from repro.core import latency
+        from repro.core.latency import (
+            CACHE_COUNTER_FIELDS,
+            track_cache_deltas,
+        )
+
+        probe = CACHE_COUNTER_FIELDS[0]
+        with track_cache_deltas() as outer:
+            with track_cache_deltas() as inner:
+                latency._CACHE_STATS[probe] += 1  # what a probe site does
+            latency._CACHE_STATS[probe] += 1  # belongs to outer only
+        assert inner[probe] == 1
+        assert outer[probe] == 2
+
+    def test_reset_mid_frame_keeps_delta_continuous(self):
+        """reset_cache_stats() inside an open frame re-bases it: the
+        probes made before the reset stay counted, nothing negative."""
+        from repro.core import latency
+        from repro.core.latency import (
+            CACHE_COUNTER_FIELDS,
+            reset_cache_stats,
+            track_cache_deltas,
+        )
+
+        probe = CACHE_COUNTER_FIELDS[0]
+        with track_cache_deltas() as frame:
+            latency._CACHE_STATS[probe] += 1
+            reset_cache_stats()
+            latency._CACHE_STATS[probe] += 1
+        assert frame[probe] == 2
+        assert all(v >= 0 for v in frame.values())

@@ -17,6 +17,7 @@ from repro.scenarios import (
     resolve_scenarios,
     sample_model_mix,
     scenario_names,
+    temporary_scenario,
     unregister_scenario,
 )
 from repro.sim.qos import QosLevel
@@ -48,15 +49,49 @@ class TestRegistry:
 
     def test_register_rejects_collision_and_bad_names(self):
         spec = ScenarioSpec(num_tasks=10, seeds=(1,))
-        register_scenario("tmp-collision", spec)
-        try:
+        with temporary_scenario("tmp-collision", spec):
             with pytest.raises(ValueError, match="already registered"):
                 register_scenario("tmp-collision", spec)
             register_scenario("tmp-collision", spec, overwrite=True)
-        finally:
-            unregister_scenario("tmp-collision")
+        assert "tmp-collision" not in scenario_names()
         with pytest.raises(ValueError, match="kebab-case"):
             register_scenario("Bad Name!", spec)
+
+    def test_unregister_removes_entry(self):
+        spec = ScenarioSpec(num_tasks=10, seeds=(1,))
+        register_scenario("tmp-unregister", spec)
+        assert "tmp-unregister" in scenario_names()
+        unregister_scenario("tmp-unregister")
+        assert "tmp-unregister" not in scenario_names()
+        unregister_scenario("tmp-unregister")  # idempotent
+
+    def test_temporary_scenario_scopes_the_leak(self):
+        """ISSUE satellite: ad-hoc registrations must not leak into
+        later tests — the context manager removes the entry even when
+        the body raises."""
+        spec = ScenarioSpec(num_tasks=10, seeds=(1,))
+        before = scenario_names()
+        with temporary_scenario("tmp-scoped", spec) as named:
+            assert named.name == "tmp-scoped"
+            assert get_scenario("tmp-scoped") == named
+        assert scenario_names() == before
+        with pytest.raises(RuntimeError, match="boom"):
+            with temporary_scenario("tmp-scoped", spec):
+                raise RuntimeError("boom")
+        assert scenario_names() == before
+
+    def test_temporary_scenario_restores_overwritten_entry(self):
+        spec = ScenarioSpec(num_tasks=10, seeds=(1,))
+        other = ScenarioSpec(num_tasks=20, seeds=(2,))
+        with temporary_scenario("tmp-nest", spec):
+            original = get_scenario("tmp-nest")
+            with pytest.raises(ValueError, match="already registered"):
+                with temporary_scenario("tmp-nest", other):
+                    pass  # pragma: no cover
+            with temporary_scenario("tmp-nest", other, overwrite=True):
+                assert get_scenario("tmp-nest").num_tasks == 20
+            assert get_scenario("tmp-nest") == original
+        assert "tmp-nest" not in scenario_names()
 
     def test_resolve_mixed_names_and_specs(self):
         spec = ScenarioSpec(num_tasks=10, seeds=(1,))
@@ -321,8 +356,7 @@ class TestRegistryExecution:
         spec = replace(
             get_scenario("skewed-mix"), num_tasks=8, seeds=(1,)
         )
-        register_scenario("tmp-tiny", spec, overwrite=True)
-        try:
+        with temporary_scenario("tmp-tiny", spec):
             by_name = run_scenario("tmp-tiny")
             by_spec = run_scenario(get_scenario("tmp-tiny"))
             assert set(by_name) == {"prema", "static", "planaria", "moca"}
@@ -330,8 +364,7 @@ class TestRegistryExecution:
                 assert (
                     by_name[policy].per_seed == by_spec[policy].per_seed
                 )
-        finally:
-            unregister_scenario("tmp-tiny")
+        assert "tmp-tiny" not in scenario_names()
 
     def test_run_matrix_mixes_names_and_specs(self):
         from dataclasses import replace
