@@ -17,17 +17,27 @@ from repro.memory.hierarchy import MemoryHierarchy
 from repro.models.zoo import build_model, model_names
 from repro.sim.engine import run_simulation
 from repro.sim.job import Task
+from repro.sim.plan import EMPTY_PLAN, AllocationPlan
 from repro.sim.policy import Policy
 
 
 class RunAlonePolicy(Policy):
-    """Simplest possible policy: give the one job every tile."""
+    """Simplest possible policy: give the one job every tile.
+
+    Policies are declarative — ``decide`` returns an
+    :class:`~repro.sim.plan.AllocationPlan` naming what should change
+    (here: admit the head of the queue onto the whole SoC) and the
+    engine's controller applies it.
+    """
 
     name = "run-alone"
 
-    def on_event(self, sim):
+    def decide(self, sim):
         if sim.ready and not sim.running:
-            sim.start_job(sim.ready[0], sim.soc.num_tiles)
+            return AllocationPlan(
+                admissions=((sim.ready[0].job_id, sim.soc.num_tiles),)
+            )
+        return EMPTY_PLAN
 
     def reset(self):
         pass

@@ -28,11 +28,18 @@ the JSON records per-shard wall time — ``max_shard_seconds`` projects
 a 2-host run — so the shard-scaling trajectory is tracked alongside
 the single-host one.
 
+``decisions`` in the JSON records the decision-cadence trajectory:
+plans emitted/applied/no-op and the allocation-epoch cache reuse
+ratio under the every-event and block-boundary cadences (both pure
+simulation counters, deterministic per configuration).
+
 Exit status is non-zero when the parallel path or the sharded merge
-produced different metrics than the serial path, or when the parallel
+produced different metrics than the serial path, when the parallel
 path was *slower* than serial while ``workers >= 2`` on a machine that
 actually has >= 2 CPUs (on a 1-CPU box a process pool can only add
-overhead, so the speed gate is informational there).
+overhead, so the speed gate is informational there), or when the
+block-boundary cadence fails to achieve a strictly higher epoch-cache
+reuse ratio than every-event.
 """
 
 from __future__ import annotations
@@ -49,8 +56,17 @@ from repro.config import DEFAULT_SOC
 from repro.core.latency import warm_network_cost_cache
 from repro.core.policy import MoCAPolicy
 from repro.experiments.parallel import ParallelRunner, matrices_identical
-from repro.experiments.results import SweepResults, cell_manifest
-from repro.experiments.runner import run_matrix, standard_matrix
+from repro.experiments.results import (
+    DECISION_COUNTER_FIELDS,
+    SweepResults,
+    cell_manifest,
+)
+from repro.experiments.runner import (
+    default_policies,
+    run_cell_detail,
+    run_matrix,
+    standard_matrix,
+)
 from repro.experiments.sharding import run_shard
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.models.zoo import workload_set
@@ -128,6 +144,56 @@ def _bench_engine(num_tasks: int, seed: int) -> Dict[str, object]:
     return out
 
 
+def _bench_decisions(num_tasks: int, seeds) -> Dict[str, object]:
+    """Decision/epoch telemetry per cadence over the reference matrix.
+
+    Runs the 9-scenario x 4-policy reference matrix serially under the
+    every-event (default) and block-boundary cadences and aggregates
+    the engine's decision counters.  The counters are pure simulation
+    state — deterministic per configuration, independent of host
+    speed — so the gate below (block-boundary must achieve a
+    *strictly higher* epoch-cache reuse ratio than every-event) can
+    never fail spuriously.
+    """
+    from dataclasses import replace
+
+    out: Dict[str, object] = {}
+    for cadence in ("every-event", "block-boundary"):
+        specs = [
+            replace(spec, decision_cadence=cadence)
+            for spec in standard_matrix(num_tasks=num_tasks, seeds=seeds)
+        ]
+        totals = {name: 0 for name in DECISION_COUNTER_FIELDS}
+        t0 = time.perf_counter()
+        for spec in specs:
+            for name, factory in default_policies().items():
+                for seed in spec.seeds:
+                    _, sim_result = run_cell_detail(
+                        spec, name, factory, seed
+                    )
+                    for counter in DECISION_COUNTER_FIELDS:
+                        totals[counter] += getattr(sim_result, counter)
+        ratio = totals["block_time_reuses"] / max(
+            totals["block_time_recomputes"], 1
+        )
+        out[cadence] = {
+            **totals,
+            "epoch_reuse_ratio": round(ratio, 6),
+            "seconds": round(time.perf_counter() - t0, 3),
+        }
+    every = out["every-event"]["epoch_reuse_ratio"]
+    regulated = out["block-boundary"]["epoch_reuse_ratio"]
+    out["gate"] = {
+        "passed": regulated > every,
+        "note": (
+            "block-boundary cadence must reuse the allocation-epoch "
+            "cache at a strictly higher rate than every-event on the "
+            "reference matrix"
+        ),
+    }
+    return out
+
+
 def _prewarm_caches() -> None:
     """Warm the parent's network-cost and predict-memo caches up front
     so the timed serial leg starts warm — symmetric with the parallel
@@ -168,6 +234,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{engine['always_recompute']['events_per_sec']:,} ev/s "
         f"always-recompute "
         f"(x{engine['event_rate_speedup']})",
+        file=sys.stderr,
+    )
+
+    # Decision-cadence trajectory: one seed keeps the two extra serial
+    # matrix passes cheap; the counters are deterministic either way.
+    decisions = _bench_decisions(args.tasks, seeds=args.seeds[:1])
+    print(
+        f"decisions: epoch reuse ratio "
+        f"{decisions['every-event']['epoch_reuse_ratio']:.4f} "
+        f"every-event vs "
+        f"{decisions['block-boundary']['epoch_reuse_ratio']:.4f} "
+        f"block-boundary "
+        f"(gate {'ok' if decisions['gate']['passed'] else 'FAILED'})",
         file=sys.stderr,
     )
 
@@ -295,6 +374,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "merge_identical": shards_identical,
         },
         "engine": engine,
+        "decisions": decisions,
         "gate": {
             "applies": gate_applies,
             "passed": gate_ok,
@@ -328,6 +408,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"FAIL: parallel path slower than serial "
             f"(x{speedup:.2f}) with {runner.workers} workers on "
             f"{cpu_count} CPUs",
+            file=sys.stderr,
+        )
+        return 1
+    if not decisions["gate"]["passed"]:
+        print(
+            "FAIL: block-boundary cadence did not beat every-event "
+            "on epoch-cache reuse",
             file=sys.stderr,
         )
         return 1

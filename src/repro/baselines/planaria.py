@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.prediction import RemainingPrediction
+from repro.sim.plan import EMPTY_PLAN, AllocationPlan
 from repro.sim.policy import Policy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -50,8 +51,8 @@ class PlanariaPolicy(Policy):
 
     # ------------------------------------------------------------------
 
-    def on_event(self, sim: "Simulator") -> None:
-        """Admit by priority, then re-derive and apply the fission."""
+    def decide(self, sim: "Simulator") -> AllocationPlan:
+        """Admit by priority, then re-derive the fission as one plan."""
         if self._predictor is None:
             self._predictor = RemainingPrediction(sim.soc, sim.mem)
 
@@ -59,7 +60,7 @@ class PlanariaPolicy(Policy):
         incumbents = list(sim.running)
         candidates = incumbents + admit
         if not candidates:
-            return
+            return EMPTY_PLAN
 
         # Fission is re-derived only when its inputs change: the set of
         # co-running tasks, or a task becoming deadline-critical
@@ -72,7 +73,7 @@ class PlanariaPolicy(Policy):
             )
         )
         if signature == self._last_signature and not admit:
-            return
+            return EMPTY_PLAN
         self._last_signature = signature
 
         desired = self._fission_shares(sim, candidates)
@@ -87,20 +88,34 @@ class PlanariaPolicy(Policy):
                 return True
             return delta > 0 and self._urgency_bucket(sim, job) >= 2.0
 
-        # Apply shrinks on running jobs first so tiles free up, then
-        # admit newcomers, then apply grows.
+        # Shrinks on running jobs free tiles for the newcomers, the
+        # remainder funds the grows — the controller's canonical
+        # application order; ``free`` mirrors it while planning.
+        free = sim.free_tiles
+        shrinks: List[tuple] = []
+        grows: List[tuple] = []
+        admissions: List[tuple] = []
         for job in incumbents:
             if desired[job.job_id] < job.tiles and wants_change(job):
-                sim.set_tiles(job, desired[job.job_id])
+                shrinks.append((job.job_id, desired[job.job_id]))
+                free += job.tiles - desired[job.job_id]
         for job in admit:
-            share = min(desired[job.job_id], sim.free_tiles)
+            share = min(desired[job.job_id], free)
             if share >= self.min_tiles:
-                sim.start_job(job, share)
+                admissions.append((job.job_id, share))
+                free -= share
         for job in incumbents:
             if desired[job.job_id] > job.tiles and wants_change(job):
-                grant = min(desired[job.job_id], job.tiles + sim.free_tiles)
+                grant = min(desired[job.job_id], job.tiles + free)
                 if grant != job.tiles:
-                    sim.set_tiles(job, grant)
+                    grows.append((job.job_id, grant))
+                    free -= grant - job.tiles
+        if not admissions and not shrinks and not grows:
+            return EMPTY_PLAN
+        return AllocationPlan(
+            admissions=tuple(admissions),
+            tiles=tuple(shrinks + grows),
+        )
 
     def _admission_order(self, sim: "Simulator") -> List["Job"]:
         """Waiting tasks to admit, best priority/age first."""

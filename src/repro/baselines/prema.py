@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.sim.plan import EMPTY_PLAN, AllocationPlan
 from repro.sim.policy import Policy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -65,8 +66,13 @@ class PremaPolicy(Policy):
         waited = max(0.0, now - job.task.dispatch_cycle)
         return (job.task.priority + 1) * waited
 
-    def on_event(self, sim: "Simulator") -> None:
-        """Keep exactly one job running; preempt at block checkpoints."""
+    def decide(self, sim: "Simulator") -> AllocationPlan:
+        """Keep exactly one job running; preempt at block checkpoints.
+
+        A preemptive switch is one atomic plan: preempt the runner,
+        admit the challenger onto every tile, and charge the
+        checkpoint/restore overhead as an extra stall.
+        """
         if sim.running:
             runner = sim.running[0]
             challenger = self._best_waiting(sim)
@@ -78,16 +84,25 @@ class PremaPolicy(Policy):
                 > self.preemption_threshold
                 * max(self.tokens(runner, sim.now), 1e-12)
             ):
-                sim.preempt(runner)
-                sim.start_job(challenger, sim.soc.num_tiles)
-                sim.stall_job(challenger, self.preemption_overhead)
-            return
+                return AllocationPlan(
+                    preemptions=(runner.job_id,),
+                    admissions=((challenger.job_id, sim.soc.num_tiles),),
+                    stalls=(
+                        (challenger.job_id, self.preemption_overhead),
+                    ),
+                )
+            return EMPTY_PLAN
         nxt = self._best_waiting(sim)
-        if nxt is not None:
-            was_preempted = nxt.preemptions > 0
-            sim.start_job(nxt, sim.soc.num_tiles)
-            if was_preempted:
-                sim.stall_job(nxt, self.preemption_overhead)
+        if nxt is None:
+            return EMPTY_PLAN
+        stalls = ()
+        if nxt.preemptions > 0:
+            # A job resuming after a preemption pays the restore half
+            # of the checkpoint overhead on re-admission.
+            stalls = ((nxt.job_id, self.preemption_overhead),)
+        return AllocationPlan(
+            admissions=((nxt.job_id, sim.soc.num_tiles),), stalls=stalls
+        )
 
     def _best_waiting(self, sim: "Simulator") -> Optional["Job"]:
         """The waiting job with the most tokens (stable tie-break)."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.sim.plan import EMPTY_PLAN, AllocationPlan
 from repro.sim.policy import Policy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -36,11 +37,18 @@ class StaticPartitionPolicy(Policy):
             raise ValueError("tiles_per_slot must be positive")
         self.tiles_per_slot = tiles_per_slot
 
-    def on_event(self, sim: "Simulator") -> None:
-        """Admit waiting tasks into free slots in dispatch order."""
-        while sim.ready and sim.free_tiles >= self.tiles_per_slot:
-            job = sim.ready[0]
-            sim.start_job(job, self.tiles_per_slot)
+    def decide(self, sim: "Simulator") -> AllocationPlan:
+        """Plan admissions into free slots in dispatch order."""
+        free = sim.free_tiles
+        admissions = []
+        for job in sim.ready:
+            if free < self.tiles_per_slot:
+                break
+            admissions.append((job.job_id, self.tiles_per_slot))
+            free -= self.tiles_per_slot
+        if not admissions:
+            return EMPTY_PLAN
+        return AllocationPlan(admissions=tuple(admissions))
 
     def reset(self) -> None:
         """Stateless policy; nothing to clear."""

@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli validate
     python -m repro.cli sweep --list
     python -m repro.cli sweep --scenarios bursty-mixed,diurnal-light --workers 2
+    python -m repro.cli sweep --scenarios 'bursty-*,ref-*-qos-h' --decisions
+    python -m repro.cli sweep --scenarios bursty-mixed --cadence block-boundary
     python -m repro.cli sweep --scenarios bursty-mixed --out results/ --format json,csv
     python -m repro.cli sweep --scenarios bursty-mixed --shard 1/2 --out shards/
     python -m repro.cli merge shards/ --out merged/
@@ -76,6 +78,56 @@ def _parse_names(text: str) -> Tuple[str, ...]:
             f"(trailing or doubled comma?)"
         )
     return tuple(entries)
+
+
+def _expand_scenario_patterns(names) -> List[str]:
+    """Expand glob patterns in ``--scenarios`` against the registry.
+
+    Entries containing ``*``, ``?`` or ``[`` are :mod:`fnmatch`
+    patterns resolved against the registered scenario names (in
+    registration order, so expansion is deterministic); plain names
+    pass through untouched (unknown ones still fail with the
+    registry's "unknown scenario" message).  Patterns matching
+    nothing are collected and refused in one clean error.  The
+    expanded list is deduplicated (overlapping patterns would
+    otherwise trip the duplicate-label check downstream), preserving
+    first occurrence.
+    """
+    import fnmatch
+
+    from repro.scenarios import scenario_names
+
+    known = scenario_names()
+    out: List[str] = []
+    unmatched: List[str] = []
+    for name in names:
+        if any(ch in name for ch in "*?["):
+            matches = [
+                n for n in known if fnmatch.fnmatchcase(n, name)
+            ]
+            if not matches:
+                unmatched.append(name)
+            out.extend(matches)
+        else:
+            out.append(name)
+    if unmatched:
+        raise SystemExit(
+            f"sweep: pattern(s) "
+            f"{', '.join(repr(p) for p in unmatched)} match no "
+            f"registered scenarios (see sweep --list)"
+        )
+    return list(dict.fromkeys(out))
+
+
+def _parse_cadence(text: str):
+    """Parse ``--cadence`` into a validated cadence key (clean
+    argparse errors for unknown modes or malformed intervals)."""
+    from repro.sim.plan import DecisionCadence
+
+    try:
+        return DecisionCadence.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 #: Supported sweep export format names.
@@ -290,8 +342,14 @@ def _run_sweep(args) -> str:
                 "sweep: --format has no effect with --shard (partial "
                 "artifacts are always JSON; pass --format to merge)"
             )
+        if args.decisions:
+            raise SystemExit(
+                "sweep: --decisions has no effect with --shard (the "
+                "partial artifact already carries every cell's "
+                "decision counters; merge the shards first)"
+            )
     specs = []
-    for name in args.scenarios:
+    for name in _expand_scenario_patterns(args.scenarios):
         try:
             spec = get_scenario(name)
         except KeyError as exc:
@@ -301,6 +359,9 @@ def _run_sweep(args) -> str:
             overrides["num_tasks"] = args.tasks
         if args.seeds is not None:
             overrides["seeds"] = args.seeds
+        if args.cadence is not None:
+            overrides["decision_cadence"] = args.cadence.mode
+            overrides["decision_interval"] = args.cadence.interval
         try:
             specs.append(replace(spec, **overrides) if overrides else spec)
         except ValueError as exc:
@@ -322,7 +383,18 @@ def _run_sweep(args) -> str:
         # fails mid-run must not leave a stray empty directory.
         _ensure_out_dir(args.out, args.force, "sweep", create=False)
         _check_export_stems(spec.label for spec in specs)
-    matrix = run_matrix(specs, workers=args.workers)
+    if args.decisions:
+        # Decision telemetry lives on the per-cell stream; route the
+        # run through the streaming executor (bit-identical to the
+        # serial path — workers=1 streams serially in-process).
+        from repro.experiments.parallel import ParallelRunner
+        from repro.reporting import decision_summary
+
+        runner = ParallelRunner(workers=args.workers or None)
+        matrix = runner.run_matrix(specs)
+        print(decision_summary(runner.last_cells), file=sys.stderr)
+    else:
+        matrix = run_matrix(specs, workers=args.workers)
     if args.out is not None:
         written = _write_sweep_exports(
             matrix, specs, args.out, args.formats or _EXPORT_FORMATS,
@@ -497,7 +569,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--scenarios", type=_parse_names, default=(),
         metavar="NAME[,NAME...]",
-        help="comma-separated registry names (see --list)",
+        help="comma-separated registry names and/or glob patterns "
+             "resolved against the registry, e.g. bursty-*,"
+             "ref-*-qos-h (see --list)",
+    )
+    p_sweep.add_argument(
+        "--cadence", type=_parse_cadence, default=None,
+        metavar="MODE",
+        help="override every scenario's decision cadence: "
+             "every-event (default), block-boundary, or "
+             "interval:CYCLES (e.g. interval:5e6) — the regulated "
+             "decision-point axis",
+    )
+    p_sweep.add_argument(
+        "--decisions", action="store_true",
+        help="print per-cell decision/epoch telemetry (plans "
+             "emitted/applied/no-op, epoch-cache reuse ratio) to "
+             "stderr",
     )
     p_sweep.add_argument(
         "--workers", type=int, default=1,

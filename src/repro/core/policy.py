@@ -22,11 +22,12 @@ predicted benefit clearly exceeds the migration stall.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.core.prediction import RemainingPrediction
 from repro.core.runtime import MoCARuntime
 from repro.core.scheduler import MoCAScheduler, SchedulableTask, SchedulerConfig
+from repro.sim.plan import EMPTY_PLAN, AllocationPlan
 from repro.sim.policy import Policy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -75,22 +76,54 @@ class MoCAPolicy(Policy):
             )
             self._predictor = RemainingPrediction(sim.soc, sim.mem)
 
-    def on_event(self, sim: "Simulator") -> None:
-        """One MoCA decision round: admit, then regulate bandwidth."""
+    def decide(self, sim: "Simulator") -> AllocationPlan:
+        """One MoCA decision round as a single declarative plan:
+        admissions (Algorithm 3), bandwidth regulation (Algorithm 2)
+        and the rare compute repartition — computed against the
+        *planned* post-admission state, applied atomically by the
+        engine's controller."""
         self._lazy_init(sim)
-        self._admit(sim)
+        admissions = self._plan_admissions(sim)
+        if admissions:
+            # The planned running set: incumbents in engine order,
+            # then the admitted jobs in admission order — exactly the
+            # running list the engine will hold once the plan is
+            # applied.  The co-runner set changed, so every running
+            # app re-runs Algorithm 2 at its next opportunity.
+            by_id = {j.job_id: j for j in sim.ready}
+            planned_running = list(sim.running) + [
+                by_id[jid] for jid, _ in admissions
+            ]
+            admitted_tiles = dict(admissions)
+            self._epoch += 1
+        else:
+            # Hot path (most events admit nothing): read the live
+            # running list in place, no copies.
+            planned_running = sim.running
+            admitted_tiles = {}
         # The demand picture changes whenever any co-runner enters a
         # new layer block (its bandwidth appetite is per-block); bump
         # the regulation epoch so every running app re-runs Algorithm 2.
         signature = tuple(
-            sorted((j.job_id, j.block_idx) for j in sim.running)
+            sorted((j.job_id, j.block_idx) for j in planned_running)
         )
         if signature != self._last_signature:
             self._last_signature = signature
             self._epoch += 1
-        self._regulate(sim)
+        bw_caps = self._plan_regulation(sim, planned_running, admitted_tiles)
+        tiles: Tuple[Tuple[str, int], ...] = ()
         if self.enable_compute_repartition:
-            self._maybe_repartition_compute(sim)
+            free_after = sim.free_tiles - sum(t for _, t in admissions)
+            ready_after = len(sim.ready) > len(admissions)
+            tiles = self._plan_compute_repartition(
+                sim, planned_running, admitted_tiles, free_after,
+                ready_after,
+            )
+        if not admissions and not bw_caps and not tiles:
+            return EMPTY_PLAN
+        return AllocationPlan(
+            admissions=tuple(admissions), tiles=tiles, bw_caps=bw_caps
+        )
 
     # -- Algorithm 3: admission -----------------------------------------
 
@@ -117,16 +150,19 @@ class MoCAPolicy(Policy):
             est_avg_bw=self._bw_cache[job.job_id],
         )
 
-    def _admit(self, sim: "Simulator") -> None:
+    def _plan_admissions(
+        self, sim: "Simulator"
+    ) -> List[Tuple[str, int]]:
+        """Algorithm 3's admissions as ``(job_id, tiles)`` pairs."""
         assert self._scheduler is not None
         if not sim.ready:
-            return
+            return []
         queue = [self._schedulable(sim, job) for job in sim.ready]
         selected = self._scheduler.select(sim.now, queue, sim.free_tiles)
-        by_id = {j.job_id: j for j in sim.ready}
         base = self.scheduler_config.tiles_per_task
+        free = sim.free_tiles
+        admissions: List[Tuple[str, int]] = []
         for i, entry in enumerate(selected):
-            job = by_id[entry.task_id]
             # Admission-time compute sizing (free — no migration):
             # when the queue is drained and tiles are plentiful, grant
             # admitted jobs a larger share instead of leaving tiles
@@ -137,20 +173,28 @@ class MoCAPolicy(Policy):
                 tiles = base
             else:
                 tiles = min(
-                    2 * base, max(base, sim.free_tiles // remaining_admits)
+                    2 * base, max(base, free // remaining_admits)
                 )
-            tiles = min(tiles, sim.free_tiles)
-            sim.start_job(job, tiles)
-        if selected:
-            # The co-runner set changed: every running app re-runs
-            # Algorithm 2 at its next opportunity.
-            self._epoch += 1
+            tiles = min(tiles, free)
+            admissions.append((entry.task_id, tiles))
+            free -= tiles
+        return admissions
 
     # -- Algorithm 2: bandwidth regulation --------------------------------
 
-    def _regulate(self, sim: "Simulator") -> None:
+    def _plan_regulation(
+        self,
+        sim: "Simulator",
+        planned_running: List["Job"],
+        admitted_tiles: Dict[str, int],
+    ) -> Tuple[Tuple[str, Optional[float]], ...]:
+        """Algorithm 2 over the planned running set; returns the
+        ``bw_caps`` overlay.  Jobs whose regulation key is unchanged
+        get no entry (their cap is left alone).  ``admitted_tiles``
+        overlays this plan's admissions onto the live tile counts."""
         assert self._runtime is not None and self._predictor is not None
-        for job in sim.running:
+        caps: List[Tuple[str, Optional[float]]] = []
+        for job in planned_running:
             # Algorithm 2 runs once per (layer block, co-runner epoch):
             # at every block boundary, plus once more whenever the
             # running set changed mid-block.  Re-running on every event
@@ -160,44 +204,62 @@ class MoCAPolicy(Policy):
                 continue
             self._regulated_block[job.job_id] = key
             cost = job.task.cost
+            num_tiles = admitted_tiles.get(job.job_id, job.tiles)
             remain = self._predictor.remaining(
-                cost, job.block_idx, job.tiles
+                cost, job.block_idx, num_tiles
             )
             slack = job.task.deadline - sim.now
             decision = self._runtime.update_app(
                 app_id=job.job_id,
                 block=cost.blocks[job.block_idx],
-                num_tiles=job.tiles,
+                num_tiles=num_tiles,
                 user_priority=job.task.priority,
                 remain_prediction=remain,
                 slack=slack,
             )
-            sim.set_bw_cap(
-                job, decision.bw_rate if decision.contention else None
-            )
+            cap = decision.bw_rate if decision.contention else None
+            old = job.bw_cap
+            if old == cap or (
+                old is not None and cap is not None
+                and abs(old - cap) < 1e-9
+            ):
+                # Restating the live cap: the engine would no-op it
+                # anyway (same tolerance), so the plan omits the
+                # entry — most regulation rounds then emit EMPTY_PLAN
+                # and skip plan construction entirely.
+                continue
+            caps.append((job.job_id, cap))
+        return tuple(caps)
 
     # -- Rare compute repartition -----------------------------------------
 
-    def _maybe_repartition_compute(self, sim: "Simulator") -> None:
+    def _plan_compute_repartition(
+        self,
+        sim: "Simulator",
+        planned_running: List["Job"],
+        admitted_tiles: Dict[str, int],
+        extra: int,
+        ready_after: bool,
+    ) -> Tuple[Tuple[str, int], ...]:
         """Grant idle tiles to a job predicted to miss its SLA, only
         when the predicted gain clearly beats the migration stall."""
         assert self._predictor is not None
-        extra = sim.free_tiles
-        if extra <= 0 or sim.ready:
-            return
+        if extra <= 0 or ready_after:
+            return ()
         best_job = None
         best_gain = 0.0
-        for job in sim.running:
+        for job in planned_running:
             if not job.at_block_boundary:
                 continue
+            tiles = admitted_tiles.get(job.job_id, job.tiles)
             remain_now = self._predictor.remaining(
-                job.task.cost, job.block_idx, job.tiles
+                job.task.cost, job.block_idx, tiles
             )
             slack = job.task.deadline - sim.now
             if remain_now <= slack:
                 continue  # on track; leave it alone
             remain_more = self._predictor.remaining(
-                job.task.cost, job.block_idx, job.tiles + extra
+                job.task.cost, job.block_idx, tiles + extra
             )
             gain = remain_now - remain_more
             if gain > best_gain:
@@ -207,7 +269,11 @@ class MoCAPolicy(Policy):
             best_job is not None
             and best_gain > 2.0 * self.compute_reconfig_cycles
         ):
-            sim.set_tiles(best_job, best_job.tiles + extra)
+            target = admitted_tiles.get(
+                best_job.job_id, best_job.tiles
+            ) + extra
+            return ((best_job.job_id, target),)
+        return ()
 
     # ------------------------------------------------------------------
 

@@ -89,14 +89,18 @@ from typing import (
 )
 
 from repro.config import DEFAULT_SOC, SoCConfig
-from repro.experiments.results import CellResult, SweepResults
+from repro.experiments.results import (
+    DECISION_COUNTER_FIELDS,
+    CellResult,
+    SweepResults,
+)
 from repro.experiments.runner import (
     PolicyFactory,
     ScenarioResult,
     ScenarioSpec,
     check_unique_labels,
     default_policies,
-    run_cell,
+    run_cell_detail,
 )
 from repro.scenarios import ScenarioLike, resolve_scenarios
 
@@ -129,8 +133,9 @@ class CellTiming:
 def _run_cell(payload: _CellPayload) -> CellResult:
     """Execute one matrix cell (runs inside a worker process).
 
-    Delegates to :func:`repro.experiments.runner.run_cell` — the same
-    recipe the serial path uses — and wraps the summary with timing
+    Delegates to :func:`repro.experiments.runner.run_cell_detail` —
+    the same recipe the serial path uses — and wraps the summary with
+    timing, engine/decision counters
     and cache telemetry (a per-cell delta frame spanning the whole
     cell, generation included, so warm-cache behaviour is observable
     from the parent and concurrent accounting in the same process —
@@ -142,7 +147,9 @@ def _run_cell(payload: _CellPayload) -> CellResult:
     index, spec_idx, spec, policy_name, factory, seed, soc = payload
     t0 = time.perf_counter()
     with track_cache_deltas() as cache_delta:
-        summary = run_cell(spec, policy_name, factory, seed, soc)
+        summary, sim_result = run_cell_detail(
+            spec, policy_name, factory, seed, soc
+        )
     seconds = time.perf_counter() - t0
     return CellResult(
         index=index,
@@ -154,6 +161,10 @@ def _run_cell(payload: _CellPayload) -> CellResult:
         seconds=seconds,
         worker_pid=os.getpid(),
         **cache_delta,
+        **{
+            name: getattr(sim_result, name)
+            for name in DECISION_COUNTER_FIELDS
+        },
     )
 
 

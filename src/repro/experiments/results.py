@@ -33,12 +33,26 @@ from repro.scenarios import ScenarioLike, ScenarioSpec, resolve_scenarios
 
 __all__ = [
     "CACHE_COUNTER_FIELDS",
+    "DECISION_COUNTER_FIELDS",
     "CellResult",
     "SweepResults",
     "cell_from_dict",
     "cell_manifest",
     "cell_to_dict",
 ]
+
+#: Engine/decision telemetry threaded from each cell's
+#: :class:`~repro.sim.engine.SimResult` into its :class:`CellResult`
+#: (and through the shard-partial serialisation seam).
+DECISION_COUNTER_FIELDS = (
+    "events",
+    "block_time_recomputes",
+    "block_time_reuses",
+    "decisions",
+    "plans_applied",
+    "plans_noop",
+    "plan_actions",
+)
 
 
 @dataclass(frozen=True)
@@ -62,6 +76,14 @@ class CellResult:
             worker runs every cell at zero misses.
         predict_memo_hits / predict_memo_misses: ``BlockCost.predict``
             memo probes during the cell.
+        events: Simulation events the cell's engine loop processed.
+        block_time_recomputes / block_time_reuses: Full block-time
+            solves vs allocation-epoch cache hits — the counters the
+            decision-cadence sweep axis is judged by.
+        decisions: Times the policy was consulted for a plan.
+        plans_applied / plans_noop: Plans that did / did not mutate
+            engine state.
+        plan_actions: Total mutations the controller applied.
     """
 
     index: int
@@ -76,6 +98,13 @@ class CellResult:
     cost_cache_misses: int = 0
     predict_memo_hits: int = 0
     predict_memo_misses: int = 0
+    events: int = 0
+    block_time_recomputes: int = 0
+    block_time_reuses: int = 0
+    decisions: int = 0
+    plans_applied: int = 0
+    plans_noop: int = 0
+    plan_actions: int = 0
 
 
 class SweepResults:
@@ -212,6 +241,14 @@ class SweepResults:
             for name in CACHE_COUNTER_FIELDS
         }
 
+    def decision_stats(self) -> Dict[str, int]:
+        """Engine/decision counters summed over every accumulated
+        cell (see :data:`DECISION_COUNTER_FIELDS`)."""
+        return {
+            name: sum(getattr(c, name) for c in self._cells.values())
+            for name in DECISION_COUNTER_FIELDS
+        }
+
     def worker_pids(self) -> List[int]:
         """Distinct worker pids observed, sorted."""
         return sorted({c.worker_pid for c in self._cells.values()})
@@ -235,6 +272,10 @@ def cell_to_dict(cell: CellResult) -> dict:
         "seconds": cell.seconds,
         "worker_pid": cell.worker_pid,
         **{name: getattr(cell, name) for name in CACHE_COUNTER_FIELDS},
+        **{
+            name: getattr(cell, name)
+            for name in DECISION_COUNTER_FIELDS
+        },
     }
 
 
@@ -251,6 +292,10 @@ def cell_from_dict(payload: dict) -> CellResult:
         worker_pid=payload.get("worker_pid", 0),
         **{
             name: payload.get(name, 0) for name in CACHE_COUNTER_FIELDS
+        },
+        **{
+            name: payload.get(name, 0)
+            for name in DECISION_COUNTER_FIELDS
         },
     )
 

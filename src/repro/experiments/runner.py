@@ -26,7 +26,7 @@ from repro.scenarios import (
     resolve_scenario,
     resolve_scenarios,
 )
-from repro.sim.engine import run_simulation
+from repro.sim.engine import SimResult, run_simulation
 from repro.sim.policy import Policy
 from repro.sim.qos import QosModel
 from repro.sim.workload import WorkloadGenerator
@@ -123,20 +123,26 @@ class ScenarioResult:
         return sum(vals) / len(vals)
 
 
-def run_cell(
+def run_cell_detail(
     spec: ScenarioSpec,
     policy_name: str,
     factory: PolicyFactory,
     seed: int,
     soc: Optional[SoCConfig] = None,
-) -> MetricsSummary:
-    """Run one (scenario, policy, seed) cell of the evaluation matrix.
+) -> Tuple[MetricsSummary, "SimResult"]:
+    """Run one cell; return its metric bundle *and* the raw
+    :class:`~repro.sim.engine.SimResult`.
 
     This is the single source of truth for how a cell is built —
     the serial loop below and the parallel executor's workers both
     call it, which is what makes the two paths bit-identical.  The
     cell is a pure function of its arguments: the workload generator
-    reseeds from ``seed`` and the engine is exactly deterministic.
+    reseeds from ``seed``, the engine is exactly deterministic, and
+    the scenario's :meth:`~repro.scenarios.ScenarioSpec.cadence`
+    regulates when the policy is consulted.  The ``SimResult``
+    carries the engine/decision telemetry (events, epoch-cache
+    reuse, plans emitted/applied/no-op) the streaming executor
+    threads into each :class:`~repro.experiments.results.CellResult`.
     """
     if soc is None:
         soc = DEFAULT_SOC
@@ -145,8 +151,22 @@ def run_cell(
     networks: List[Network] = spec.networks()
     gen = WorkloadGenerator(soc, networks, mem, qos)
     tasks = gen.generate(spec.workload_config(seed))
-    result = run_simulation(soc, tasks, factory(), mem=mem)
-    return summarize(policy_name, result.results)
+    result = run_simulation(
+        soc, tasks, factory(), mem=mem, cadence=spec.cadence()
+    )
+    return summarize(policy_name, result.results), result
+
+
+def run_cell(
+    spec: ScenarioSpec,
+    policy_name: str,
+    factory: PolicyFactory,
+    seed: int,
+    soc: Optional[SoCConfig] = None,
+) -> MetricsSummary:
+    """Run one (scenario, policy, seed) cell of the evaluation matrix
+    (see :func:`run_cell_detail`, which this wraps)."""
+    return run_cell_detail(spec, policy_name, factory, seed, soc)[0]
 
 
 def run_scenario(

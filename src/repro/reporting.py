@@ -106,6 +106,54 @@ def per_scenario_summary(matrix: Matrix) -> str:
     return "\n\n".join(blocks)
 
 
+def decision_summary(cells) -> str:
+    """One aligned table of decision/epoch telemetry per (scenario,
+    policy) cell group.
+
+    ``cells`` is a sequence of :class:`~repro.experiments.results.
+    CellResult` (the streaming executor's per-cell stream, e.g.
+    ``ParallelRunner.last_cells``); seeds of the same (scenario,
+    policy) pair are summed.  Columns: policy consultations
+    (``decisions``), plans that mutated state vs no-ops, total
+    controller actions, and the allocation-epoch cache reuse ratio
+    (``reuses / recomputes``) — the number the decision-cadence sweep
+    axis is judged by.
+    """
+    cells = list(cells)
+    if not cells:
+        raise ValueError("no cells to summarise")
+    groups: Dict[tuple, Dict[str, int]] = {}
+    order: List[tuple] = []
+    for cell in cells:
+        key = (cell.label, cell.policy)
+        if key not in groups:
+            groups[key] = {
+                "decisions": 0, "applied": 0, "noop": 0,
+                "actions": 0, "reuses": 0, "recomputes": 0,
+            }
+            order.append(key)
+        g = groups[key]
+        g["decisions"] += cell.decisions
+        g["applied"] += cell.plans_applied
+        g["noop"] += cell.plans_noop
+        g["actions"] += cell.plan_actions
+        g["reuses"] += cell.block_time_reuses
+        g["recomputes"] += cell.block_time_recomputes
+    lines = [
+        f"{'scenario':<22s}{'policy':<10s}{'decisions':>10s}"
+        f"{'applied':>9s}{'noop':>9s}{'actions':>9s}{'reuse':>8s}"
+    ]
+    for label, policy in order:
+        g = groups[(label, policy)]
+        ratio = g["reuses"] / max(g["recomputes"], 1)
+        lines.append(
+            f"{label:<22s}{policy:<10s}{g['decisions']:>10d}"
+            f"{g['applied']:>9d}{g['noop']:>9d}{g['actions']:>9d}"
+            f"{ratio:>8.3f}"
+        )
+    return "\n".join(lines)
+
+
 def matrix_to_csv(matrix: Matrix, metric: str) -> str:
     """Export one metric of a matrix as CSV text."""
     out = io.StringIO()

@@ -37,19 +37,35 @@ times per run.  Both caches are exact — the epoch cache is invalidated
 on *any* state change, the prediction memo keys on every input of the
 pure function — so the simulation stays bit-identical to the
 always-recompute engine.
+
+Declarative decisions
+---------------------
+
+Policies are consulted at decision points gated by a
+:class:`~repro.sim.plan.DecisionCadence` (every event by default;
+block boundaries or a fixed cycle interval when regulated) and return
+:class:`~repro.sim.plan.AllocationPlan`\\ s that the engine's
+:class:`~repro.sim.plan.AllocationController` applies atomically — an
+applied plan bumps the allocation epoch exactly once
+(:meth:`Simulator.atomic_allocation`), a no-op plan not at all, and
+reconfiguration costs are charged centrally by the controller.
+Legacy imperative policies (overriding ``Policy.on_event``) are
+invoked directly at the same decision points.
 """
 
 from __future__ import annotations
 
 import heapq
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import SoCConfig
 from repro.memory.arbiter import allocate_bandwidth
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.sim.job import Job, JobPhase, Task, TaskResult, results_from_jobs
+from repro.sim.plan import AllocationController, DecisionCadence, EVERY_EVENT
 from repro.sim.policy import Policy
 from repro.sim.trace import Trace, TraceEvent
 
@@ -81,6 +97,15 @@ class SimResult:
             worker shows zero misses here).
         predict_memo_hits / predict_memo_misses: ``BlockCost.predict``
             memo probes during this run, same delta convention.
+        decisions: Times the policy was consulted for a plan (under
+            the default every-event cadence this equals ``events``;
+            regulated cadences consult less often).
+        plans_applied: Plans that performed at least one mutation.
+        plans_noop: Plans that performed none (empty or all no-op) —
+            these leave the allocation epoch untouched.
+        plan_actions: Total mutations applied through the
+            :class:`~repro.sim.plan.AllocationController` (0 for
+            legacy imperative policies, which mutate directly).
     """
 
     policy_name: str
@@ -94,6 +119,10 @@ class SimResult:
     cost_cache_misses: int = 0
     predict_memo_hits: int = 0
     predict_memo_misses: int = 0
+    decisions: int = 0
+    plans_applied: int = 0
+    plans_noop: int = 0
+    plan_actions: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -132,6 +161,7 @@ class Simulator:
         mem: Optional[MemoryHierarchy] = None,
         trace: bool = False,
         max_events: int = 20_000_000,
+        cadence: Optional[DecisionCadence] = None,
     ) -> None:
         if not tasks:
             raise SimulationError("no tasks to simulate")
@@ -140,6 +170,16 @@ class Simulator:
             raise SimulationError("duplicate task ids")
         self.soc = soc
         self.mem = mem if mem is not None else MemoryHierarchy.from_soc(soc)
+        if (
+            not policy.emits_plans
+            and type(policy).on_event is Policy.on_event
+        ):
+            # Fail at construction, not at the first decision point
+            # mid-simulation (the abc guard this seam replaced).
+            raise SimulationError(
+                f"policy {policy.name!r} implements neither decide() "
+                f"nor on_event()"
+            )
         self.policy = policy
         self.now = 0.0
         self.jobs: Dict[str, Job] = {
@@ -169,6 +209,22 @@ class Simulator:
         self.events = 0
         self.block_time_recomputes = 0
         self.block_time_reuses = 0
+        # Declarative decision machinery (see repro.sim.plan): the
+        # controller applies AllocationPlans; the cadence gates when
+        # the policy is consulted.
+        self.cadence = cadence if cadence is not None else EVERY_EVENT
+        self.controller = AllocationController(self)
+        # Which seam the policy implements, resolved once (the
+        # property does a type lookup; this runs every event).
+        self._policy_emits_plans = policy.emits_plans
+        self.decisions = 0
+        self._boundaries = 0          # blocks retired so far
+        self._decided_boundaries = -1  # _boundaries at the last decision
+        self._last_decision_at: Optional[float] = None
+        # Epoch batching: inside atomic_allocation() any number of
+        # mutations coalesce to a single epoch bump.
+        self._epoch_batch_depth = 0
+        self._epoch_batch_dirty = False
 
     # ------------------------------------------------------------------
     # Policy-facing API
@@ -193,18 +249,30 @@ class Simulator:
         if job.started_at is None:
             job.started_at = self.now
         self.running.append(job)
-        self._alloc_epoch += 1
+        self._bump_epoch()
         self.trace.log(self.now, TraceEvent.START, job.job_id,
                        f"tiles={tiles}")
 
-    def set_tiles(self, job: Job, tiles: int) -> None:
-        """Repartition a running job's tiles (charges migration stall)."""
+    def set_tiles(self, job: Job, tiles: int, charge: bool = True) -> bool:
+        """Repartition a running job's tiles.
+
+        ``charge=True`` (the legacy imperative seam) charges the
+        compute-migration stall here; the
+        :class:`~repro.sim.plan.AllocationController` passes
+        ``charge=False`` and accounts the cost centrally (with
+        same-instant dedupe).
+
+        Returns:
+            Whether the tile count actually changed — this is the
+            single source of no-op detection, shared by the
+            imperative seam and the controller's diffing.
+        """
         if job.phase is not JobPhase.RUNNING:
             raise SimulationError(f"{job.job_id} is not running")
         if tiles <= 0:
             raise SimulationError("tiles must be positive")
         if tiles == job.tiles:
-            return
+            return False
         extra = tiles - job.tiles
         if extra > self.free_tiles:
             raise SimulationError(
@@ -213,13 +281,27 @@ class Simulator:
             )
         job.tiles = tiles
         job.tile_repartitions += 1
-        self._alloc_epoch += 1
-        self.stall_job(job, self.policy.compute_reconfig_cycles)
+        self._bump_epoch()
+        if charge:
+            self.stall_job(job, self.policy.compute_reconfig_cycles)
         self.trace.log(self.now, TraceEvent.TILE_REPARTITION, job.job_id,
                        f"tiles={tiles}")
+        return True
 
-    def set_bw_cap(self, job: Job, cap: Optional[float]) -> None:
-        """Reconfigure a job's memory throttle (charges 5-10 cycles)."""
+    def set_bw_cap(
+        self, job: Job, cap: Optional[float], charge: bool = True
+    ) -> bool:
+        """Reconfigure a job's memory throttle.
+
+        ``charge=True`` (the legacy imperative seam) charges the 5-10
+        cycle DMA issue-rate update here; the
+        :class:`~repro.sim.plan.AllocationController` passes
+        ``charge=False`` and accounts the cost centrally.
+
+        Returns:
+            Whether the cap actually changed (same-value and
+            within-tolerance re-applications are no-ops).
+        """
         if job.phase is not JobPhase.RUNNING:
             raise SimulationError(f"{job.job_id} is not running")
         if cap is not None and cap <= 0:
@@ -229,15 +311,17 @@ class Simulator:
             old is not None and cap is not None
             and abs(old - cap) < 1e-9
         ):
-            return
+            return False
         job.bw_cap = cap
         job.bw_reconfigs += 1
-        self._alloc_epoch += 1
-        self.stall_job(job, self.policy.memory_reconfig_cycles)
+        self._bump_epoch()
+        if charge:
+            self.stall_job(job, self.policy.memory_reconfig_cycles)
         self.trace.log(
             self.now, TraceEvent.BW_RECONFIG, job.job_id,
             f"cap={'none' if cap is None else f'{cap:.2f}B/cyc'}",
         )
+        return True
 
     def preempt(self, job: Job) -> None:
         """Return a running job to the ready queue (block progress is
@@ -251,7 +335,7 @@ class Simulator:
         job.preemptions += 1
         self.ready.append(job)
         self.ready.sort(key=lambda j: (j.task.dispatch_cycle, j.job_id))
-        self._alloc_epoch += 1
+        self._bump_epoch()
         self.trace.log(self.now, TraceEvent.PREEMPT, job.job_id)
 
     def stall_job(self, job: Job, cycles: float) -> None:
@@ -265,7 +349,55 @@ class Simulator:
         if new_until > base:
             job.stall_cycles += new_until - base
             job.stall_until = new_until
+            self._bump_epoch()
+
+    # ------------------------------------------------------------------
+    # Allocation-epoch bookkeeping
+    # ------------------------------------------------------------------
+
+    def _bump_epoch(self) -> None:
+        """Invalidate the block-time cache (deferred inside a batch)."""
+        if self._epoch_batch_depth:
+            self._epoch_batch_dirty = True
+        else:
             self._alloc_epoch += 1
+
+    def _begin_allocation_batch(self) -> None:
+        """Enter a deferred-epoch batch (see :meth:`atomic_allocation`).
+
+        Paired with :meth:`_end_allocation_batch`; the controller
+        calls the pair directly because a contextmanager generator per
+        applied plan is measurable overhead on the engine's hottest
+        path.  This pair is the single source of the batching
+        semantics — :meth:`atomic_allocation` is sugar over it.
+        """
+        self._epoch_batch_depth += 1
+
+    def _end_allocation_batch(self) -> None:
+        """Leave a deferred-epoch batch; the outermost exit performs
+        the single coalesced epoch bump if anything mutated."""
+        self._epoch_batch_depth -= 1
+        if self._epoch_batch_depth == 0 and self._epoch_batch_dirty:
+            self._epoch_batch_dirty = False
+            self._alloc_epoch += 1
+
+    @contextmanager
+    def atomic_allocation(self) -> Iterator[None]:
+        """Coalesce every mutation inside the block into **one**
+        allocation-epoch bump (none at all if nothing mutated).
+
+        This is how the :class:`~repro.sim.plan.AllocationController`
+        applies a whole plan at the cost of a single cache
+        invalidation; the cache stays exact because the bump (when
+        any mutation occurred) still lands before the next
+        :meth:`current_block_times` call.  Re-entrant: nested blocks
+        defer to the outermost one.
+        """
+        self._begin_allocation_batch()
+        try:
+            yield
+        finally:
+            self._end_allocation_batch()
 
     # ------------------------------------------------------------------
     # Engine core
@@ -290,7 +422,8 @@ class Simulator:
                         f"at cycle {self.now:,.0f}"
                     )
                 self._dispatch_arrivals()
-                self.policy.on_event(self)
+                if self._should_decide():
+                    self._consult_policy()
                 self._validate()
                 dt = self._next_event_dt()
                 if dt is None:
@@ -315,8 +448,43 @@ class Simulator:
             events=self.events,
             block_time_recomputes=self.block_time_recomputes,
             block_time_reuses=self.block_time_reuses,
+            decisions=self.decisions,
+            plans_applied=self.controller.plans_applied,
+            plans_noop=self.controller.plans_noop,
+            plan_actions=self.controller.actions_applied,
             **cache_delta,
         )
+
+    def _should_decide(self) -> bool:
+        """Whether the cadence grants the policy this event.
+
+        Every cadence decides while nothing is running — a ready
+        queue with the whole SoC idle must never wait on a regulation
+        boundary that can no longer arrive.
+        """
+        mode = self.cadence.mode
+        if mode == "every-event":
+            return True
+        if not self.running:
+            return True
+        if mode == "block-boundary":
+            return self._boundaries != self._decided_boundaries
+        # "interval"
+        return (
+            self._last_decision_at is None
+            or self.now - self._last_decision_at >= self.cadence.interval
+        )
+
+    def _consult_policy(self) -> None:
+        """One decision point: collect the policy's plan and apply it
+        (or invoke a legacy imperative policy directly)."""
+        self.decisions += 1
+        self._decided_boundaries = self._boundaries
+        self._last_decision_at = self.now
+        if self._policy_emits_plans:
+            self.controller.apply(self.policy.decide(self))
+        else:
+            self.policy.on_event(self)
 
     def _dispatch_arrivals(self) -> None:
         """Move pending tasks whose dispatch time has come to READY."""
@@ -433,7 +601,7 @@ class Simulator:
             # A stall expiring re-activates the job: the arbiter's
             # active set changed even though no allocation call ran.
             if old_now < job.stall_until <= self.now:
-                self._alloc_epoch += 1
+                self._bump_epoch()
                 break
 
     def _process_completions(self) -> None:
@@ -443,7 +611,8 @@ class Simulator:
                 continue
             job.block_idx += 1
             job.progress = 0.0
-            self._alloc_epoch += 1
+            self._bump_epoch()
+            self._boundaries += 1
             self.trace.log(self.now, TraceEvent.BLOCK_DONE, job.job_id,
                            f"block={job.block_idx - 1}")
             if job.block_idx >= job.num_blocks:
@@ -476,8 +645,10 @@ def run_simulation(
     policy: Policy,
     mem: Optional[MemoryHierarchy] = None,
     trace: bool = False,
+    cadence: Optional[DecisionCadence] = None,
 ) -> SimResult:
     """Convenience wrapper: reset the policy, build and run a simulator."""
     policy.reset()
-    sim = Simulator(soc, tasks, policy, mem=mem, trace=trace)
+    sim = Simulator(soc, tasks, policy, mem=mem, trace=trace,
+                    cadence=cadence)
     return sim.run()

@@ -2,10 +2,22 @@
 
 A *policy* bundles everything above the hardware: the admission
 scheduler, the resource (tile / bandwidth) manager, and the costs its
-reconfigurations incur.  The engine calls :meth:`Policy.on_event` at
-every simulation event; the policy inspects the engine state and issues
-mutations through the engine's API (``start_job``, ``set_tiles``,
-``set_bw_cap``, ``preempt``, ``stall_job``).
+reconfigurations incur.  The seam is **declarative**: at every
+decision point (see :class:`repro.sim.plan.DecisionCadence`) the
+engine calls :meth:`Policy.decide`, which inspects engine state
+*without mutating it* and returns an
+:class:`~repro.sim.plan.AllocationPlan` — admissions, tile targets,
+bandwidth caps, preemptions.  The engine-side
+:class:`~repro.sim.plan.AllocationController` diffs the plan against
+live state, applies it atomically, and charges the reconfiguration
+costs centrally.
+
+Legacy imperative policies (overriding :meth:`Policy.on_event` and
+issuing ``sim.start_job`` / ``sim.set_tiles`` / ... directly) keep
+working: the engine falls back to ``on_event`` when ``decide`` is not
+overridden, and the default ``on_event`` bridges the other way for
+plan-emitting policies, so ``policy.on_event(sim)`` remains a valid
+way to drive either kind in tests.
 
 Reconfiguration costs (Section V-A):
 
@@ -21,6 +33,8 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING
 
+from repro.sim.plan import AllocationPlan
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
     from repro.sim.job import Job
@@ -35,6 +49,9 @@ MEMORY_RECONFIG_CYCLES = 8
 class Policy(abc.ABC):
     """Base class for multi-tenancy policies.
 
+    Subclasses implement :meth:`decide` (preferred, declarative) or
+    :meth:`on_event` (legacy, imperative) — at least one of the two.
+
     Attributes:
         name: Human-readable policy name (used in reports).
         compute_reconfig_cycles: Stall charged when a running job's
@@ -47,13 +64,39 @@ class Policy(abc.ABC):
     compute_reconfig_cycles: int = COMPUTE_RECONFIG_CYCLES
     memory_reconfig_cycles: int = MEMORY_RECONFIG_CYCLES
 
-    @abc.abstractmethod
-    def on_event(self, sim: "Simulator") -> None:
-        """React to a simulation event (dispatch/completion/stall/...).
+    def decide(self, sim: "Simulator") -> AllocationPlan:
+        """Compute this decision point's allocation plan.
 
-        Must be idempotent when called twice at the same instant with
-        unchanged state — the engine may invoke it on coincident events.
+        Must be a pure *read* of the engine (policy-internal state may
+        advance — scoreboards, caches — but no engine mutation); the
+        engine applies the returned plan through its
+        :class:`~repro.sim.plan.AllocationController`.  Returning
+        :data:`~repro.sim.plan.EMPTY_PLAN` (or ``None``) means "no
+        changes".
         """
+        raise NotImplementedError(
+            f"{type(self).__name__} implements neither decide() nor "
+            f"on_event(); policies must provide one of the two"
+        )
+
+    @property
+    def emits_plans(self) -> bool:
+        """Whether this policy implements the declarative seam."""
+        return type(self).decide is not Policy.decide
+
+    def on_event(self, sim: "Simulator") -> None:
+        """Legacy imperative seam: react to a simulation event.
+
+        Imperative policies override this and mutate the engine
+        directly (each mutation then charges its own cost and bumps
+        the allocation epoch, as before the declarative refactor).
+        The default implementation bridges plan-emitting policies:
+        it applies :meth:`decide`'s plan through the simulator's
+        controller, so driving either kind of policy via
+        ``policy.on_event(sim)`` is equivalent to one engine
+        decision point.
+        """
+        sim.controller.apply(self.decide(sim))
 
     def on_job_finished(self, sim: "Simulator", job: "Job") -> None:
         """Hook invoked right after a job completes."""

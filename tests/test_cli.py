@@ -120,6 +120,95 @@ class TestParserExitBehaviour:
             main(["sweep", "--scenarios", "no-such-scenario"])
         assert str(excinfo.value).startswith("sweep:")
 
+    @pytest.mark.parametrize("cadence", ["sometimes", "interval",
+                                         "interval:zero"])
+    def test_malformed_cadence_exits_cleanly(self, cadence, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["sweep", "--scenarios", "bursty-mixed",
+                 "--cadence", cadence]
+            )
+        assert excinfo.value.code == 2
+        assert "sweep: error:" in capsys.readouterr().err
+
+    def test_decisions_with_shard_rejected(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["sweep", "--scenarios", "bursty-mixed",
+                 "--shard", "1/2", "--out", str(tmp_path / "s"),
+                 "--decisions"]
+            )
+        assert "no effect with --shard" in str(excinfo.value)
+
+
+class TestScenarioGlobs:
+    """ISSUE satellite: --scenarios accepts glob patterns resolved
+    against the registry, refusing patterns that match nothing."""
+
+    def test_glob_expands_against_registry(self):
+        from repro.cli import _expand_scenario_patterns
+        from repro.scenarios import scenario_names
+
+        expanded = _expand_scenario_patterns(("ref-*-qos-h",))
+        assert expanded == [
+            n for n in scenario_names()
+            if n.startswith("ref-") and n.endswith("-qos-h")
+        ]
+        assert expanded  # the builtins guarantee matches
+
+    def test_plain_names_pass_through(self):
+        from repro.cli import _expand_scenario_patterns
+
+        assert _expand_scenario_patterns(
+            ("bursty-mixed", "diurnal-light")
+        ) == ["bursty-mixed", "diurnal-light"]
+
+    def test_overlapping_patterns_deduplicated(self):
+        from repro.cli import _expand_scenario_patterns
+
+        expanded = _expand_scenario_patterns(
+            ("bursty-*", "bursty-mixed")
+        )
+        assert expanded.count("bursty-mixed") == 1
+
+    def test_unmatched_pattern_named_in_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--scenarios", "bursty-*,nope-*,zilch-?"])
+        message = str(excinfo.value)
+        assert "'nope-*'" in message and "'zilch-?'" in message
+        assert "match no registered scenarios" in message
+
+    def test_glob_sweep_runs(self, capsys):
+        rc = main(
+            ["sweep", "--scenarios", "bursty-*", "--tasks", "6",
+             "--seeds", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bursty-mixed" in out and "bursty-rush" in out
+
+
+class TestCadenceCli:
+    def test_cadence_override_with_decisions_table(self, capsys):
+        rc = main(
+            ["sweep", "--scenarios", "ref-a-qos-m", "--tasks", "6",
+             "--seeds", "1", "--cadence", "block-boundary",
+             "--decisions"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "scenario ref-a-qos-m" in captured.out
+        assert "decisions" in captured.err  # telemetry table header
+
+    def test_explicit_every_event_matches_default(self, capsys):
+        base = ["sweep", "--scenarios", "ref-a-qos-m", "--tasks", "6",
+                "--seeds", "1"]
+        assert main(base) == 0
+        default_out = capsys.readouterr().out
+        assert main(base + ["--cadence", "every-event"]) == 0
+        explicit_out = capsys.readouterr().out
+        assert explicit_out == default_out
+
     def test_format_without_out_rejected(self):
         with pytest.raises(SystemExit) as excinfo:
             main(
