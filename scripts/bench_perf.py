@@ -28,6 +28,13 @@ the JSON records per-shard wall time — ``max_shard_seconds`` projects
 a 2-host run — so the shard-scaling trajectory is tracked alongside
 the single-host one.
 
+``robustness`` in the JSON records the supervised executor's
+trajectory: the same matrix through ``run_supervised`` (per-cell
+submission with retry/timeout bookkeeping) fault-free, its overhead
+ratio vs the plain parallel leg (informational, not gated), and the
+warm-pool's ``warmup_timeouts`` telemetry.  The supervised run's
+metrics must still be bit-identical to serial.
+
 ``decisions`` in the JSON records the decision-cadence trajectory:
 plans emitted/applied/no-op and the allocation-epoch cache reuse
 ratio under the every-event and block-boundary cadences (both pure
@@ -55,7 +62,11 @@ from typing import Dict, List, Optional
 from repro.config import DEFAULT_SOC
 from repro.core.latency import warm_network_cost_cache
 from repro.core.policy import MoCAPolicy
-from repro.experiments.parallel import ParallelRunner, matrices_identical
+from repro.experiments.parallel import (
+    ParallelRunner,
+    Supervision,
+    matrices_identical,
+)
 from repro.experiments.results import (
     DECISION_COUNTER_FIELDS,
     SweepResults,
@@ -265,8 +276,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     # cannot leak into the workers and subsidise the parallel leg.
     runner = ParallelRunner(workers=args.workers or None)
     warm_pids = runner.start_pool(specs)
+    warmup_timeouts = runner.last_warmup_timeouts
     print(
         f"pool warmed: {len(warm_pids)} worker(s), "
+        f"{warmup_timeouts} warmup timeout(s), "
         f"start_method={start_method}",
         file=sys.stderr,
     )
@@ -290,6 +303,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"(workers={runner.workers}, mode={parallel_mode}, "
         f"cost cache {cell_cache['cost_cache_hits']} hits / "
         f"{cell_cache['cost_cache_misses']} misses)",
+        file=sys.stderr,
+    )
+
+    # Robustness trajectory: the same matrix through the supervised
+    # executor (per-cell submission, retry/timeout bookkeeping, cell
+    # journaling hooks) with no faults injected.  The ratio vs the
+    # plain parallel leg is the pure supervision overhead —
+    # informational, not gated, but tracked so a regression in the
+    # supervisor's dispatch loop shows up in the trajectory.
+    t0 = time.perf_counter()
+    supervised_acc = runner.run_supervised(
+        specs, supervision=Supervision(backoff_base=0.0)
+    )
+    supervised_s = time.perf_counter() - t0
+    supervised_mode = runner.last_mode
+    supervised_identical = matrices_identical(
+        serial_matrix, supervised_acc.matrix()
+    )
+    supervision_overhead = (
+        supervised_s / parallel_s if parallel_s > 0 else float("inf")
+    )
+    print(
+        f"supervised matrix: {supervised_s:6.2f}s "
+        f"(mode={supervised_mode}, "
+        f"x{supervision_overhead:.2f} vs plain parallel, "
+        f"degraded={supervised_acc.degraded})",
         file=sys.stderr,
     )
 
@@ -345,6 +384,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "workers": runner.workers,
             "mode": parallel_mode,
             "warmed_workers": len(warm_pids),
+            "warmup_timeouts": warmup_timeouts,
             "worker_pids_seen": parallel_pids,
             "cache": cell_cache,
             "cell_seconds_min": round(cell_seconds[0], 3),
@@ -375,6 +415,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         },
         "engine": engine,
         "decisions": decisions,
+        "robustness": {
+            "supervised_seconds": round(supervised_s, 3),
+            "mode": supervised_mode,
+            "overhead_vs_parallel": round(supervision_overhead, 3),
+            "identical_metrics": supervised_identical,
+            "degraded": supervised_acc.degraded,
+            "warmup_timeouts": warmup_timeouts,
+            "note": (
+                "fault-free supervised executor vs plain parallel; "
+                "the overhead ratio is informational (not gated)"
+            ),
+        },
         "gate": {
             "applies": gate_applies,
             "passed": gate_ok,
@@ -400,6 +452,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not shards_identical:
         print(
             "FAIL: sharded merge metrics differ from serial",
+            file=sys.stderr,
+        )
+        return 1
+    if not supervised_identical or supervised_acc.degraded:
+        print(
+            "FAIL: fault-free supervised run diverged from serial",
             file=sys.stderr,
         )
         return 1

@@ -58,10 +58,15 @@ echo "every-event cadence byte-identical"
 echo "== shard/merge identity (2 shards -> merge vs unsharded, byte-exact) =="
 # ISSUE acceptance gate: running the same sweep as two shard partials
 # and merging them must write byte-identical JSON/CSV/manifest
-# artifacts to the unsharded serial run above.
+# artifacts to the unsharded serial run above.  Shard 1 additionally
+# runs with a deterministic first-attempt worker crash injected: the
+# supervisor must retry the cell on a rebuilt pool and the merged
+# exports must *still* be byte-identical (retry determinism).
 python -m repro.cli sweep \
     --scenarios bursty-mixed,diurnal-light \
     --tasks 16 --seeds 1,2 --workers 2 \
+    --inject-faults 'crash:cells=3:attempts=1' \
+    --max-retries 2 --retry-backoff 0.05 \
     --shard 1/2 --out "$EXPORT_TMP/shards"
 python -m repro.cli sweep \
     --scenarios bursty-mixed,diurnal-light \
@@ -71,5 +76,35 @@ python -m repro.cli merge "$EXPORT_TMP/shards" \
     --out "$EXPORT_TMP/merged" --format json,csv
 diff -r "$EXPORT_TMP/merged" "$EXPORT_TMP/serial"
 echo "sharded merge byte-identical"
+
+echo "== fault tolerance (poison crash -> exit 3 -> resume, byte-exact) =="
+# ISSUE acceptance gate: a sweep with an injected unrecoverable worker
+# crash must quarantine the poisoned cells and exit 3 (degraded)
+# leaving a checkpoint journal; 'sweep --resume' without the fault
+# plan must finish the sweep with exit 0 and write exports
+# byte-identical to the fault-free serial reference above.
+rc=0
+python -m repro.cli sweep \
+    --scenarios bursty-mixed,diurnal-light \
+    --tasks 16 --seeds 1,2 --workers 2 \
+    --inject-faults 'crash:cells=2:attempts=all' \
+    --max-retries 1 --retry-backoff 0.05 \
+    --out "$EXPORT_TMP/faulted" --format json,csv || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "FAIL: degraded sweep exited $rc, expected 3" >&2
+    exit 1
+fi
+if [ ! -f "$EXPORT_TMP/faulted/cells.jsonl" ]; then
+    echo "FAIL: degraded sweep left no checkpoint journal" >&2
+    exit 1
+fi
+python -m repro.cli sweep --resume "$EXPORT_TMP/faulted" \
+    --workers 2 --format json,csv
+if [ -f "$EXPORT_TMP/faulted/cells.jsonl" ]; then
+    echo "FAIL: completed resume did not remove the journal" >&2
+    exit 1
+fi
+diff -r "$EXPORT_TMP/faulted" "$EXPORT_TMP/serial"
+echo "crash -> resume byte-identical"
 
 echo "CI OK"

@@ -13,8 +13,18 @@ Usage::
     python -m repro.cli sweep --scenarios bursty-mixed --cadence block-boundary
     python -m repro.cli sweep --scenarios bursty-mixed --out results/ --format json,csv
     python -m repro.cli sweep --scenarios bursty-mixed --shard 1/2 --out shards/
+    python -m repro.cli sweep --scenarios bursty-mixed --out r/ --max-retries 3 --cell-timeout 600
+    python -m repro.cli sweep --resume r/     # re-run only the missing cells
     python -m repro.cli merge shards/ --out merged/
     python -m repro.cli all       # everything, EXPERIMENTS.md style
+
+Sweep exit codes (stable, scriptable)::
+
+    0   complete — every cell ran to a result
+    3   degraded — the sweep finished, but persistently failing
+        cells were quarantined (re-run them with sweep --resume DIR)
+    1   hard error — usage errors, refused directories, unreadable
+        artifacts; nothing was partially delivered
 """
 
 from __future__ import annotations
@@ -133,6 +143,23 @@ def _parse_cadence(text: str):
 #: Supported sweep export format names.
 _EXPORT_FORMATS = ("json", "csv")
 
+#: ``sweep`` exit codes — documented in the module docstring and the
+#: README's "Failure semantics" section; asserted in tests/test_cli.py.
+EXIT_OK = 0
+EXIT_HARD_ERROR = 1
+EXIT_DEGRADED = 3
+
+
+def _parse_fault_plan(text: str):
+    """Parse ``--inject-faults`` (see repro.experiments.faults) with
+    clean argparse errors for malformed specs."""
+    from repro.experiments.faults import FaultPlan
+
+    try:
+        return FaultPlan.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
 
 def _parse_formats(text: str) -> Tuple[str, ...]:
     """Parse ``--format json,csv`` (deduplicated, order preserved)."""
@@ -197,10 +224,20 @@ def _ensure_out_dir(out_dir, force: bool, prog: str,
     if out.exists() and not force and not allow_non_empty:
         existing = sorted(p.name for p in out.iterdir())
         if existing:
+            from repro.experiments.sharding import JOURNAL_NAME
+
+            hint = "pass --force to overwrite"
+            if JOURNAL_NAME in existing:
+                hint = (
+                    f"an interrupted sweep left a checkpoint journal "
+                    f"here — continue it with "
+                    f"'sweep --resume {out}', or pass --force to "
+                    f"start over"
+                )
             raise SystemExit(
                 f"{prog}: output directory {out} already contains "
                 f"{len(existing)} entr{'y' if len(existing) == 1 else 'ies'} "
-                f"(e.g. {existing[0]!r}); pass --force to overwrite"
+                f"(e.g. {existing[0]!r}); {hint}"
             )
     if create:
         out.mkdir(parents=True, exist_ok=True)
@@ -226,7 +263,14 @@ def _clean_out_dir(out_dir) -> None:
     import json
     from pathlib import Path
 
+    from repro.experiments.sharding import JOURNAL_NAME
+
     out = Path(out_dir)
+    # The checkpoint journal is this tool's own scaffolding — a
+    # --force restart abandons the interrupted sweep it belongs to.
+    journal = out / JOURNAL_NAME
+    if journal.is_file():
+        journal.unlink()
     manifest_path = out / "manifest.json"
     if not manifest_path.is_file():
         return
@@ -311,21 +355,159 @@ def _write_sweep_exports(
     return written
 
 
-def _run_sweep(args) -> str:
+def _build_supervision(args):
+    """Build the :class:`~repro.experiments.parallel.Supervision`
+    policy from the sweep flags (clean one-line errors for bad
+    values)."""
+    from repro.experiments.parallel import Supervision
+
+    try:
+        return Supervision(
+            max_retries=args.max_retries,
+            cell_timeout=args.cell_timeout,
+            backoff_base=args.retry_backoff,
+            fault_plan=args.inject_faults,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"sweep: {exc}") from exc
+
+
+def _failure_report(acc, out_dir=None) -> str:
+    """Human summary of a degraded sweep: what was quarantined, why,
+    and how to heal it."""
+    lines = [
+        f"sweep degraded: {len(acc)} of {acc.expected} cells "
+        f"completed, {len(acc.failures())} quarantined:"
+    ]
+    for f in acc.failures():
+        lines.append(
+            f"  cell {f.index:>4d}  {f.label}/{f.policy}/seed {f.seed}"
+            f"  [{f.kind}] after {f.attempts} attempt(s): {f.message}"
+        )
+    if out_dir is not None:
+        lines.append(
+            f"completed cells are checkpointed; re-run the rest with: "
+            f"sweep --resume {out_dir}"
+        )
+    return "\n".join(lines)
+
+
+def _ordered_manifest_policies(manifest, prog: str):
+    """Factories for the manifest's policies, in manifest order (the
+    order defines the cell flattening)."""
+    from repro.experiments.runner import default_policies
+
+    policies = default_policies()
+    missing = [p for p in manifest["policies"] if p not in policies]
+    if missing:
+        raise SystemExit(
+            f"{prog}: manifest names unknown polic"
+            f"{'y' if len(missing) == 1 else 'ies'} {missing}; this "
+            f"build provides {sorted(policies)}"
+        )
+    return {name: policies[name] for name in manifest["policies"]}
+
+
+def _supervised_sweep(specs, args, out=None, manifest=None, acc=None,
+                      indices=None) -> Tuple[object, int]:
+    """Run ``specs`` under supervision, journaling into ``out`` when
+    exporting.  Shared by the fresh-sweep and resume paths.
+
+    Returns ``(accumulator, exit_code)``; when the accumulator is
+    complete the caller owns writing exports (the journal is already
+    discarded so the directory matches a fault-free run's bytes).
+    """
+    from repro.config import DEFAULT_SOC
+    from repro.experiments.parallel import ParallelRunner
+    from repro.experiments.results import cell_manifest
+    from repro.experiments.sharding import CellJournal
+    from repro.reporting import decision_summary
+
+    supervision = _build_supervision(args)
+    plan = supervision.fault_plan
+    journal = None
+    on_cell = on_failure = None
+    if out is not None:
+        if manifest is None:
+            manifest = cell_manifest(specs)
+        out.mkdir(parents=True, exist_ok=True)
+        if args.force:
+            from repro.experiments.sharding import JOURNAL_NAME
+
+            stale = out / JOURNAL_NAME
+            if stale.is_file():
+                stale.unlink()
+        try:
+            journal = CellJournal.open(out, manifest, DEFAULT_SOC)
+        except ValueError as exc:
+            raise SystemExit(f"sweep: {exc}") from exc
+
+        def on_cell(cell):
+            journal.append_cell(
+                cell,
+                corrupt=plan.corrupts(cell.index)
+                if plan is not None else False,
+            )
+
+        on_failure = journal.append_failure
+    policies = (
+        _ordered_manifest_policies(manifest, "sweep")
+        if manifest is not None else None
+    )
+    runner = ParallelRunner(workers=args.workers or None)
+    try:
+        acc = runner.run_supervised(
+            specs, policies, indices=indices,
+            supervision=supervision, acc=acc,
+            on_cell=on_cell, on_failure=on_failure,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    if args.decisions:
+        print(decision_summary(acc.cells()), file=sys.stderr)
+    if acc.complete and journal is not None:
+        journal.discard()
+    return acc, (EXIT_OK if acc.complete else EXIT_DEGRADED)
+
+
+def _run_sweep(args) -> Tuple[str, int]:
     """The ``sweep`` subcommand: registry scenarios -> summary tables,
-    optionally exported as per-scenario JSON/CSV artifacts."""
+    optionally exported as per-scenario JSON/CSV artifacts.
+
+    Returns ``(text, exit_code)`` — exit codes per the module
+    docstring (0 complete / 3 degraded / 1 hard error, the last via
+    SystemExit)."""
     from dataclasses import replace
 
-    from repro.experiments.runner import run_matrix
     from repro.reporting import per_scenario_summary
     from repro.scenarios import format_scenario_table, get_scenario
 
     if args.list_scenarios:
-        return format_scenario_table()
+        return format_scenario_table(), EXIT_OK
+    if args.resume is not None:
+        blocked = [
+            (flag, value)
+            for flag, value in (
+                ("--scenarios", args.scenarios or None),
+                ("--shard", args.shard),
+                ("--tasks", args.tasks),
+                ("--seeds", args.seeds),
+                ("--cadence", args.cadence),
+            )
+            if value is not None
+        ]
+        if blocked:
+            raise SystemExit(
+                f"sweep: {blocked[0][0]} cannot be combined with "
+                f"--resume (the sweep's manifest already pins the "
+                f"scenarios and overrides)"
+            )
+        return _run_sweep_resume(args)
     if not args.scenarios:
         raise SystemExit(
-            "sweep: pass --scenarios NAME[,NAME...] or --list "
-            "(e.g. --scenarios bursty-mixed,diurnal-light)"
+            "sweep: pass --scenarios NAME[,NAME...], --resume DIR or "
+            "--list (e.g. --scenarios bursty-mixed,diurnal-light)"
         )
     if args.workers < 0:
         raise SystemExit("sweep: --workers must be >= 0 (0 = one per CPU)")
@@ -376,38 +558,37 @@ def _run_sweep(args) -> str:
         raise SystemExit(f"sweep: {exc}") from exc
     if args.shard is not None:
         return _run_sweep_shard(specs, args)
+    out = None
     if args.out is not None:
         # Vet the destination and export names BEFORE the
         # (potentially long) sweep so a refusal cannot discard
-        # completed results — but create nothing yet: a sweep that
-        # fails mid-run must not leave a stray empty directory.
-        _ensure_out_dir(args.out, args.force, "sweep", create=False)
+        # completed results.  The directory itself is created by the
+        # supervised run (the checkpoint journal needs it): an
+        # interrupted sweep deliberately leaves the journal behind
+        # for ``sweep --resume``.
+        out = _ensure_out_dir(args.out, args.force, "sweep",
+                              create=False)
         _check_export_stems(spec.label for spec in specs)
-    if args.decisions:
-        # Decision telemetry lives on the per-cell stream; route the
-        # run through the streaming executor (bit-identical to the
-        # serial path — workers=1 streams serially in-process).
-        from repro.experiments.parallel import ParallelRunner
-        from repro.reporting import decision_summary
-
-        runner = ParallelRunner(workers=args.workers or None)
-        matrix = runner.run_matrix(specs)
-        print(decision_summary(runner.last_cells), file=sys.stderr)
-    else:
-        matrix = run_matrix(specs, workers=args.workers)
-    if args.out is not None:
+    # Every sweep runs supervised: cell failures are retried with
+    # backoff and — when persistent — quarantined, so one poison cell
+    # degrades the sweep (exit 3) instead of aborting it.
+    acc, code = _supervised_sweep(specs, args, out=out)
+    if code != EXIT_OK:
+        return _failure_report(acc, out_dir=out), code
+    matrix = acc.matrix()
+    if out is not None:
         written = _write_sweep_exports(
-            matrix, specs, args.out, args.formats or _EXPORT_FORMATS,
+            matrix, specs, out, args.formats or _EXPORT_FORMATS,
             clean=args.force,
         )
         print(
             f"sweep: wrote {len(written)} file(s) to {args.out}",
             file=sys.stderr,
         )
-    return per_scenario_summary(matrix)
+    return per_scenario_summary(matrix), EXIT_OK
 
 
-def _run_sweep_shard(specs, args) -> str:
+def _run_sweep_shard(specs, args) -> Tuple[str, int]:
     """``sweep --shard I/N``: run one shard, write its partial artifact.
 
     Every shard of the same sweep must be invoked with identical
@@ -415,6 +596,11 @@ def _run_sweep_shard(specs, args) -> str:
     ``merge`` refuses partials whose digests differ.  Partial files
     are named ``partial-I-of-N.json`` (1-based, matching the --shard
     notation) so any number of shards can share one directory.
+
+    Shards run supervised too: a quarantined cell lands in the
+    partial's ``failures`` list (and exits 3) instead of stranding
+    the whole shard — the merge then points at the failures rather
+    than mistaking them for an absent host.
     """
     from repro.experiments.results import cell_manifest
     from repro.experiments.sharding import partial_to_json, run_shard
@@ -431,7 +617,8 @@ def _run_sweep_shard(specs, args) -> str:
             f"sweep: {path} already exists; pass --force to overwrite"
         )
     partial = run_shard(
-        manifest, shard_index, num_shards, workers=args.workers
+        manifest, shard_index, num_shards, workers=args.workers,
+        supervision=_build_supervision(args),
     )
     out.mkdir(parents=True, exist_ok=True)
     path.write_text(partial_to_json(partial))
@@ -440,13 +627,148 @@ def _run_sweep_shard(specs, args) -> str:
         f"sweep: wrote shard partial {path}",
         file=sys.stderr,
     )
-    return (
+    failed = len(partial["failures"])
+    status = (
         f"shard {shard_index + 1}/{num_shards}: "
         f"{len(partial['cells'])} of {len(manifest['cells'])} cells "
         f"(cost {shard['cost']}) in {shard['wall_seconds']:.2f}s, "
         f"mode={shard['mode']}\n"
         f"manifest digest {partial['manifest_digest'][:12]}"
     )
+    if failed:
+        status += (
+            f"\n{failed} cell(s) quarantined in this shard (recorded "
+            f"in {path.name}); re-run the shard with --force after "
+            f"fixing, or heal the merge with sweep --resume"
+        )
+        return status, EXIT_DEGRADED
+    return status, EXIT_OK
+
+
+def _run_sweep_resume(args) -> Tuple[str, int]:
+    """``sweep --resume DIR``: finish an interrupted or degraded sweep.
+
+    Reconstructs the sweep from what DIR holds — ``manifest.json``
+    (or the checkpoint journal's embedded manifest), any
+    ``partial-*.json`` shard artifacts, and the ``cells.jsonl``
+    journal — then re-runs *only* the still-missing cells
+    (quarantined failures included) and writes the full exports.
+    Everything is digest-checked against the manifest, so resuming
+    against the wrong directory (or a tampered journal) is refused
+    up front.  By retry-determinism the final exports are
+    byte-identical to an uninterrupted fault-free sweep.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.experiments.results import SweepResults
+    from repro.experiments.sharding import (
+        JOURNAL_NAME,
+        CellJournal,
+        manifest_digest,
+        manifest_specs,
+        partial_from_json,
+    )
+    from repro.reporting import per_scenario_summary
+
+    out = Path(args.resume)
+    if not out.is_dir():
+        raise SystemExit(f"sweep: --resume {out} is not a directory")
+    if args.workers < 0:
+        raise SystemExit("sweep: --workers must be >= 0 (0 = one per CPU)")
+    journal_path = out / JOURNAL_NAME
+    partial_files = sorted(out.glob("partial-*.json"))
+    manifest_path = out / "manifest.json"
+    manifest = None
+    if manifest_path.is_file():
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except ValueError as exc:
+            raise SystemExit(
+                f"sweep: {manifest_path} is not valid JSON ({exc})"
+            ) from exc
+    elif journal_path.is_file():
+        try:
+            manifest = CellJournal._read_header(journal_path)["manifest"]
+        except ValueError as exc:
+            raise SystemExit(f"sweep: {exc}") from exc
+    if manifest is None and not partial_files:
+        raise SystemExit(
+            f"sweep: nothing to resume in {out} (no manifest.json, "
+            f"no {JOURNAL_NAME}, no partial-*.json)"
+        )
+    partials = []
+    for path in partial_files:
+        try:
+            partials.append(partial_from_json(path.read_text()))
+        except ValueError as exc:
+            raise SystemExit(f"sweep: {path}: {exc}") from exc
+    if manifest is None:
+        manifest = partials[0]["manifest"]
+    try:
+        specs = manifest_specs(manifest)
+    except ValueError as exc:
+        raise SystemExit(f"sweep: {out}: {exc}") from exc
+    digest = manifest_digest(manifest)
+    for path, partial in zip(partial_files, partials):
+        if partial["manifest_digest"] != digest:
+            raise SystemExit(
+                f"sweep: {path} belongs to a different sweep "
+                f"(manifest digest {partial['manifest_digest'][:12]} "
+                f"vs {digest[:12]})"
+            )
+    if partials:
+        try:
+            acc = SweepResults.from_partials(
+                partials, require_complete=False
+            )
+        except ValueError as exc:
+            raise SystemExit(f"sweep: {out}: {exc}") from exc
+    else:
+        acc = SweepResults(specs, list(manifest["policies"]))
+    if journal_path.is_file():
+        import dataclasses as _dc
+
+        from repro.config import DEFAULT_SOC
+
+        try:
+            cells, failures, _skipped = CellJournal.read(
+                journal_path, digest, _dc.asdict(DEFAULT_SOC)
+            )
+        except ValueError as exc:
+            raise SystemExit(f"sweep: {exc}") from exc
+        for cell in cells:
+            if not acc.has_cell(cell.index):
+                acc.add(cell)
+        for failure in failures:
+            acc.add_failure(failure)
+    todo = acc.missing_indices()
+    print(
+        f"sweep: resuming {out}: {len(acc)} of {acc.expected} cells "
+        f"checkpointed, {len(acc.failed_indices())} quarantined, "
+        f"re-running {len(todo)}",
+        file=sys.stderr,
+    )
+    if todo:
+        acc, code = _supervised_sweep(
+            specs, args, out=out, manifest=manifest, acc=acc,
+            indices=todo,
+        )
+        if code != EXIT_OK:
+            return _failure_report(acc, out_dir=out), code
+    elif journal_path.is_file():
+        # Fully checkpointed — only the exports were lost.
+        CellJournal(journal_path, digest).discard()
+    matrix = acc.matrix()
+    written = _write_sweep_exports(
+        matrix, specs, out, args.formats or _EXPORT_FORMATS,
+        policies=list(manifest["policies"]),
+    )
+    print(
+        f"sweep: wrote {len(written)} file(s) to {out}",
+        file=sys.stderr,
+    )
+    return per_scenario_summary(matrix), EXIT_OK
 
 
 def _run_merge(args) -> str:
@@ -627,6 +949,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="replace the prior export artifacts in --out DIR (the "
              "files its manifest.json names) instead of refusing",
     )
+    p_sweep.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="finish an interrupted or degraded sweep: fold DIR's "
+             "checkpoint journal and/or shard partials, re-run only "
+             "the missing cells, and write the full exports "
+             "(byte-identical to an uninterrupted run); mutually "
+             "exclusive with --scenarios/--shard and the scenario "
+             "overrides",
+    )
+    p_sweep.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="retry attempts per cell before quarantining it "
+             "(default 2; 0 = no retries)",
+    )
+    p_sweep.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock limit per cell; an overrunning cell's "
+             "worker is killed and the cell retried/quarantined "
+             "(default: none; needs --workers >= 2)",
+    )
+    p_sweep.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base of the exponential retry backoff "
+             "(delay = SECONDS * 2^attempt; default 0.5)",
+    )
+    p_sweep.add_argument(
+        "--inject-faults", type=_parse_fault_plan, default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for testing failure "
+             "paths, e.g. 'crash:cells=2', "
+             "'transient:rate=0.25:seed=7:attempts=all', "
+             "'hang:cells=1:seconds=30'; rules separated by ';' "
+             "(see repro.experiments.faults)",
+    )
 
     p_merge = sub.add_parser(
         "merge",
@@ -699,6 +1055,7 @@ def _format_models() -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     start = time.time()
+    exit_code = EXIT_OK
 
     if args.command == "fig1":
         print(format_fig1(run_fig1(trials=args.trials, seed=args.seed)))
@@ -720,7 +1077,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "models":
         print(_format_models())
     elif args.command == "sweep":
-        print(_run_sweep(args))
+        text, exit_code = _run_sweep(args)
+        print(text)
     elif args.command == "merge":
         print(_run_merge(args))
     elif args.command == "sweeps":
@@ -755,7 +1113,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_validation(run_validation()))
     print(f"\n[{args.command} completed in {time.time() - start:.1f}s]",
           file=sys.stderr)
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -34,11 +34,14 @@ from repro.scenarios import ScenarioLike, ScenarioSpec, resolve_scenarios
 __all__ = [
     "CACHE_COUNTER_FIELDS",
     "DECISION_COUNTER_FIELDS",
+    "CellFailure",
     "CellResult",
     "SweepResults",
     "cell_from_dict",
     "cell_manifest",
     "cell_to_dict",
+    "failure_from_dict",
+    "failure_to_dict",
 ]
 
 #: Engine/decision telemetry threaded from each cell's
@@ -107,6 +110,81 @@ class CellResult:
     plan_actions: int = 0
 
 
+#: The failure classes the supervised executor distinguishes.
+FAILURE_KINDS = ("error", "crash", "timeout")
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Structured record of a cell that exhausted its retry budget.
+
+    The graceful-degradation counterpart of :class:`CellResult`: a
+    persistently failing ("poison") cell is quarantined as one of
+    these instead of aborting the sweep, keeping the identifying
+    coordinates so a resume can re-run exactly this cell from its
+    spec.
+
+    Attributes:
+        index: Global submission index of the failed cell.
+        spec_index: Index of the cell's scenario in the sweep's spec
+            list.
+        label: Scenario label.
+        policy: Policy name.
+        seed: Workload seed.
+        kind: Failure class — ``"error"`` (the cell raised),
+            ``"crash"`` (its worker process died), or ``"timeout"``
+            (it exceeded the wall-clock cell timeout).
+        attempts: Execution attempts made before quarantine.
+        message: Human-readable description of the final failure.
+    """
+
+    index: int
+    spec_index: int
+    label: str
+    policy: str
+    seed: int
+    kind: str
+    attempts: int
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ValueError(
+                f"unknown failure kind {self.kind!r}; choose from "
+                f"{', '.join(FAILURE_KINDS)}"
+            )
+        if self.attempts < 1:
+            raise ValueError("a failure records >= 1 attempts")
+
+
+def failure_to_dict(failure: CellFailure) -> dict:
+    """A :class:`CellFailure` as JSON-ready primitives."""
+    return {
+        "index": failure.index,
+        "spec_index": failure.spec_index,
+        "label": failure.label,
+        "policy": failure.policy,
+        "seed": failure.seed,
+        "kind": failure.kind,
+        "attempts": failure.attempts,
+        "message": failure.message,
+    }
+
+
+def failure_from_dict(payload: dict) -> CellFailure:
+    """Rebuild a :class:`CellFailure` from :func:`failure_to_dict`."""
+    return CellFailure(
+        index=payload["index"],
+        spec_index=payload["spec_index"],
+        label=payload["label"],
+        policy=payload["policy"],
+        seed=payload["seed"],
+        kind=payload["kind"],
+        attempts=payload["attempts"],
+        message=payload["message"],
+    )
+
+
 class SweepResults:
     """Incremental, completion-order-independent sweep accumulator.
 
@@ -116,6 +194,15 @@ class SweepResults:
     once all expected cells have arrived.  Duplicate or unexpected
     cells fail loudly — silent double-aggregation would corrupt the
     per-seed tuples.
+
+    Quarantined cells arrive as :class:`CellFailure` records via
+    :meth:`add_failure` instead of aborting the sweep; a later
+    successful re-run of the same cell (retry determinism: the cell
+    is re-run from its spec, so the result is what it always was)
+    simply replaces the failure.  :attr:`complete` remains "every
+    cell has a *result*" — failures never count toward completion,
+    they only explain it; :attr:`degraded` distinguishes "finished
+    but quarantined cells remain" from a sweep still missing work.
 
     Attributes:
         specs: Resolved scenario specs, in sweep order.
@@ -142,6 +229,7 @@ class SweepResults:
             for seed in spec.seeds
         ]
         self._cells: Dict[int, CellResult] = {}
+        self._failures: Dict[int, CellFailure] = {}
 
     def __len__(self) -> int:
         return len(self._cells)
@@ -155,8 +243,17 @@ class SweepResults:
     def complete(self) -> bool:
         return len(self._cells) == len(self._slots)
 
+    @property
+    def degraded(self) -> bool:
+        """Whether quarantined failures stand in for missing cells."""
+        return not self.complete and bool(self._failures)
+
     def add(self, cell: CellResult) -> None:
-        """Fold one completed cell in (any order, exactly once)."""
+        """Fold one completed cell in (any order, exactly once).
+
+        A successful cell supersedes any quarantined failure recorded
+        at the same index — a resumed re-run heals the sweep.
+        """
         if not 0 <= cell.index < len(self._slots):
             raise ValueError(
                 f"cell index {cell.index} outside sweep of "
@@ -171,14 +268,52 @@ class SweepResults:
         if cell.index in self._cells:
             raise ValueError(f"duplicate cell {cell.index}")
         self._cells[cell.index] = cell
+        self._failures.pop(cell.index, None)
+
+    def add_failure(self, failure: CellFailure) -> None:
+        """Record a quarantined cell (validated against the sweep
+        shape like :meth:`add`).
+
+        A failure for a cell that already has a successful result is
+        discarded (the result wins — e.g. a stale failure record from
+        a pre-resume checkpoint).  A repeated failure for the same
+        index keeps the latest record.
+        """
+        if not 0 <= failure.index < len(self._slots):
+            raise ValueError(
+                f"failure index {failure.index} outside sweep of "
+                f"{len(self._slots)} cells"
+            )
+        expected = self._slots[failure.index]
+        got = (failure.spec_index, failure.policy, failure.seed)
+        if got != expected:
+            raise ValueError(
+                f"failure {failure.index} is {got}, expected {expected}"
+            )
+        if failure.index in self._cells:
+            return
+        self._failures[failure.index] = failure
+
+    def has_cell(self, index: int) -> bool:
+        """Whether a successful result for ``index`` is folded in."""
+        return index in self._cells
 
     def cells(self) -> List[CellResult]:
         """Accumulated cells, sorted back into submission order."""
         return [self._cells[i] for i in sorted(self._cells)]
 
+    def failures(self) -> List[CellFailure]:
+        """Quarantined failures, sorted by cell index."""
+        return [self._failures[i] for i in sorted(self._failures)]
+
+    def failed_indices(self) -> List[int]:
+        """Global indices holding a failure record (and no result)."""
+        return sorted(self._failures)
+
     def missing_indices(self) -> List[int]:
-        """Global indices of cells not yet folded in (gap detection
-        for the shard merge path)."""
+        """Global indices of cells not yet folded in — gap detection
+        for the shard merge path, and the re-run list for resume.
+        Quarantined cells count as missing (a resume re-runs them)."""
         return [
             i for i in range(len(self._slots)) if i not in self._cells
         ]
@@ -213,9 +348,14 @@ class SweepResults:
 
         if not self.complete:
             missing = self.missing_indices()
+            quarantined = (
+                f", {len(self._failures)} of them quarantined failures"
+                if self._failures else ""
+            )
             raise ValueError(
                 f"sweep incomplete: {len(missing)} of "
-                f"{len(self._slots)} cells missing (first: {missing[:5]})"
+                f"{len(self._slots)} cells missing "
+                f"(first: {missing[:5]}){quarantined}"
             )
         by_slot: Dict[Tuple[int, str], List[MetricsSummary]] = {}
         for index, (spec_idx, policy, _seed) in enumerate(self._slots):

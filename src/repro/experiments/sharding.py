@@ -44,20 +44,29 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
+import sys
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SoCConfig
 from repro.experiments.results import (
+    CellFailure,
     SweepResults,
     cell_from_dict,
     cell_manifest,
     cell_to_dict,
+    failure_from_dict,
+    failure_to_dict,
 )
 from repro.scenarios import ScenarioSpec
 
 __all__ = [
+    "JOURNAL_FORMAT",
+    "JOURNAL_NAME",
+    "CellJournal",
     "PARTIAL_FORMAT",
     "ShardPlan",
     "manifest_digest",
@@ -70,6 +79,12 @@ __all__ = [
 
 #: Format tag of shard partial artifacts.
 PARTIAL_FORMAT = "repro-sweep-partial/1"
+
+#: Format tag of the per-cell checkpoint journal.
+JOURNAL_FORMAT = "repro-sweep-journal/1"
+
+#: File name of the journal inside a sweep export directory.
+JOURNAL_NAME = "cells.jsonl"
 
 
 def _shard_label(index: int, count: int) -> str:
@@ -210,6 +225,7 @@ def run_shard(
     soc: Optional[SoCConfig] = None,
     workers: int = 1,
     runner=None,
+    supervision=None,
 ) -> dict:
     """Execute one shard of a manifest and return its partial artifact.
 
@@ -232,6 +248,14 @@ def run_shard(
         workers: Worker processes for this shard's cells (ignored
             when ``runner`` is given).
         runner: Optional pre-built/pre-warmed ``ParallelRunner``.
+        supervision: Optional
+            :class:`~repro.experiments.parallel.Supervision` —
+            routes the shard through
+            :meth:`~repro.experiments.parallel.ParallelRunner.
+            run_supervised`, so a poison cell quarantines into the
+            partial's ``failures`` list (exit-code 3 at the CLI)
+            instead of aborting the shard.  Without it the shard runs
+            the plain streaming path and any cell error aborts.
     """
     from repro.config import DEFAULT_SOC
     from repro.experiments.parallel import ParallelRunner
@@ -256,10 +280,19 @@ def run_shard(
     if runner is None:
         runner = ParallelRunner(workers=workers or None)
     t0 = time.perf_counter()
-    cells = sorted(
-        runner.iter_cells(specs, ordered, soc, indices=indices),
-        key=lambda c: c.index,
-    )
+    failures: List[CellFailure] = []
+    if supervision is not None:
+        acc = runner.run_supervised(
+            specs, ordered, soc, indices=indices,
+            supervision=supervision,
+        )
+        cells = acc.cells()
+        failures = acc.failures()
+    else:
+        cells = sorted(
+            runner.iter_cells(specs, ordered, soc, indices=indices),
+            key=lambda c: c.index,
+        )
     wall_seconds = time.perf_counter() - t0
     return {
         "format": PARTIAL_FORMAT,
@@ -280,6 +313,11 @@ def run_shard(
             "mode": runner.last_mode,
         },
         "cells": [cell_to_dict(c) for c in cells],
+        # Quarantined cells (supervised runs only; empty otherwise).
+        # Merge treats them as "failed", distinct from "missing": a
+        # failed cell was attempted and gave up, a missing cell was
+        # never supplied by any partial.
+        "failures": [failure_to_dict(f) for f in failures],
     }
 
 
@@ -318,6 +356,12 @@ def _validate_partial_shape(partial: dict) -> None:
             "malformed partial document (wrongly typed manifest/"
             "manifest_digest/soc/cells)"
         )
+    # "failures" arrived with the fault-tolerance layer; absent (old
+    # artifacts) means "none recorded".
+    if not isinstance(partial.get("failures", []), list):
+        raise ValueError(
+            "malformed partial document (wrongly typed 'failures')"
+        )
     shard = partial["shard"]
     if (
         not isinstance(shard, dict)
@@ -346,6 +390,253 @@ def partial_from_json(text: str) -> dict:
         )
     _validate_partial_shape(payload)
     return payload
+
+
+class CellJournal:
+    """Append-only per-cell checkpoint for crash-resumable sweeps.
+
+    A supervised ``sweep --out DIR`` appends one line per settled cell
+    (result or quarantined failure) to ``DIR/cells.jsonl`` *as it
+    settles*, so a sweep killed mid-flight — parent crash, OOM kill,
+    Ctrl-C — strands no finished work: ``sweep --resume DIR`` replays
+    the journal and re-runs only what is genuinely missing.
+
+    Integrity model: torn and damaged lines are expected (that is what
+    a crash leaves behind), so every line carries a SHA-256 of its
+    canonical payload JSON.  The reader verifies each line and *skips*
+    what fails — a corrupt journal line degrades to a re-run of that
+    cell, never to silently wrong bytes in the export.  The header
+    line binds the journal to its sweep (manifest digest) and hardware
+    model (SoC), so a resume against the wrong directory is refused
+    before any simulation time is spent.
+
+    The journal is scaffolding, not an artifact: a sweep that reaches
+    a complete export deletes it (:meth:`discard`), keeping export
+    directories byte-comparable with fault-free runs.
+    """
+
+    def __init__(self, path: Path, digest: str) -> None:
+        self.path = Path(path)
+        self.digest = digest
+        self._fh = None
+
+    # -- writing -------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, out_dir, manifest: dict, soc: SoCConfig
+    ) -> "CellJournal":
+        """Open (or start) the journal for ``out_dir``.
+
+        A fresh sweep writes the header; a resume validates the
+        existing header (digest + SoC) and appends after it.
+        """
+        digest = manifest_digest(manifest)
+        path = Path(out_dir) / JOURNAL_NAME
+        journal = cls(path, digest)
+        soc_dict = dataclasses.asdict(soc)
+        if path.exists():
+            # Replaying first (via read()) is the caller's job; here
+            # we only refuse to append to a foreign journal.
+            header = cls._read_header(path)
+            if header["manifest_digest"] != digest:
+                raise ValueError(
+                    f"journal {path} belongs to a different sweep "
+                    f"(manifest digest {header['manifest_digest'][:12]} "
+                    f"vs {digest[:12]})"
+                )
+            if header["soc"] != soc_dict:
+                raise ValueError(
+                    f"journal {path} was recorded under a different "
+                    f"SoC configuration"
+                )
+            journal._fh = path.open("ab")
+        else:
+            journal._fh = path.open("wb")
+            # The full manifest rides in the header: a sweep killed
+            # before export time leaves *only* the journal behind, and
+            # resume must still be able to rebuild the specs.
+            header = {
+                "format": JOURNAL_FORMAT,
+                "manifest_digest": digest,
+                "manifest": manifest,
+                "soc": soc_dict,
+            }
+            journal._append("header", header)
+        return journal
+
+    def _append(
+        self, kind: str, data: dict, corrupt_seed: Optional[int] = None
+    ) -> None:
+        """Write one checksummed line (checksum of the *canonical*
+        payload, computed before any injected corruption — so injected
+        damage is guaranteed to be detectable)."""
+        from repro.experiments.faults import corrupt_bytes
+
+        data_json = json.dumps(
+            data, sort_keys=True, separators=(",", ":")
+        )
+        digest = hashlib.sha256(data_json.encode()).hexdigest()
+        payload = data_json.encode()
+        if corrupt_seed is not None:
+            payload = corrupt_bytes(payload, seed=corrupt_seed)
+        line = (
+            b'{"kind":"' + kind.encode()
+            + b'","sha256":"' + digest.encode()
+            + b'","data":' + payload + b"}\n"
+        )
+        self._fh.write(line)
+        self._fh.flush()
+
+    def append_cell(self, cell, corrupt: bool = False) -> None:
+        """Checkpoint a completed cell (``corrupt`` is the fault
+        harness's hook: damage this line's payload bytes on disk)."""
+        self._append(
+            "cell", cell_to_dict(cell),
+            corrupt_seed=cell.index if corrupt else None,
+        )
+
+    def append_failure(self, failure: CellFailure) -> None:
+        """Checkpoint a quarantined failure."""
+        self._append("failure", failure_to_dict(failure))
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+            self._fh = None
+
+    def discard(self) -> None:
+        """Delete the journal (the sweep's export is complete — the
+        scaffolding must not make the directory differ from a
+        fault-free run's)."""
+        self.close()
+        if self.path.exists():
+            self.path.unlink()
+
+    def __enter__(self) -> "CellJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------
+
+    @staticmethod
+    def _read_header(path: Path) -> dict:
+        with path.open("rb") as fh:
+            first = fh.readline()
+        header = CellJournal._verify_line(first)
+        if (
+            header is None
+            or header[0] != "header"
+            or header[1].get("format") != JOURNAL_FORMAT
+            or not isinstance(header[1].get("manifest_digest"), str)
+            or not isinstance(header[1].get("manifest"), dict)
+            or not isinstance(header[1].get("soc"), dict)
+            or manifest_digest(header[1]["manifest"])
+            != header[1]["manifest_digest"]
+        ):
+            raise ValueError(
+                f"{path} is not a readable {JOURNAL_FORMAT} journal "
+                f"(corrupt or foreign header); delete it to start "
+                f"the sweep over"
+            )
+        return header[1]
+
+    @staticmethod
+    def _verify_line(raw: bytes):
+        """Parse + checksum one line; ``None`` if it fails either."""
+        try:
+            entry = json.loads(raw)
+        except ValueError:
+            return None
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("kind"), str)
+            or not isinstance(entry.get("sha256"), str)
+            or "data" not in entry
+        ):
+            return None
+        canonical = json.dumps(
+            entry["data"], sort_keys=True, separators=(",", ":")
+        )
+        if hashlib.sha256(canonical.encode()).hexdigest() != entry["sha256"]:
+            return None
+        return entry["kind"], entry["data"]
+
+    @classmethod
+    def read(
+        cls,
+        path,
+        expected_digest: Optional[str] = None,
+        expected_soc: Optional[dict] = None,
+    ) -> Tuple[list, List[CellFailure], int]:
+        """Replay a journal: ``(cells, failures, skipped_lines)``.
+
+        Damaged lines (torn writes, flipped bytes — anything whose
+        checksum or JSON fails) are counted in ``skipped_lines`` and
+        otherwise ignored: those cells simply stay missing and get
+        re-run.  A bad *header* is a hard ``ValueError`` — without it
+        the journal cannot be tied to a sweep, so resuming from it
+        would be a guess.  Duplicate entries for a cell keep the first
+        (journal order is settle order; a later duplicate only arises
+        from a resume replaying work, which by retry-determinism is
+        bit-identical anyway).  A cell that has both a result and a
+        failure entry resolves to the result — success supersedes.
+        """
+        path = Path(path)
+        header = cls._read_header(path)
+        if (
+            expected_digest is not None
+            and header["manifest_digest"] != expected_digest
+        ):
+            raise ValueError(
+                f"journal {path} belongs to a different sweep "
+                f"(manifest digest {header['manifest_digest'][:12]} "
+                f"vs {expected_digest[:12]})"
+            )
+        if expected_soc is not None and header["soc"] != expected_soc:
+            raise ValueError(
+                f"journal {path} was recorded under a different SoC "
+                f"configuration"
+            )
+        cells: Dict[int, object] = {}
+        failures: Dict[int, CellFailure] = {}
+        skipped = 0
+        with path.open("rb") as fh:
+            fh.readline()  # header, already verified
+            for raw in fh:
+                verified = cls._verify_line(raw)
+                if verified is None:
+                    skipped += 1
+                    continue
+                kind, data = verified
+                try:
+                    if kind == "cell":
+                        cell = cell_from_dict(data)
+                        cells.setdefault(cell.index, cell)
+                    elif kind == "failure":
+                        failure = failure_from_dict(data)
+                        failures.setdefault(failure.index, failure)
+                    else:
+                        skipped += 1
+                except (KeyError, TypeError, ValueError):
+                    skipped += 1
+        if skipped:
+            print(
+                f"journal: skipped {skipped} damaged line(s) in "
+                f"{path}; the affected cells will be re-run",
+                file=sys.stderr,
+            )
+        for index in cells:
+            failures.pop(index, None)
+        return (
+            [cells[i] for i in sorted(cells)],
+            [failures[i] for i in sorted(failures)],
+            skipped,
+        )
 
 
 def merge_partials(
@@ -453,7 +744,11 @@ def merge_partials(
             )
         try:
             cells = [cell_from_dict(c) for c in partial["cells"]]
-        except (KeyError, TypeError) as exc:
+            failures = [
+                failure_from_dict(f)
+                for f in partial.get("failures", [])
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
             # Keep corruption failures in the same ValueError family
             # as every other refusal (the CLI maps those to clean
             # one-line errors).
@@ -461,24 +756,31 @@ def merge_partials(
                 f"shard {_shard_label(shard['index'], count)}: "
                 f"malformed cell payload ({exc!r})"
             ) from exc
-        if sorted(c.index for c in cells) != sorted(shard["cell_indices"]):
+        covered = sorted(
+            [c.index for c in cells] + [f.index for f in failures]
+        )
+        if covered != sorted(shard["cell_indices"]):
             raise ValueError(
                 f"shard {_shard_label(shard['index'], count)}: cells "
-                f"present do not match its declared slice (truncated "
-                f"artifact?)"
+                f"present (succeeded + quarantined) do not match its "
+                f"declared slice (truncated artifact?)"
             )
-        for cell in cells:
-            if cell.index in owner:
+        for index in covered:
+            if index in owner:
                 raise ValueError(
-                    f"cell {cell.index} appears in shard "
-                    f"{_shard_label(owner[cell.index], count)} and "
+                    f"cell {index} appears in shard "
+                    f"{_shard_label(owner[index], count)} and "
                     f"shard {_shard_label(shard['index'], count)} "
                     f"— overlapping partials"
                 )
-            owner[cell.index] = shard["index"]
+            owner[index] = shard["index"]
+        for cell in cells:
             acc.add(cell)
+        for failure in failures:
+            acc.add_failure(failure)
     if require_complete and not acc.complete:
         missing = acc.missing_indices()
+        failed = acc.failed_indices()
         absent = [
             _shard_label(s, count)
             for s in range(plan.num_shards)
@@ -486,7 +788,8 @@ def merge_partials(
         ]
         raise ValueError(
             f"merge incomplete: {len(missing)} of {acc.expected} "
-            f"cells missing (first: {missing[:5]}); absent shard(s): "
-            f"{absent}"
+            f"cells missing (first: {missing[:5]}), {len(failed)} of "
+            f"them quarantined failures; absent shard(s): {absent}; "
+            f"quarantined cells can be re-run with sweep --resume"
         )
     return acc

@@ -513,3 +513,193 @@ class TestShardMergeCli:
         ]) == 0
         with pytest.raises(SystemExit, match="different sweeps"):
             main(["merge", str(shards)])
+
+
+class TestSweepExitCodes:
+    """ISSUE satellite: documented sweep exit codes — 0 complete,
+    3 degraded (quarantined cells), 1 hard error."""
+
+    def test_constants(self):
+        from repro.cli import EXIT_DEGRADED, EXIT_HARD_ERROR, EXIT_OK
+
+        assert (EXIT_OK, EXIT_HARD_ERROR, EXIT_DEGRADED) == (0, 1, 3)
+
+    def test_complete_sweep_exits_0(self, capsys):
+        assert main([
+            "sweep", "--scenarios", "ref-a-qos-m",
+            "--tasks", "8", "--seeds", "1",
+        ]) == 0
+        assert "ref-a-qos-m" in capsys.readouterr().out
+
+    def test_degraded_sweep_exits_3_with_failure_table(self, capsys):
+        rc = main([
+            "sweep", "--scenarios", "ref-a-qos-m",
+            "--tasks", "8", "--seeds", "1",
+            "--inject-faults", "transient:cells=1:attempts=all",
+            "--max-retries", "0", "--retry-backoff", "0",
+        ])
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "sweep degraded: 3 of 4 cells completed" in out
+        assert "cell    1" in out
+        assert "[error]" in out
+
+    def test_usage_error_is_systemexit(self):
+        """Hard errors surface as SystemExit with a message — the
+        interpreter maps that to exit code 1."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep"])
+        assert excinfo.value.code not in (0, 3)
+
+    def test_malformed_inject_faults_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["sweep", "--scenarios", "x",
+                 "--inject-faults", "explode:cells=1"]
+            )
+        assert excinfo.value.code == 2
+        assert "explode" in capsys.readouterr().err
+
+    def test_bad_supervision_values_rejected(self):
+        with pytest.raises(SystemExit, match="max_retries"):
+            main([
+                "sweep", "--scenarios", "ref-a-qos-m",
+                "--tasks", "8", "--seeds", "1",
+                "--max-retries", "-1",
+            ])
+
+
+class TestSweepResumeCli:
+    """`sweep --resume DIR` (ISSUE tentpole): crash-resumable sweeps
+    with byte-identical exports."""
+
+    BASE = [
+        "sweep", "--scenarios", "ref-a-qos-m",
+        "--tasks", "8", "--seeds", "1",
+    ]
+
+    def _dir_bytes(self, path):
+        return {
+            p.name: p.read_bytes() for p in sorted(path.iterdir())
+        }
+
+    def test_degraded_resume_exports_byte_identical(
+        self, tmp_path, capsys
+    ):
+        """ISSUE acceptance: fault -> exit 3 + journal -> resume ->
+        exit 0, export bytes identical to a fault-free run."""
+        ref = tmp_path / "ref"
+        assert main(self.BASE + ["--out", str(ref)]) == 0
+        faulted = tmp_path / "faulted"
+        rc = main(self.BASE + [
+            "--out", str(faulted),
+            "--inject-faults", "transient:cells=2:attempts=all",
+            "--max-retries", "0", "--retry-backoff", "0",
+        ])
+        assert rc == 3
+        # Degraded: only the checkpoint journal, no half exports.
+        assert sorted(p.name for p in faulted.iterdir()) == [
+            "cells.jsonl"
+        ]
+        assert "--resume" in capsys.readouterr().out
+        assert main(["sweep", "--resume", str(faulted)]) == 0
+        err = capsys.readouterr().err
+        assert "re-running 1" in err
+        assert self._dir_bytes(faulted) == self._dir_bytes(ref)
+
+    def test_resume_after_export_is_idempotent(self, tmp_path):
+        out = tmp_path / "done"
+        assert main(self.BASE + ["--out", str(out)]) == 0
+        before = self._dir_bytes(out)
+        assert main(["sweep", "--resume", str(out)]) == 0
+        assert self._dir_bytes(out) == before
+
+    def test_resume_refuses_scenario_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="--scenarios"):
+            main([
+                "sweep", "--resume", str(tmp_path),
+                "--scenarios", "ref-a-qos-m",
+            ])
+        with pytest.raises(SystemExit, match="--tasks"):
+            main(["sweep", "--resume", str(tmp_path), "--tasks", "8"])
+
+    def test_resume_non_directory_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a directory"):
+            main(["sweep", "--resume", str(tmp_path / "absent")])
+
+    def test_resume_empty_dir_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="nothing to resume"):
+            main(["sweep", "--resume", str(tmp_path)])
+
+    def test_interrupted_dir_hint_mentions_resume(self, tmp_path):
+        out = tmp_path / "faulted"
+        assert main(self.BASE + [
+            "--out", str(out),
+            "--inject-faults", "transient:cells=0:attempts=all",
+            "--max-retries", "0", "--retry-backoff", "0",
+        ]) == 3
+        with pytest.raises(SystemExit, match="--resume"):
+            main(self.BASE + ["--out", str(out)])
+
+    def test_force_discards_stale_journal(self, tmp_path):
+        out = tmp_path / "faulted"
+        assert main(self.BASE + [
+            "--out", str(out),
+            "--inject-faults", "transient:cells=0:attempts=all",
+            "--max-retries", "0", "--retry-backoff", "0",
+        ]) == 3
+        assert (out / "cells.jsonl").exists()
+        assert main(self.BASE + ["--out", str(out), "--force"]) == 0
+        assert not (out / "cells.jsonl").exists()
+
+    def test_resume_foreign_journal_refused(self, tmp_path):
+        out = tmp_path / "faulted"
+        assert main(self.BASE + [
+            "--out", str(out),
+            "--inject-faults", "transient:cells=0:attempts=all",
+            "--max-retries", "0", "--retry-backoff", "0",
+        ]) == 3
+        # A manifest.json from a *different* sweep alongside the
+        # journal: the digests disagree, resume must refuse.
+        other = tmp_path / "other"
+        assert main([
+            "sweep", "--scenarios", "ref-a-qos-m",
+            "--tasks", "9", "--seeds", "1", "--out", str(other),
+        ]) == 0
+        import shutil
+
+        shutil.copy(other / "manifest.json", out / "manifest.json")
+        with pytest.raises(SystemExit, match="different sweep"):
+            main(["sweep", "--resume", str(out)])
+
+
+@pytest.mark.slow
+class TestDegradedShardResumeCli:
+    def test_degraded_shard_partial_heals_via_resume(self, tmp_path):
+        """A quarantined cell inside a shard partial (exit 3) is
+        healed by resuming the shard directory; merge of the healthy
+        partials alone refuses with a resume hint."""
+        base = [
+            "sweep", "--scenarios", "ref-a-qos-m",
+            "--tasks", "8", "--seeds", "1,2",
+        ]
+        shards = tmp_path / "shards"
+        rc = main(base + [
+            "--shard", "1/2", "--out", str(shards),
+            "--inject-faults", "transient:cells=0:attempts=all",
+            "--max-retries", "0", "--retry-backoff", "0",
+        ])
+        assert rc == 3
+        assert main(
+            base + ["--shard", "2/2", "--out", str(shards)]
+        ) == 0
+        with pytest.raises(SystemExit, match="resume"):
+            main(["merge", str(shards)])
+        assert main(["sweep", "--resume", str(shards)]) == 0
+        unsharded = tmp_path / "unsharded"
+        assert main(base + ["--out", str(unsharded)]) == 0
+        for name in ("manifest.json", "ref-a-qos-m.json",
+                     "ref-a-qos-m.csv"):
+            assert (shards / name).read_bytes() == (
+                unsharded / name
+            ).read_bytes(), name

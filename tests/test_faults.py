@@ -1,0 +1,187 @@
+"""Tests for the deterministic fault-injection harness (ISSUE
+tentpole): plan parsing, rule selection/attempt gating determinism,
+process-scoped activation, and the corruption helper."""
+
+import pytest
+
+from repro.experiments.faults import (
+    ALL_ATTEMPTS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultRule,
+    clear_plan,
+    corrupt_bytes,
+    install_plan,
+    installed_plan,
+    maybe_inject,
+)
+from repro.sim.engine import SimulationError
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_plan():
+    """Every test starts and ends with no plan installed."""
+    clear_plan()
+    yield
+    clear_plan()
+
+
+class TestFaultRule:
+    def test_explicit_cells_select_exactly(self):
+        rule = FaultRule(kind="transient", cells=(2, 5))
+        assert [i for i in range(8) if rule.selects(i)] == [2, 5]
+
+    def test_rate_selection_deterministic(self):
+        rule = FaultRule(kind="transient", rate=0.5, seed=7)
+        picks = [rule.selects(i) for i in range(200)]
+        assert picks == [rule.selects(i) for i in range(200)]
+        # A 0.5 rate over 200 cells hits a plausible fraction of them.
+        assert 50 < sum(picks) < 150
+
+    def test_rate_selection_seed_sensitive(self):
+        a = FaultRule(kind="transient", rate=0.5, seed=1)
+        b = FaultRule(kind="transient", rate=0.5, seed=2)
+        assert [a.selects(i) for i in range(100)] != [
+            b.selects(i) for i in range(100)
+        ]
+
+    def test_attempt_gating(self):
+        first_only = FaultRule(kind="transient", cells=(0,), attempts=1)
+        assert first_only.fires(0, 0)
+        assert not first_only.fires(0, 1)
+        two = FaultRule(kind="transient", cells=(0,), attempts=2)
+        assert two.fires(0, 1)
+        assert not two.fires(0, 2)
+        poison = FaultRule(
+            kind="transient", cells=(0,), attempts=ALL_ATTEMPTS
+        )
+        assert all(poison.fires(0, attempt) for attempt in range(10))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(kind="nonsense", cells=(0,)),
+            dict(kind="transient"),  # neither cells nor rate
+            dict(kind="transient", rate=1.5),
+            dict(kind="transient", rate=-0.1),
+            dict(kind="transient", cells=()),
+            dict(kind="transient", cells=(-1,)),
+            dict(kind="transient", cells=(0,), attempts=-1),
+            dict(kind="hang", cells=(0,), seconds=0),
+        ],
+    )
+    def test_invalid_rules_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultRule(**kwargs)
+
+
+class TestFaultPlanParse:
+    def test_every_kind_parses(self):
+        for kind in FAULT_KINDS:
+            plan = FaultPlan.parse(f"{kind}:cells=1")
+            assert plan.rules[0].kind == kind
+
+    def test_full_grammar(self):
+        plan = FaultPlan.parse(
+            "crash:cells=2,5:attempts=all;"
+            "transient:rate=0.25:seed=7:attempts=2;"
+            "hang:cells=1:seconds=30"
+        )
+        crash, transient, hang = plan.rules
+        assert crash.cells == (2, 5)
+        assert crash.attempts == ALL_ATTEMPTS
+        assert transient.rate == 0.25
+        assert transient.seed == 7
+        assert transient.attempts == 2
+        assert hang.seconds == 30.0
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan.parse(
+            "crash:cells=3;transient:cells=3:attempts=all"
+        )
+        assert plan.fault_for(3, 0).kind == "crash"
+        # crash gates on attempts=1; the second rule takes over after.
+        assert plan.fault_for(3, 1).kind == "transient"
+
+    def test_corrupt_never_fires_at_execution_time(self):
+        plan = FaultPlan.parse("corrupt:cells=1")
+        assert plan.fault_for(1, 0) is None
+        assert plan.corrupts(1)
+        assert not plan.corrupts(0)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "crash:cells=2;;transient:cells=0",
+            "crash:cells",
+            "explode:cells=1",
+            "crash:cells=x",
+            "transient:rate=lots",
+            "crash:cells=1:volume=11",
+            "transient:cells=1:attempts=sometimes",
+        ],
+    )
+    def test_malformed_specs_rejected_with_fragment(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+    def test_plans_pickle_and_compare_by_value(self):
+        import pickle
+
+        plan = FaultPlan.parse("crash:cells=2;transient:rate=0.5")
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestActivation:
+    def test_no_plan_is_a_noop(self):
+        assert installed_plan() is None
+        maybe_inject(0, 0)  # must not raise
+
+    def test_transient_fires_in_any_process(self):
+        install_plan(FaultPlan.parse("transient:cells=3"), in_worker=False)
+        maybe_inject(2, 0)  # unselected cell: no-op
+        with pytest.raises(SimulationError, match="cell 3, attempt 0"):
+            maybe_inject(3, 0)
+        maybe_inject(3, 1)  # attempts=1: retry is clean
+
+    def test_crash_and_hang_suppressed_outside_workers(self):
+        """A pool-targeted plan must not kill (or stall) the parent
+        process or a serial run."""
+        install_plan(
+            FaultPlan.parse("crash:cells=0;hang:cells=1:seconds=3600"),
+            in_worker=False,
+        )
+        maybe_inject(0, 0)  # would os._exit in a worker
+        maybe_inject(1, 0)  # would sleep an hour in a worker
+
+    def test_clear_plan(self):
+        install_plan(FaultPlan.parse("transient:cells=0"), in_worker=True)
+        assert installed_plan() is not None
+        clear_plan()
+        assert installed_plan() is None
+        maybe_inject(0, 0)
+
+
+class TestCorruptBytes:
+    def test_deterministic_and_damaging(self):
+        data = b'{"index": 3, "policy": "moca"}'
+        out = corrupt_bytes(data, seed=3)
+        assert out != data
+        assert len(out) == len(data)
+        assert out == corrupt_bytes(data, seed=3)
+
+    def test_seed_varies_damage(self):
+        data = b"0123456789" * 4
+        assert corrupt_bytes(data, seed=1) != corrupt_bytes(data, seed=2)
+
+    def test_never_touches_newlines(self):
+        """Corruption must damage a journal line's content, not its
+        framing — a flipped newline would merge two lines."""
+        data = b"abc\ndef\nghi"
+        for seed in range(32):
+            out = corrupt_bytes(data, seed=seed)
+            assert out.count(b"\n") == data.count(b"\n")
+
+    def test_empty_input_unchanged(self):
+        assert corrupt_bytes(b"") == b""

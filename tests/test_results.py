@@ -339,3 +339,76 @@ class TestEngineCacheCounters:
             latency._CACHE_STATS[probe] += 1
         assert frame[probe] == 2
         assert all(v >= 0 for v in frame.values())
+
+
+class TestCellFailure:
+    """CellFailure records (ISSUE tentpole): quarantine bookkeeping on
+    the accumulator and the serialization round-trip."""
+
+    @staticmethod
+    def _failure(index=0, **overrides):
+        from repro.experiments.results import CellFailure
+
+        acc = SweepResults(SPECS, list(default_policies()))
+        spec_index, policy, seed = acc._slots[index]
+        base = dict(
+            index=index, spec_index=spec_index,
+            label=SPECS[spec_index].label, policy=policy, seed=seed,
+            kind="error", attempts=1, message="boom",
+        )
+        base.update(overrides)
+        return CellFailure(**base)
+
+    def test_invalid_kind_and_attempts_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            self._failure(kind="melted")
+        with pytest.raises(ValueError, match="attempts"):
+            self._failure(attempts=0)
+
+    def test_dict_round_trip(self):
+        from repro.experiments.results import (
+            failure_from_dict,
+            failure_to_dict,
+        )
+
+        failure = self._failure(index=2, kind="timeout", attempts=3)
+        payload = json.loads(json.dumps(failure_to_dict(failure)))
+        assert failure_from_dict(payload) == failure
+
+    def test_add_failure_validates_like_add(self):
+        import dataclasses
+
+        acc = SweepResults(SPECS, list(default_policies()))
+        outside = dataclasses.replace(self._failure(index=0), index=10**6)
+        with pytest.raises(ValueError, match="outside sweep"):
+            acc.add_failure(outside)
+        with pytest.raises(ValueError, match="expected"):
+            acc.add_failure(self._failure(index=0, seed=999))
+
+    def test_degraded_flag_and_missing_semantics(self):
+        acc = SweepResults(SPECS, list(default_policies()))
+        assert not acc.degraded
+        failure = self._failure(index=1)
+        acc.add_failure(failure)
+        assert acc.degraded
+        assert acc.failed_indices() == [1]
+        # Quarantined cells count as missing: resume re-runs them.
+        assert 1 in acc.missing_indices()
+
+    def test_success_supersedes_failure(self):
+        runner = ParallelRunner(workers=1)
+        cells = list(runner.iter_cells(SPECS))
+        acc = SweepResults(SPECS, list(default_policies()))
+        acc.add_failure(self._failure(index=0))
+        acc.add(next(c for c in cells if c.index == 0))
+        assert acc.failed_indices() == []
+        # ... and a stale failure arriving after the result is dropped.
+        acc.add_failure(self._failure(index=0))
+        assert acc.failed_indices() == []
+        assert acc.has_cell(0)
+
+    def test_incomplete_matrix_error_counts_quarantined(self):
+        acc = SweepResults(SPECS, list(default_policies()))
+        acc.add_failure(self._failure(index=1))
+        with pytest.raises(ValueError, match="quarantined"):
+            acc.matrix()

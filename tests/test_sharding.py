@@ -17,8 +17,11 @@ from repro.experiments.results import (
     cell_to_dict,
 )
 from repro.experiments.runner import default_policies, run_matrix
+from repro.experiments.faults import FaultPlan
 from repro.experiments.sharding import (
+    JOURNAL_NAME,
     PARTIAL_FORMAT,
+    CellJournal,
     ShardPlan,
     manifest_digest,
     manifest_specs,
@@ -434,3 +437,231 @@ class TestIterCellsIndices:
             list(runner.iter_cells(SPECS, indices=[0, 999]))
         with pytest.raises(ValueError, match="duplicate"):
             list(runner.iter_cells(SPECS, indices=[1, 1]))
+
+
+class TestShardFailures:
+    """Partials carry quarantined failures (ISSUE tentpole): merge
+    distinguishes 'failed' from 'missing'."""
+
+    @pytest.fixture(scope="class")
+    def degraded_partial(self, manifest):
+        from repro.experiments.parallel import Supervision
+
+        return run_shard(
+            manifest, 0, 1,
+            supervision=Supervision(
+                max_retries=0, backoff_base=0.0,
+                fault_plan=FaultPlan.parse(
+                    "transient:cells=0:attempts=all"
+                ),
+            ),
+        )
+
+    def test_supervised_shard_quarantines_into_partial(
+        self, degraded_partial, manifest
+    ):
+        (failure,) = degraded_partial["failures"]
+        assert failure["index"] == 0
+        assert failure["kind"] == "error"
+        covered = sorted(
+            [c["index"] for c in degraded_partial["cells"]]
+            + [f["index"] for f in degraded_partial["failures"]]
+        )
+        assert covered == list(range(len(manifest["cells"])))
+
+    def test_degraded_partial_round_trips(self, degraded_partial):
+        back = partial_from_json(partial_to_json(degraded_partial))
+        assert back == degraded_partial
+
+    def test_merge_folds_failures_as_failed_not_missing(
+        self, degraded_partial
+    ):
+        acc = merge_partials([degraded_partial], require_complete=False)
+        assert acc.failed_indices() == [0]
+        assert acc.degraded
+        # ... and a complete merge refuses, pointing at resume.
+        with pytest.raises(ValueError, match="resume"):
+            merge_partials([degraded_partial])
+
+    def test_unsupervised_shard_records_no_failures(self, partials):
+        assert all(p["failures"] == [] for p in partials)
+
+    def test_legacy_partials_without_failures_key_accepted(
+        self, partials, serial_matrix
+    ):
+        legacy = [copy.deepcopy(p) for p in partials]
+        for p in legacy:
+            del p["failures"]
+        acc = merge_partials(legacy)
+        assert acc.matrix() == serial_matrix
+
+    def test_wrongly_typed_failures_rejected(self, partials):
+        bad = copy.deepcopy(partials[0])
+        bad["failures"] = "nope"
+        with pytest.raises(ValueError, match="failures"):
+            partial_from_json(partial_to_json(bad))
+
+    def test_failure_outside_slice_rejected(self, partials):
+        bad = copy.deepcopy(partials[0])
+        bad["failures"] = [
+            dict(
+                index=10**6, spec_index=0, label="x", policy="moca",
+                seed=1, kind="error", attempts=1, message="m",
+            )
+        ]
+        with pytest.raises(ValueError, match="declared slice"):
+            merge_partials([bad], require_complete=False)
+
+
+class TestCellJournal:
+    """The crash-resume checkpoint journal: per-line checksums,
+    corruption degrades to a re-run, headers bind to the sweep."""
+
+    @pytest.fixture()
+    def soc_dict(self):
+        import dataclasses
+
+        from repro.config import DEFAULT_SOC
+
+        return dataclasses.asdict(DEFAULT_SOC)
+
+    @pytest.fixture()
+    def cells(self, partials):
+        return [cell_from_dict(c) for c in partials[0]["cells"]]
+
+    def _open(self, tmp_path, manifest):
+        from repro.config import DEFAULT_SOC
+
+        return CellJournal.open(tmp_path, manifest, DEFAULT_SOC)
+
+    def test_round_trip_exact(self, tmp_path, manifest, cells, soc_dict):
+        from repro.experiments.results import CellFailure
+
+        # Quarantine an index the cells don't cover (a journaled
+        # success would supersede the failure on replay).
+        free = next(
+            i for i in range(len(manifest["cells"]))
+            if i not in {c.index for c in cells}
+        )
+        entry = manifest["cells"][free]
+        failure = CellFailure(
+            index=free, spec_index=entry["spec_index"],
+            label=SPECS[entry["spec_index"]].label,
+            policy=entry["policy"], seed=entry["seed"], kind="crash",
+            attempts=2, message="boom",
+        )
+        with self._open(tmp_path, manifest) as journal:
+            for cell in cells:
+                journal.append_cell(cell)
+            journal.append_failure(failure)
+        back_cells, back_failures, skipped = CellJournal.read(
+            tmp_path / JOURNAL_NAME,
+            manifest_digest(manifest), soc_dict,
+        )
+        assert skipped == 0
+        assert back_cells == sorted(cells, key=lambda c: c.index)
+        assert back_failures == [failure]
+
+    def test_corrupted_line_skipped_not_trusted(
+        self, tmp_path, manifest, cells, soc_dict, capsys
+    ):
+        with self._open(tmp_path, manifest) as journal:
+            journal.append_cell(cells[0])
+            journal.append_cell(cells[1], corrupt=True)
+        back, _, skipped = CellJournal.read(
+            tmp_path / JOURNAL_NAME,
+            manifest_digest(manifest), soc_dict,
+        )
+        assert skipped == 1
+        assert [c.index for c in back] == [cells[0].index]
+        assert "re-run" in capsys.readouterr().err
+
+    def test_torn_tail_skipped(self, tmp_path, manifest, cells, soc_dict):
+        path = tmp_path / JOURNAL_NAME
+        with self._open(tmp_path, manifest) as journal:
+            journal.append_cell(cells[0])
+        with path.open("ab") as fh:
+            fh.write(b'{"kind":"cell","sha2')  # the crash, mid-write
+        back, _, skipped = CellJournal.read(
+            path, manifest_digest(manifest), soc_dict
+        )
+        assert skipped == 1
+        assert [c.index for c in back] == [cells[0].index]
+
+    def test_wrong_digest_refused(self, tmp_path, manifest, soc_dict):
+        with self._open(tmp_path, manifest):
+            pass
+        with pytest.raises(ValueError, match="different sweep"):
+            CellJournal.read(
+                tmp_path / JOURNAL_NAME, "0" * 64, soc_dict
+            )
+
+    def test_tampered_header_refused(self, tmp_path, manifest, soc_dict):
+        """The header's digest is recomputed from its embedded
+        manifest — editing one without the other is caught."""
+        path = tmp_path / JOURNAL_NAME
+        with self._open(tmp_path, manifest):
+            pass
+        lines = path.read_bytes().splitlines(keepends=True)
+        entry = json.loads(lines[0])
+        entry["data"]["manifest_digest"] = "0" * 64
+        canonical = json.dumps(
+            entry["data"], sort_keys=True, separators=(",", ":")
+        )
+        entry["sha256"] = hashlib.sha256(canonical.encode()).hexdigest()
+        path.write_bytes(json.dumps(entry).encode() + b"\n")
+        with pytest.raises(ValueError, match="journal"):
+            CellJournal.read(path, manifest_digest(manifest), soc_dict)
+
+    def test_reopen_appends_and_foreign_journal_refused(
+        self, tmp_path, manifest, cells, soc_dict
+    ):
+        with self._open(tmp_path, manifest) as journal:
+            journal.append_cell(cells[0])
+        with self._open(tmp_path, manifest) as journal:
+            journal.append_cell(cells[1])
+        back, _, skipped = CellJournal.read(
+            tmp_path / JOURNAL_NAME,
+            manifest_digest(manifest), soc_dict,
+        )
+        assert skipped == 0
+        assert sorted(c.index for c in back) == sorted(
+            c.index for c in cells[:2]
+        )
+        from repro.config import DEFAULT_SOC
+        from dataclasses import replace
+
+        other = cell_manifest([replace(SPECS[0], num_tasks=99)])
+        with pytest.raises(ValueError, match="different sweep"):
+            CellJournal.open(tmp_path, other, DEFAULT_SOC)
+
+    def test_success_supersedes_failure_on_replay(
+        self, tmp_path, manifest, cells, soc_dict
+    ):
+        from repro.experiments.results import CellFailure
+
+        target = cells[0]
+        spec_index, policy, seed = (
+            target.spec_index, target.policy, target.seed
+        )
+        failure = CellFailure(
+            index=target.index, spec_index=spec_index,
+            label=target.label, policy=policy, seed=seed,
+            kind="error", attempts=1, message="first try",
+        )
+        with self._open(tmp_path, manifest) as journal:
+            journal.append_failure(failure)
+            journal.append_cell(target)  # the resumed re-run
+        back_cells, back_failures, _ = CellJournal.read(
+            tmp_path / JOURNAL_NAME,
+            manifest_digest(manifest), soc_dict,
+        )
+        assert [c.index for c in back_cells] == [target.index]
+        assert back_failures == []
+
+    def test_discard_removes_the_file(self, tmp_path, manifest):
+        journal = self._open(tmp_path, manifest)
+        path = tmp_path / JOURNAL_NAME
+        assert path.exists()
+        journal.discard()
+        assert not path.exists()

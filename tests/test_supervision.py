@@ -1,0 +1,207 @@
+"""Tests for per-cell sweep supervision (ISSUE tentpole): retry
+determinism, quarantine instead of abort, pool-crash recovery, cell
+timeouts, and the old streaming path's BrokenProcessPool serial
+fallback driven by the fault harness."""
+
+import pytest
+
+from repro.experiments.faults import FaultPlan
+from repro.experiments.parallel import ParallelRunner, Supervision
+from repro.experiments.results import SweepResults
+from repro.experiments.runner import (
+    POLICY_ORDER,
+    ScenarioSpec,
+    run_matrix,
+)
+from repro.sim.qos import QosLevel
+
+SPEC = ScenarioSpec(
+    workload_set="A", qos_level=QosLevel.MEDIUM, num_tasks=8,
+    seeds=(1, 2),
+)
+#: 1 scenario x 4 policies x 2 seeds.
+CELLS = len(POLICY_ORDER) * len(SPEC.seeds)
+
+#: Fast deterministic backoff for tests.
+FAST = dict(backoff_base=0.0)
+
+
+@pytest.fixture(scope="module")
+def serial_matrix():
+    return run_matrix([SPEC])
+
+
+def _supervised(plan=None, workers=1, **kwargs):
+    sup = Supervision(fault_plan=plan, **{**FAST, **kwargs})
+    runner = ParallelRunner(workers=workers)
+    acc = runner.run_supervised([SPEC], supervision=sup)
+    return runner, acc
+
+
+class TestSupervisionPolicy:
+    def test_backoff_schedule(self):
+        sup = Supervision(backoff_base=0.5, backoff_factor=2.0)
+        assert [sup.backoff(a) for a in range(3)] == [0.5, 1.0, 2.0]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_retries=-1),
+            dict(cell_timeout=0.0),
+            dict(cell_timeout=-1.0),
+            dict(backoff_base=-0.1),
+            dict(backoff_factor=0.0),
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Supervision(**kwargs)
+
+
+class TestSerialSupervision:
+    def test_fault_free_identical_to_run_matrix(self, serial_matrix):
+        _, acc = _supervised()
+        assert acc.complete and not acc.degraded
+        assert acc.matrix() == serial_matrix
+
+    def test_transient_fault_retried_bit_identical(self, serial_matrix):
+        """Retry determinism: a cell that failed transiently and was
+        re-run yields exactly the result a clean run yields."""
+        _, acc = _supervised(FaultPlan.parse("transient:cells=0,5"))
+        assert acc.complete, acc.failures()
+        assert acc.matrix() == serial_matrix
+
+    def test_poison_cell_quarantined_not_raised(self):
+        _, acc = _supervised(
+            FaultPlan.parse("transient:cells=3:attempts=all"),
+            max_retries=1,
+        )
+        assert not acc.complete and acc.degraded
+        assert len(acc.cells()) == CELLS - 1
+        (failure,) = acc.failures()
+        assert failure.index == 3
+        assert failure.kind == "error"
+        assert failure.attempts == 2  # initial try + 1 retry
+        assert "injected transient fault" in failure.message
+        assert acc.missing_indices() == [3]
+
+    def test_zero_retries_single_attempt(self):
+        _, acc = _supervised(
+            FaultPlan.parse("transient:cells=1"), max_retries=0
+        )
+        (failure,) = acc.failures()
+        assert failure.attempts == 1
+
+    def test_crash_plan_harmless_in_serial_mode(self, serial_matrix):
+        """A pool-targeted crash/hang plan must not kill a serial
+        run — the worker-only kinds are suppressed in-process."""
+        _, acc = _supervised(
+            FaultPlan.parse("crash:cells=0;hang:cells=1:seconds=3600")
+        )
+        assert acc.complete
+        assert acc.matrix() == serial_matrix
+
+    def test_resume_accumulator_skips_done_cells(self, serial_matrix):
+        """The resume seam: cells already folded into the accumulator
+        are not re-run."""
+        runner = ParallelRunner(workers=1)
+        first = runner.run_supervised(
+            [SPEC],
+            supervision=Supervision(
+                fault_plan=FaultPlan.parse(
+                    "transient:cells=2:attempts=all"
+                ),
+                max_retries=0,
+                **FAST,
+            ),
+        )
+        assert first.missing_indices() == [2]
+        done_before = {c.index: c for c in first.cells()}
+        seen = []
+        acc = runner.run_supervised(
+            [SPEC],
+            indices=first.missing_indices(),
+            acc=first,
+            supervision=Supervision(**FAST),
+            on_cell=lambda c: seen.append(c.index),
+        )
+        assert seen == [2]
+        assert acc.complete
+        assert acc.matrix() == serial_matrix
+        for index, cell in done_before.items():
+            assert acc.cells()[index] is cell  # untouched, not re-run
+
+
+@pytest.mark.slow
+class TestPoolSupervision:
+    def test_worker_crash_recovered_bit_identical(self, serial_matrix):
+        """An injected worker crash (BrokenProcessPool) is retried on
+        a rebuilt pool; the finished sweep is bit-identical."""
+        runner, acc = _supervised(
+            FaultPlan.parse("crash:cells=2"), workers=2
+        )
+        if runner.last_mode != "parallel":
+            pytest.skip("process pool unavailable")
+        assert acc.complete, acc.failures()
+        assert acc.matrix() == serial_matrix
+
+    def test_poison_crash_quarantined_others_finish(self):
+        """Graceful degradation: a cell that crashes its worker on
+        every attempt is quarantined; every healthy cell completes."""
+        runner, acc = _supervised(
+            FaultPlan.parse("crash:cells=2:attempts=all"),
+            workers=2, max_retries=1,
+        )
+        if runner.last_mode != "parallel":
+            pytest.skip("process pool unavailable")
+        assert acc.degraded
+        assert len(acc.cells()) == CELLS - 1
+        (failure,) = acc.failures()
+        assert failure.index == 2
+        assert failure.kind == "crash"
+
+    def test_hung_cell_times_out_and_is_quarantined(self):
+        runner, acc = _supervised(
+            FaultPlan.parse("hang:cells=1:attempts=all:seconds=120"),
+            workers=2, max_retries=0, cell_timeout=2.0,
+        )
+        if runner.last_mode != "parallel":
+            pytest.skip("process pool unavailable")
+        assert len(acc.cells()) == CELLS - 1
+        (failure,) = acc.failures()
+        assert failure.index == 1
+        assert failure.kind == "timeout"
+        assert "wall-clock timeout" in failure.message
+
+    def test_transient_faults_in_workers_retried(self, serial_matrix):
+        runner, acc = _supervised(
+            FaultPlan.parse("transient:rate=0.5:seed=11"), workers=2
+        )
+        assert acc.complete, acc.failures()
+        assert acc.matrix() == serial_matrix
+
+
+@pytest.mark.slow
+class TestBrokenPoolFallback:
+    def test_iter_cells_crash_falls_back_serial_bit_identical(
+        self, serial_matrix
+    ):
+        """ISSUE satellite: the streaming path's mid-sweep
+        BrokenProcessPool serial fallback, driven deterministically by
+        the fault harness — the pool dies, the remainder reruns
+        in-process, and the aggregate stays bit-identical."""
+        plan = FaultPlan.parse("crash:cells=2:attempts=all")
+        runner = ParallelRunner(workers=2, fault_plan=plan)
+        cells = list(runner.iter_cells([SPEC]))
+        assert runner.last_mode == "serial"  # fallback engaged
+        assert sorted(c.index for c in cells) == list(range(CELLS))
+        acc = SweepResults([SPEC], list(POLICY_ORDER))
+        for cell in cells:
+            acc.add(cell)
+        assert acc.matrix() == serial_matrix
+
+    def test_fallback_cells_not_duplicated(self):
+        plan = FaultPlan.parse("crash:cells=0:attempts=all")
+        runner = ParallelRunner(workers=2, fault_plan=plan)
+        indices = [c.index for c in runner.iter_cells([SPEC])]
+        assert len(indices) == len(set(indices)) == CELLS
