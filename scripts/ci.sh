@@ -14,6 +14,17 @@ python -m pytest -x -q
 echo "== slow suite =="
 python -m pytest -x -q -m slow
 
+echo "== engine microbench gate (plan seam vs imperative, bit-identity) =="
+# ISSUE acceptance gate: the declarative plan seam must not run
+# slower than the legacy imperative seam on the engine microbench
+# (best-of-rounds ratio with one re-measure backstop, plus the
+# recorded BENCH_perf.json
+# imperative baseline as a cross-run backstop), and the vectorized
+# solver must stay bit-identical to the scalar oracle across a
+# reference-matrix spot check.  Both are asserted inside
+# bench_perf.py --engine-only, which exits non-zero on violation.
+python scripts/bench_perf.py --engine-only --tasks 120 --seeds 1
+
 echo "== smoke =="
 python scripts/smoke.py A 24 M
 

@@ -112,7 +112,9 @@ class PlanariaPolicy(Policy):
                     free -= grant - job.tiles
         if not admissions and not shrinks and not grows:
             return EMPTY_PLAN
-        return AllocationPlan(
+        # Built from live ready/running jobs with unique ids by
+        # construction: the trusted constructor skips re-validation.
+        return AllocationPlan.trusted(
             admissions=tuple(admissions),
             tiles=tuple(shrinks + grows),
         )

@@ -84,7 +84,9 @@ class PremaPolicy(Policy):
                 > self.preemption_threshold
                 * max(self.tokens(runner, sim.now), 1e-12)
             ):
-                return AllocationPlan(
+                # Built from live ready/running jobs: the trusted
+                # constructor skips redundant re-validation.
+                return AllocationPlan.trusted(
                     preemptions=(runner.job_id,),
                     admissions=((challenger.job_id, sim.soc.num_tiles),),
                     stalls=(
@@ -100,7 +102,7 @@ class PremaPolicy(Policy):
             # A job resuming after a preemption pays the restore half
             # of the checkpoint overhead on re-admission.
             stalls = ((nxt.job_id, self.preemption_overhead),)
-        return AllocationPlan(
+        return AllocationPlan.trusted(
             admissions=((nxt.job_id, sim.soc.num_tiles),), stalls=stalls
         )
 

@@ -48,7 +48,8 @@ class StaticPartitionPolicy(Policy):
             free -= self.tiles_per_slot
         if not admissions:
             return EMPTY_PLAN
-        return AllocationPlan(admissions=tuple(admissions))
+        # Built from live ready jobs: trusted skips re-validation.
+        return AllocationPlan.trusted(admissions=tuple(admissions))
 
     def reset(self) -> None:
         """Stateless policy; nothing to clear."""

@@ -251,6 +251,20 @@ class BlockCost:
         compare against the unmemoised path)."""
         self.__dict__.pop("_predict_memo", None)
 
+    def __getstate__(self) -> dict:
+        """Pickle only the declared fields.
+
+        The per-instance ``_predict_memo`` lives in ``__dict__`` and
+        would otherwise ship inside every pickled spec/cost payload —
+        a warm parent process was serializing potentially huge memo
+        dicts to every pool worker.  The memo is a pure cache and
+        rebuilds transparently, so it is dropped here; a pickle of a
+        warm instance is byte-for-byte the pickle of a cold one.
+        """
+        state = dict(self.__dict__)
+        state.pop("_predict_memo", None)
+        return state
+
     def bw_demand(
         self, num_tiles: int, dram_bw: float, l2_bw: float, overlap_f: float
     ) -> float:
@@ -291,6 +305,102 @@ def build_block_cost(
     )
 
 
+class RuntimeTable:
+    """Structure-of-arrays block-time tables for one network.
+
+    The simulator's hot loop evaluates ``BlockCost.predict`` only at a
+    tiny, fixed grid of points: every block of the network crossed with
+    every tile count the SoC can grant, at the constant per-simulation
+    bandwidths.  This table batch-precomputes that whole grid at once
+    (with numpy array ops when available — the fpgahart-style SoA
+    layout — or a scalar fallback) and exposes it as plain nested
+    lists, so the per-event solve is pure list indexing: no memo-dict
+    probes, no tuple-key construction, no per-call arithmetic.
+
+    Attributes:
+        t_full_rows: ``t_full_rows[block_idx][tiles - 1]`` — the
+            unconstrained Algorithm 1 prediction, bit-identical to
+            ``blocks[block_idx].predict(tiles, dram_bw, l2_bw,
+            overlap_f)``.
+        demand_rows: ``demand_rows[block_idx][tiles - 1]`` — the DRAM
+            demand ``from_dram / t_full`` (0.0 when ``t_full`` is 0),
+            bit-identical to ``BlockCost.bw_demand``.
+        from_dram: Per-block DRAM traffic in bytes.
+    """
+
+    __slots__ = ("t_full_rows", "demand_rows", "from_dram")
+
+    def __init__(self, t_full_rows, demand_rows, from_dram) -> None:
+        self.t_full_rows = t_full_rows
+        self.demand_rows = demand_rows
+        self.from_dram = from_dram
+
+
+def _build_runtime_table(
+    cost: "NetworkCost",
+    dram_bw: float,
+    l2_bw: float,
+    overlap_f: float,
+    max_tiles: int,
+) -> RuntimeTable:
+    """Batch-evaluate a network's (block x tiles) prediction grid.
+
+    The numpy path vectorizes over the tile axis but accumulates the
+    per-layer compute terms *sequentially in term order* and keeps the
+    ``hi + lo * overlap_f`` combination as separate elementwise ops —
+    float64 elementwise arithmetic is IEEE-identical to Python floats
+    only when the operation order matches, and ``predict`` sums its
+    terms left to right.  ``tolist()`` then yields exact Python
+    floats.  The scalar fallback (no numpy in the environment) calls
+    ``predict`` itself, so both builds are bit-identical to the
+    memoised scalar path by construction (property-tested in
+    ``tests/test_vectorized.py``).
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is baked into CI
+        np = None
+    t_full_rows = []
+    demand_rows = []
+    from_dram = []
+    if np is None:  # pragma: no cover - numpy is baked into CI
+        for block in cost.blocks:
+            row = [
+                block.predict(t, dram_bw, l2_bw, overlap_f)
+                for t in range(1, max_tiles + 1)
+            ]
+            t_full_rows.append(row)
+            demand_rows.append([
+                block.from_dram_bytes / full if full > 0 else 0.0
+                for full in row
+            ])
+            from_dram.append(block.from_dram_bytes)
+        return RuntimeTable(t_full_rows, demand_rows, from_dram)
+    tiles = np.arange(1, max_tiles + 1)
+    zeros = np.zeros(max_tiles)
+    for block in cost.blocks:
+        compute = zeros
+        for cycles, max_t in block.compute_terms:
+            compute = compute + (
+                cycles / np.minimum(tiles, max_t) ** block.scaling_alpha
+            )
+        memory = (
+            block.from_dram_bytes / dram_bw
+            + block.total_mem_bytes / l2_bw
+        )
+        hi = np.maximum(compute, memory)
+        lo = np.minimum(compute, memory)
+        full = hi + lo * overlap_f
+        demand = np.divide(
+            block.from_dram_bytes, full,
+            out=np.zeros(max_tiles), where=full > 0,
+        )
+        t_full_rows.append(full.tolist())
+        demand_rows.append(demand.tolist())
+        from_dram.append(block.from_dram_bytes)
+    return RuntimeTable(t_full_rows, demand_rows, from_dram)
+
+
 @dataclass(frozen=True)
 class NetworkCost:
     """Per-block costs of a whole network, ready for the simulator.
@@ -306,6 +416,39 @@ class NetworkCost:
     def __post_init__(self) -> None:
         if not self.blocks:
             raise EstimationError("network cost needs at least one block")
+
+    def runtime_table(
+        self,
+        dram_bw: float,
+        l2_bw: float,
+        overlap_f: float,
+        max_tiles: int,
+    ) -> RuntimeTable:
+        """The (block x tiles) :class:`RuntimeTable` at these
+        bandwidths, memoised per instance (the simulator evaluates a
+        single bandwidth point per run, and network costs are shared
+        across every simulation of the process via
+        ``_NETWORK_COST_CACHE``)."""
+        key = (dram_bw, l2_bw, overlap_f, max_tiles)
+        tables = self.__dict__.get("_runtime_tables")
+        if tables is None:
+            tables = {}
+            object.__setattr__(self, "_runtime_tables", tables)
+        table = tables.get(key)
+        if table is None:
+            table = _build_runtime_table(
+                self, dram_bw, l2_bw, overlap_f, max_tiles
+            )
+            tables[key] = table
+        return table
+
+    def __getstate__(self) -> dict:
+        """Pickle only the declared fields — the runtime-table cache
+        (like :class:`BlockCost`'s predict memo) rebuilds
+        transparently and must not inflate worker payloads."""
+        state = dict(self.__dict__)
+        state.pop("_runtime_tables", None)
+        return state
 
     def total_prediction(
         self, num_tiles: int, dram_bw: float, l2_bw: float, overlap_f: float
@@ -520,6 +663,12 @@ def warm_network_cost_cache(
                     tiles, mem.dram_bandwidth, mem.l2_bandwidth,
                     soc.overlap_f,
                 )
+        # The vectorized engine reads these exact points from the SoA
+        # runtime table instead of the memo; warm it alongside.
+        cost.runtime_table(
+            mem.dram_bandwidth, mem.l2_bandwidth, soc.overlap_f,
+            soc.num_tiles,
+        )
     return len(networks)
 
 

@@ -43,6 +43,19 @@ class RemainingPrediction:
             self._suffixes[key] = suffix
         return self._suffixes[key]
 
+    def suffix(self, cost: NetworkCost, tiles: int) -> List[float]:
+        """The suffix-sum list for ``(cost, tiles)``: entry ``i`` is
+        the predicted cycles for blocks ``i`` onward (last entry 0).
+
+        Hot-path accessor: callers that query many block indices for
+        one (network, tiles) pair index this list directly instead of
+        paying :meth:`remaining`'s key build per query.  Read-only by
+        convention — the list is the live cache entry.
+        """
+        if tiles <= 0:
+            raise ValueError("tiles must be positive")
+        return self._suffix(cost, tiles)
+
     def remaining(self, cost: NetworkCost, block_idx: int, tiles: int) -> float:
         """Predicted cycles for blocks ``block_idx`` onward on ``tiles``.
 

@@ -29,8 +29,12 @@ from typing import Optional
 from repro.accelerator.dma import bytes_to_requests
 from repro.config import SoCConfig
 from repro.core.latency import BlockCost
-from repro.core.scoreboard import Scoreboard
-from repro.memory.arbiter import allocate_bandwidth
+from repro.core.scoreboard import Scoreboard, ScoreboardEntry
+from repro.memory.arbiter import (
+    _REL_TOL,
+    allocate_bandwidth,
+    waterfill_grants,
+)
 from repro.memory.hierarchy import MemoryHierarchy
 
 
@@ -109,6 +113,11 @@ class MoCARuntime:
         self.urgency_cap = urgency_cap
         self.min_bw_rate = min_bw_rate
         self.overflow_tolerance = overflow_tolerance
+        # Fixed for the runtime's lifetime (the hierarchy is immutable
+        # config): cached so the per-round sweep skips the property
+        # chain and the overflow-cut multiply.
+        self._dram_bw = self.mem.dram_bandwidth
+        self._overflow_cut = overflow_tolerance * self._dram_bw
 
     def dynamic_score(
         self, user_priority: float, remain_prediction: float, slack: float
@@ -233,6 +242,107 @@ class MoCARuntime:
             window=window,
             threshold_load=threshold_load,
         )
+
+    def regulate_batch(self, items) -> list:
+        """Run Algorithm 2 for a whole decision round in one sweep.
+
+        The hot-path counterpart of :meth:`update_app`, which stays as
+        the validated reference oracle (``tests/test_vectorized.py``
+        pins them equal).  The caller pre-extracts per-app state into
+        structure-of-arrays tuples — the block's unconstrained
+        prediction and bandwidth demand come from the simulator's
+        runtime tables instead of ``block.predict`` memo probes — and
+        this sweep touches the scoreboard's live entries directly
+        instead of copying the demand/score dicts per app.  Apps are
+        processed sequentially in item order: each sees its
+        predecessors' freshly published rates, exactly like the
+        equivalent sequence of ``update_app`` calls (the paper's
+        distributed convergence, Section IV-A).
+
+        Args:
+            items: Per-app tuples ``(app_id, demand, user_priority,
+                remain_prediction, slack)`` where ``demand`` is the
+                block's unconstrained bandwidth demand at the app's
+                tile count (``BlockCost.bw_demand``, as a runtime-table
+                lookup).
+
+        Returns:
+            ``[(app_id, contention, bw_rate), ...]`` in item order —
+            bit-identical to the ``(contention, bw_rate)`` fields of
+            the :class:`RuntimeDecision`\\ s ``update_app`` returns
+            (the HW window/threshold derivation, whose inputs the
+            simulator never consumes, is skipped; the arbiter sees
+            only the cap).
+        """
+        dram_bw = self._dram_bw
+        entries = self.scoreboard.entries()
+        urgency_cap = self.urgency_cap
+        overflow_cut = self._overflow_cut
+        min_bw_rate = self.min_bw_rate
+        out = []
+        for (
+            app_id, demand, user_priority, remain_prediction, slack,
+        ) in items:
+            # dynamic_score inlined (its remain >= 0 validation is
+            # guaranteed by the predictor feeding this path).
+            if slack <= 0:
+                score = user_priority + urgency_cap
+            else:
+                score = user_priority + min(
+                    remain_prediction / slack, urgency_cap
+                )
+            # One pass over the scoreboard builds both the co-runner
+            # demand sum (in publication order, exactly as
+            # sum(other_demands.values()) does) and the water-fill
+            # input lists the contention branch needs — co-runners in
+            # scoreboard order, this app last, uncapped wants
+            # (= demands), scores as weights with the denormal filter
+            # — skipping the validated dict plumbing (scoreboard
+            # entries are validated on publication; scores are
+            # non-negative by construction).
+            other_bw = 0.0
+            wants = []
+            weights = []
+            for a, e in entries.items():
+                if a != app_id:
+                    d = e.demand
+                    other_bw += d
+                    wants.append(d)
+                    s = e.score
+                    weights.append(s if s > 1e-9 else 0.0)
+            overflow = demand + other_bw - dram_bw
+            if overflow > overflow_cut and demand > 0:
+                # Contention.  ``other_bw + demand`` is the same float
+                # sequence the dedicated wants sum produced (same
+                # addends, same order), so the early-exit threshold is
+                # bit-identical.  Only this app's grant is consumed,
+                # and it sits at a fixed index: last.
+                wants.append(demand)
+                weights.append(score if score > 1e-9 else 0.0)
+                if other_bw + demand <= dram_bw * (1 + _REL_TOL):
+                    share = demand
+                else:
+                    grants, _ = waterfill_grants(wants, weights, dram_bw)
+                    share = grants[-1]
+                bw_rate = min(demand, max(share, min_bw_rate))
+                contention = True
+            else:
+                bw_rate = demand
+                contention = False
+            # Publish (Alg. 2 line 25) straight into the live entry —
+            # rates/demands are non-negative here by construction, so
+            # Scoreboard.update's validation adds nothing.
+            entry = entries.get(app_id)
+            if entry is None:
+                entries[app_id] = ScoreboardEntry(
+                    bw_rate=bw_rate, demand=demand, score=score
+                )
+            else:
+                entry.bw_rate = bw_rate
+                entry.demand = demand
+                entry.score = score
+            out.append((app_id, contention, bw_rate))
+        return out
 
     def retire_app(self, app_id: str) -> None:
         """Remove a finished application from the scoreboard."""

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class ScoreboardEntry:
     """One application's published state.
 
@@ -98,6 +98,16 @@ class Scoreboard:
             other_bw += entry.bw_rate
             weight_sum += entry.score * entry.bw_rate
         return other_bw, weight_sum
+
+    def entries(self) -> Dict[str, ScoreboardEntry]:
+        """The live entry mapping, in publication order.
+
+        For read-only iteration on hot paths (the runtime's batched
+        Algorithm 2 sweep) where the per-call dict copies of
+        :meth:`demands`/:meth:`scores` are measurable; callers must
+        not mutate it — publish through :meth:`update`.
+        """
+        return self._entries
 
     def demands(self) -> Dict[str, float]:
         """All published demands, keyed by app id."""

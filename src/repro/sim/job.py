@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import List, Optional
 
 from repro.core.latency import NetworkCost
@@ -58,13 +59,14 @@ class Task:
         if self.isolated_cycles <= 0:
             raise ValueError("isolated_cycles must be positive")
 
-    @property
+    @cached_property
     def deadline(self) -> float:
-        """Absolute SLA deadline in cycles."""
+        """Absolute SLA deadline in cycles (cached: the regulation
+        hot path reads it once per decision item)."""
         return self.dispatch_cycle + self.qos_target_cycles
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     """Mutable runtime state of one task.
 
@@ -100,10 +102,19 @@ class Job:
     tile_repartitions: int = 0
     bw_reconfigs: int = 0
     stall_cycles: float = 0.0
+    #: Mirror of ``task.task_id``.  A plain slot, not a property: the
+    #: engine reads it on every job on every event, and the double
+    #: indirection was measurable on the hot path.
+    job_id: str = field(init=False, repr=False, compare=False)
+    #: The engine's structure-of-arrays runtime table for this job's
+    #: network, attached at simulator construction (None for jobs
+    #: never handed to an engine).
+    _table: Optional[object] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
-    @property
-    def job_id(self) -> str:
-        return self.task.task_id
+    def __post_init__(self) -> None:
+        self.job_id = self.task.task_id
 
     @property
     def num_blocks(self) -> int:

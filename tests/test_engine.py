@@ -255,3 +255,79 @@ class TestValidation:
         tasks = [task_factory(task_id="a")]
         with pytest.raises(SimulationError, match="over-allocated"):
             run_simulation(soc, tasks, _OverallocatingPolicy(), mem=mem)
+
+
+class TestReadyQueueOrdering:
+    """ISSUE satellite: the ready queue is maintained with
+    bisect.insort under a (dispatch_cycle, job_id) key; dispatch and
+    preemption must preserve FIFO order exactly (append + stable sort
+    was the historical behaviour these must keep matching)."""
+
+    def test_coincident_dispatches_order_by_job_id(
+        self, soc, mem, task_factory
+    ):
+        # Shuffled construction order, three tasks sharing one
+        # dispatch instant plus one earlier straggler.
+        tasks = [
+            task_factory(task_id="c", dispatch=1000.0),
+            task_factory(task_id="a", dispatch=1000.0),
+            task_factory(task_id="d", dispatch=500.0),
+            task_factory(task_id="b", dispatch=1000.0),
+        ]
+        policy = _AllTilesPolicy()
+        policy.reset()
+        sim = Simulator(soc, tasks, policy, mem=mem)
+        sim.now = 500.0
+        sim._dispatch_arrivals()
+        assert [j.job_id for j in sim.ready] == ["d"]
+        sim.now = 1000.0
+        sim._dispatch_arrivals()
+        assert [j.job_id for j in sim.ready] == ["d", "a", "b", "c"]
+
+    def test_preempted_job_reenters_at_fifo_position(
+        self, soc, mem, task_factory
+    ):
+        # A preempted job rejoins the queue keyed by its original
+        # dispatch time — ahead of later arrivals, not at the tail.
+        tasks = [
+            task_factory(task_id="early", dispatch=0.0),
+            task_factory(task_id="late", dispatch=100.0),
+        ]
+        policy = _AllTilesPolicy()
+        policy.reset()
+        sim = Simulator(soc, tasks, policy, mem=mem)
+        sim._dispatch_arrivals()
+        early = sim.jobs["early"]
+        sim.start_job(early, 2)
+        sim.now = 100.0
+        sim._dispatch_arrivals()
+        assert [j.job_id for j in sim.ready] == ["late"]
+        sim.preempt(early)
+        assert [j.job_id for j in sim.ready] == ["early", "late"]
+
+    def test_ready_order_matches_append_and_sort(
+        self, soc, mem, task_factory
+    ):
+        # Property form: for a shuffled batch of dispatch times the
+        # insort-maintained queue must equal the sorted reference.
+        import random
+
+        rng = random.Random(42)
+        times = [rng.choice((0.0, 0.0, 250.0, 500.0, 500.0, 750.0))
+                 for _ in range(8)]
+        tasks = [
+            task_factory(task_id=f"t{i}", dispatch=t)
+            for i, t in enumerate(times)
+        ]
+        rng.shuffle(tasks)
+        policy = _AllTilesPolicy()
+        policy.reset()
+        sim = Simulator(soc, tasks, policy, mem=mem)
+        for instant in sorted({t for t in times}):
+            sim.now = instant
+            sim._dispatch_arrivals()
+        want = sorted(
+            sim.ready, key=lambda j: (j.task.dispatch_cycle, j.job_id)
+        )
+        assert [j.job_id for j in sim.ready] == [j.job_id for j in want]
+        assert len(sim.ready) == len(tasks)

@@ -115,16 +115,20 @@ def _force_recompute(sim):
     sim._times_epoch = -1
     for job in sim.running:
         job.current_block.clear_predict_memo()
-    return Simulator.current_block_times(sim)
+    return dict(Simulator._times_now(sim))
 
 
 class _CheckedSimulator(Simulator):
-    """Cross-checks every cached solve against a from-scratch one."""
+    """Cross-checks every cached solve against a from-scratch one.
+
+    Hooks ``_times_now`` — the internal cache probe every engine read
+    (including the fused ``_step`` loop) funnels through.
+    """
 
     checks = 0
 
-    def current_block_times(self):
-        cached = super().current_block_times()
+    def _times_now(self):
+        cached = super()._times_now()
         forced = _force_recompute(self)
         assert cached == forced, (
             f"epoch cache diverged at t={self.now}: {cached} != {forced}"

@@ -450,3 +450,127 @@ class TestPolicyBridge:
         assert len(result.results) == 3
         # Imperative mutations bypass the controller entirely.
         assert result.plan_actions == 0
+
+
+class TestTrustedPlans:
+    """ISSUE tentpole (a): AllocationPlan.trusted skips field
+    validation for plans built from live simulator state, and the
+    controller resolves them through the fast path without changing
+    any observable semantics."""
+
+    def test_trusted_equals_validated_plan(self):
+        a = AllocationPlan(admissions=(("t0", 2),), bw_caps=(("t1", 4.0),))
+        b = AllocationPlan.trusted(
+            admissions=(("t0", 2),), bw_caps=(("t1", 4.0),)
+        )
+        assert a == b and hash(a) == hash(b)
+        assert not a._trusted and b._trusted
+
+    def test_trusted_empty_plan_is_noop(self, soc, mem, task_factory):
+        sim = _sim(soc, mem, task_factory)
+        noops = sim.controller.plans_noop
+        assert sim.controller.apply(AllocationPlan.trusted()) == 0
+        assert sim.controller.plans_noop == noops + 1
+
+    def test_trusted_caps_only_charges_like_validated(
+        self, soc, mem, task_factory
+    ):
+        sim = _sim(soc, mem, task_factory)
+        sim._dispatch_arrivals()
+        sim.controller.apply(AllocationPlan(admissions=(("t0", 2),)))
+        job = sim.jobs["t0"]
+        applied = sim.controller.apply(
+            AllocationPlan.trusted(bw_caps=(("t0", 4.0),))
+        )
+        assert applied == 1
+        assert job.bw_cap == 4.0
+        assert job.bw_reconfigs == 1
+        assert job.stall_cycles == pytest.approx(MEMORY_RECONFIG_CYCLES)
+
+    def test_trusted_caps_restated_is_noop(self, soc, mem, task_factory):
+        sim = _sim(soc, mem, task_factory)
+        sim._dispatch_arrivals()
+        sim.controller.apply(AllocationPlan(admissions=(("t0", 2),)))
+        sim.controller.apply(AllocationPlan.trusted(bw_caps=(("t0", 4.0),)))
+        noops = sim.controller.plans_noop
+        assert sim.controller.apply(
+            AllocationPlan.trusted(bw_caps=(("t0", 4.0),))
+        ) == 0
+        assert sim.controller.plans_noop == noops + 1
+        assert sim.jobs["t0"].bw_reconfigs == 1
+
+    def test_trusted_same_instant_toggle_dedupes_across_plans(
+        self, soc, mem, task_factory
+    ):
+        # A -> B -> A across three coincident trusted plans: the cap
+        # changes all land, but the job serves exactly one
+        # reconfiguration stall — stall_job saturates at now + cycles
+        # within an instant, and the return to an already-paid value
+        # is journal-deduped (this drives the lazy pending-journal
+        # fold).
+        sim = _sim(soc, mem, task_factory)
+        sim._dispatch_arrivals()
+        sim.controller.apply(AllocationPlan(admissions=(("t0", 2),)))
+        job = sim.jobs["t0"]
+        sim.controller.apply(AllocationPlan.trusted(bw_caps=(("t0", 4.0),)))
+        sim.controller.apply(AllocationPlan.trusted(bw_caps=(("t0", 8.0),)))
+        sim.controller.apply(AllocationPlan.trusted(bw_caps=(("t0", 4.0),)))
+        assert job.bw_cap == 4.0
+        assert job.bw_reconfigs == 3
+        assert job.stall_cycles == pytest.approx(MEMORY_RECONFIG_CYCLES)
+        # The fold materialised the fast path's pending charges into
+        # the shared journal.
+        assert sim.controller._paid == {
+            ("t0", "bw_cap"): {4.0, 8.0}
+        }
+        assert sim.controller._pending_caps == []
+
+    def test_trusted_dedupe_shared_with_validated_path(
+        self, soc, mem, task_factory
+    ):
+        # Fast-path charges must be visible to a subsequent *validated*
+        # plan at the same instant (the pending journal folds into the
+        # shared one).
+        sim = _sim(soc, mem, task_factory)
+        sim._dispatch_arrivals()
+        sim.controller.apply(AllocationPlan(admissions=(("t0", 2),)))
+        job = sim.jobs["t0"]
+        sim.controller.apply(AllocationPlan.trusted(bw_caps=(("t0", 4.0),)))
+        sim.controller.apply(AllocationPlan(bw_caps=(("t0", 8.0),)))
+        charged = job.stall_cycles
+        sim.controller.apply(AllocationPlan(bw_caps=(("t0", 4.0),)))
+        assert job.bw_cap == 4.0
+        assert job.stall_cycles == pytest.approx(charged)
+
+    def test_trusted_caps_unknown_job_fails_cleanly(
+        self, soc, mem, task_factory
+    ):
+        sim = _sim(soc, mem, task_factory)
+        with pytest.raises(SimulationError, match="unknown job"):
+            sim.controller.apply(
+                AllocationPlan.trusted(bw_caps=(("ghost", 4.0),))
+            )
+
+    def test_trusted_general_unknown_job_fails_cleanly(
+        self, soc, mem, task_factory
+    ):
+        sim = _sim(soc, mem, task_factory)
+        with pytest.raises(SimulationError, match="unknown job"):
+            sim.controller.apply(
+                AllocationPlan.trusted(admissions=(("ghost", 2),))
+            )
+
+    def test_trusted_mixed_plan_uses_general_path(
+        self, soc, mem, task_factory
+    ):
+        # Admissions + caps in one trusted plan: the general resolve
+        # applies both in canonical order.
+        sim = _sim(soc, mem, task_factory)
+        sim._dispatch_arrivals()
+        applied = sim.controller.apply(AllocationPlan.trusted(
+            admissions=(("t0", 2),), bw_caps=(("t0", 4.0),),
+        ))
+        assert applied == 2
+        job = sim.jobs["t0"]
+        assert job.phase is JobPhase.RUNNING
+        assert job.tiles == 2 and job.bw_cap == 4.0
