@@ -35,6 +35,15 @@ ratio vs the plain parallel leg (informational, not gated), and the
 warm-pool's ``warmup_timeouts`` telemetry.  The supervised run's
 metrics must still be bit-identical to serial.
 
+``coordinator`` in the JSON records the dynamic work-stealing
+trajectory: the same matrix drained through an in-process
+``Coordinator`` by two lease-stepping ``SweepWorker``s sharing the
+warm pool.  ``efficiency_vs_static_shards`` (static shard wall total
+/ coordinator busy total) is the pure cost of leasing in
+cost-balanced batches instead of pre-planning slices and is gated
+>= 0.67; ``projected_2_worker_speedup`` projects a two-worker
+distributed run the way ``max_shard_seconds`` projects two hosts.
+
 ``decisions`` in the JSON records the decision-cadence trajectory:
 plans emitted/applied/no-op and the allocation-epoch cache reuse
 ratio under the every-event and block-boundary cadences (both pure
@@ -88,6 +97,11 @@ from repro.experiments.runner import (
     run_cell_detail,
     run_matrix,
     standard_matrix,
+)
+from repro.experiments.execution import (
+    Coordinator,
+    InProcessTransport,
+    SweepWorker,
 )
 from repro.experiments.sharding import run_shard
 from repro.memory.hierarchy import MemoryHierarchy
@@ -607,7 +621,58 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         shard_partials.append(partial)
+
+    # Coordinator/lease trajectory (dynamic work-stealing): the same
+    # matrix drained through an in-process coordinator by two workers
+    # sharing the warm pool, stepped alternately so every lease
+    # round-trip sits inside the measured path.  The busy-time ratio
+    # vs the static shard legs is the pure cost of leasing in
+    # cost-balanced batches instead of pre-planning two slices — it
+    # is gated (floor 0.67: dynamic leasing may cost at most ~1.5x
+    # the static planner's wall total, in practice it is ~1.0).
+    # max per-worker busy seconds projects a 2-worker distributed run.
+    coordinator = Coordinator(manifest, lease_ttl=None, workers_hint=2)
+    coord_transport = InProcessTransport(coordinator)
+    bench_workers = [
+        SweepWorker(coord_transport, worker_id=name, runner=runner)
+        for name in ("bench-a", "bench-b")
+    ]
+    coord_busy = {w.worker_id: 0.0 for w in bench_workers}
+    coord_leases = {w.worker_id: 0 for w in bench_workers}
+    t0 = time.perf_counter()
+    while not coordinator.drained:
+        progressed = False
+        for worker in bench_workers:
+            outcome = worker.step()
+            if outcome is not None:
+                coord_busy[worker.worker_id] += outcome["seconds"]
+                coord_leases[worker.worker_id] += 1
+                progressed = True
+        if not progressed:  # nothing leasable and not drained: stuck
+            break
+    coordinator_s = time.perf_counter() - t0
     runner.close_pool()
+    coordinator_identical = (
+        coordinator.acc.complete
+        and matrices_identical(serial_matrix, coordinator.acc.matrix())
+    )
+    coord_busy_total = sum(coord_busy.values())
+    shard_total = sum(
+        p["shard"]["wall_seconds"] for p in shard_partials
+    )
+    coordinator_efficiency = (
+        shard_total / coord_busy_total if coord_busy_total > 0
+        else 0.0
+    )
+    coord_status = coordinator.status()
+    print(
+        f"coordinator:     {coordinator_s:6.2f}s "
+        f"({sum(coord_leases.values())} leases over 2 workers, "
+        f"x{1 / coordinator_efficiency:.2f} busy time vs static "
+        f"shards)" if coordinator_efficiency > 0 else
+        "coordinator:     stalled",
+        file=sys.stderr,
+    )
     merged_matrix = SweepResults.from_partials(shard_partials).matrix()
     shards_identical = matrices_identical(serial_matrix, merged_matrix)
     shard_seconds = [
@@ -630,6 +695,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "epoch_reuse_ratio_improves": (
             1.0 if decisions["gate"]["passed"] else 0.0, 1.0
         ),
+        "coordinator_efficiency": (coordinator_efficiency, 0.67),
     }
     gate_ok = all(v >= floor for v, floor in ratio_gates.values())
 
@@ -680,6 +746,32 @@ def main(argv: Optional[List[str]] = None) -> int:
             ) if max(shard_seconds) > 0 else None,
             "merge_identical": shards_identical,
         },
+        "coordinator": {
+            "seconds": round(coordinator_s, 3),
+            "workers": len(bench_workers),
+            "leases": {
+                name: coord_leases[name] for name in sorted(coord_leases)
+            },
+            "busy_seconds": {
+                name: round(coord_busy[name], 3)
+                for name in sorted(coord_busy)
+            },
+            "efficiency_vs_static_shards": round(
+                coordinator_efficiency, 3
+            ),
+            "projected_2_worker_speedup": round(
+                serial_s / max(coord_busy.values()), 3
+            ) if max(coord_busy.values()) > 0 else None,
+            "warmup_timeouts_telemetry": coord_status[
+                "warmup_timeouts"
+            ],
+            "identical_metrics": coordinator_identical,
+            "note": (
+                "same matrix drained by 2 in-process lease-stepping "
+                "workers on the warm pool; efficiency = static shard "
+                "wall total / coordinator busy total (gated >= 0.67)"
+            ),
+        },
         "engine": engine,
         "decisions": decisions,
         "robustness": {
@@ -704,7 +796,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "note": (
                 "gated on controlled same-process ratio metrics "
                 "(engine event-rate and plan-seam speedups, "
-                "epoch-reuse improvement); the raw wall-clock "
+                "epoch-reuse improvement, coordinator lease "
+                "efficiency vs static shards); the raw wall-clock "
                 "serial/parallel speedup is recorded but not gated "
                 "(flaky on 1-CPU containers)"
             ),
@@ -731,6 +824,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not supervised_identical or supervised_acc.degraded:
         print(
             "FAIL: fault-free supervised run diverged from serial",
+            file=sys.stderr,
+        )
+        return 1
+    if not coordinator_identical:
+        print(
+            "FAIL: coordinator-drained metrics differ from serial",
             file=sys.stderr,
         )
         return 1

@@ -118,4 +118,53 @@ fi
 diff -r "$EXPORT_TMP/faulted" "$EXPORT_TMP/serial"
 echo "crash -> resume byte-identical"
 
+echo "== coordinator gate (in-process lease stealing, byte-exact) =="
+# ISSUE acceptance gate: an in-process coordinator with two live
+# workers and one dead one (lease taken, never heard from again) must
+# steal the expired lease mid-sweep and still produce exports
+# byte-identical to the serial matrix.  Asserted inside the script.
+python scripts/coordinator_gate.py
+
+echo "== distributed sweep (coordinator + 2 HTTP workers, one killed) =="
+# ISSUE acceptance gate: 'sweep --serve' plus two real 'sweep --worker'
+# processes over HTTP; the first worker is killed mid-run by an
+# injected crash fault (the whole process dies with exit 86), the
+# second steals the expired lease and drains the sweep.  The merged
+# exports must be byte-identical to the unsharded serial reference.
+python -m repro.cli sweep \
+    --scenarios bursty-mixed,diurnal-light \
+    --tasks 16 --seeds 1,2 \
+    --serve --lease-ttl 2 \
+    --out "$EXPORT_TMP/coord" --format json,csv &
+SERVE_PID=$!
+URL=""
+for _ in $(seq 1 100); do
+    if [ -f "$EXPORT_TMP/coord/coordinator.json" ]; then
+        URL=$(python -c "import json,sys;print(json.load(open(sys.argv[1]))['url'])" \
+            "$EXPORT_TMP/coord/coordinator.json" 2>/dev/null || true)
+        [ -n "$URL" ] && break
+    fi
+    sleep 0.1
+done
+if [ -z "$URL" ]; then
+    echo "FAIL: coordinator never published coordinator.json" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+rc=0
+python -m repro.cli sweep --worker "$URL" \
+    --inject-faults 'crash:cells=5' || rc=$?
+if [ "$rc" -ne 86 ]; then
+    echo "FAIL: crashing worker exited $rc, expected 86" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+python -m repro.cli sweep --worker "$URL"
+if ! wait "$SERVE_PID"; then
+    echo "FAIL: coordinator exited non-zero" >&2
+    exit 1
+fi
+diff -r "$EXPORT_TMP/coord" "$EXPORT_TMP/serial"
+echo "distributed sweep byte-identical"
+
 echo "CI OK"

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""CI gate: in-process coordinator + 2 concurrent workers with a
+mid-sweep worker death, byte-compared against the serial reference.
+
+One "doomed" worker takes a lease over the in-process transport and
+dies silently (no heartbeat, no submit).  Two live workers drain the
+rest concurrently; the lease TTL runs out mid-sweep and the doomed
+cells are stolen.  The merged accumulator must reproduce the serial
+``run_matrix`` result exactly, and the JSON/CSV export bytes must be
+identical — work-stealing may change *who* computes a cell, never the
+bytes that come out.
+
+Exit 0 on byte-identity, 1 with a diagnostic otherwise.
+"""
+
+import sys
+import threading
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.execution import (  # noqa: E402
+    Coordinator,
+    InProcessTransport,
+    SweepWorker,
+)
+from repro.experiments.results import cell_manifest  # noqa: E402
+from repro.experiments.runner import run_matrix  # noqa: E402
+from repro.reporting import sweep_to_csv, sweep_to_json  # noqa: E402
+from repro.scenarios import get_scenario  # noqa: E402
+
+SCENARIOS = ["bursty-mixed", "diurnal-light"]
+
+
+def main() -> int:
+    import dataclasses
+
+    specs = [
+        dataclasses.replace(
+            get_scenario(name), num_tasks=16, seeds=(1, 2)
+        )
+        for name in SCENARIOS
+    ]
+    serial = run_matrix(specs)
+
+    manifest = cell_manifest(specs)
+    coordinator = Coordinator(manifest, lease_ttl=1.0)
+    transport = InProcessTransport(coordinator)
+
+    # The death: grab a lease, never heartbeat, never submit.  Its
+    # cells must come back via TTL expiry and get stolen mid-sweep.
+    doomed = transport.lease_request("doomed")
+    if doomed is None:
+        print("FAIL: doomed worker got no lease", file=sys.stderr)
+        return 1
+
+    workers = [
+        SweepWorker(
+            transport,
+            worker_id=name,
+            workers=1,
+            poll_interval=0.1,
+        )
+        for name in ("gate-a", "gate-b")
+    ]
+    threads = [
+        threading.Thread(target=w.run, name=w.worker_id)
+        for w in workers
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600)
+
+    status = coordinator.status()
+    if not coordinator.acc.complete:
+        print(
+            f"FAIL: sweep did not complete: {status}", file=sys.stderr
+        )
+        return 1
+    stolen = set(doomed["cell_indices"])
+    credited = sum(
+        record["cells_completed"]
+        for name, record in status["workers"].items()
+        if name != "doomed"
+    )
+    if credited != len(manifest["cells"]):
+        print(
+            f"FAIL: live workers credited {credited} cells, "
+            f"expected {len(manifest['cells'])} (doomed lease "
+            f"{sorted(stolen)} not fully stolen?)",
+            file=sys.stderr,
+        )
+        return 1
+
+    matrix = coordinator.acc.matrix()
+    if matrix != serial:
+        print(
+            "FAIL: coordinator matrix differs from serial run_matrix",
+            file=sys.stderr,
+        )
+        return 1
+    for label, render in (("json", sweep_to_json), ("csv", sweep_to_csv)):
+        if render(matrix) != render(serial):
+            print(
+                f"FAIL: {label} export bytes differ from serial",
+                file=sys.stderr,
+            )
+            return 1
+    print(
+        f"coordinator gate OK: {len(manifest['cells'])} cells, "
+        f"{len(stolen)} stolen from the dead worker, exports "
+        f"byte-identical to serial"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,16 +15,23 @@ Usage::
     python -m repro.cli sweep --scenarios bursty-mixed --shard 1/2 --out shards/
     python -m repro.cli sweep --scenarios bursty-mixed --out r/ --max-retries 3 --cell-timeout 600
     python -m repro.cli sweep --resume r/     # re-run only the missing cells
+    python -m repro.cli sweep --scenarios bursty-mixed --out r/ --serve   # coordinator
+    python -m repro.cli sweep --worker http://127.0.0.1:PORT              # worker(s)
+    python -m repro.cli sweep --resume r/ --serve   # re-serve only the missing cells
     python -m repro.cli merge shards/ --out merged/
     python -m repro.cli all       # everything, EXPERIMENTS.md style
 
 Sweep exit codes (stable, scriptable)::
 
-    0   complete — every cell ran to a result
+    0   complete — every cell ran to a result (for --serve: every
+        cell drained; for --worker: the coordinator reported drained)
     3   degraded — the sweep finished, but persistently failing
         cells were quarantined (re-run them with sweep --resume DIR)
     1   hard error — usage errors, refused directories, unreadable
         artifacts; nothing was partially delivered
+    86  a worker killed by an injected crash fault (--inject-faults
+        'crash:...' in --worker mode treats the whole process as the
+        disposable unit; the coordinator re-leases its cells)
 """
 
 from __future__ import annotations
@@ -485,6 +492,29 @@ def _run_sweep(args) -> Tuple[str, int]:
 
     if args.list_scenarios:
         return format_scenario_table(), EXIT_OK
+    if args.worker_url is not None:
+        blocked = [
+            (flag, value)
+            for flag, value in (
+                ("--scenarios", args.scenarios or None),
+                ("--serve", args.serve or None),
+                ("--out", args.out),
+                ("--shard", args.shard),
+                ("--resume", args.resume),
+                ("--tasks", args.tasks),
+                ("--seeds", args.seeds),
+                ("--cadence", args.cadence),
+                ("--format", args.formats),
+            )
+            if value is not None
+        ]
+        if blocked:
+            raise SystemExit(
+                f"sweep: {blocked[0][0]} cannot be combined with "
+                f"--worker (the coordinator owns the manifest, the "
+                f"overrides and the exports)"
+            )
+        return _run_sweep_worker(args)
     if args.resume is not None:
         blocked = [
             (flag, value)
@@ -503,6 +533,8 @@ def _run_sweep(args) -> Tuple[str, int]:
                 f"--resume (the sweep's manifest already pins the "
                 f"scenarios and overrides)"
             )
+        if args.serve:
+            return _run_sweep_serve(args)
         return _run_sweep_resume(args)
     if not args.scenarios:
         raise SystemExit(
@@ -511,6 +543,19 @@ def _run_sweep(args) -> Tuple[str, int]:
         )
     if args.workers < 0:
         raise SystemExit("sweep: --workers must be >= 0 (0 = one per CPU)")
+    if args.serve:
+        if args.shard is not None:
+            raise SystemExit(
+                "sweep: --shard cannot be combined with --serve (a "
+                "coordinator leases cells dynamically; static shards "
+                "pre-lease their slice locally)"
+            )
+        if args.out is None:
+            raise SystemExit(
+                "sweep: --serve requires --out DIR (the lease "
+                "journal, coordinator.json and the final exports "
+                "live there)"
+            )
     if args.formats is not None and args.out is None:
         raise SystemExit("sweep: --format requires --out DIR")
     if args.shard is not None:
@@ -556,6 +601,8 @@ def _run_sweep(args) -> Tuple[str, int]:
         check_unique_labels(specs)
     except ValueError as exc:
         raise SystemExit(f"sweep: {exc}") from exc
+    if args.serve:
+        return _run_sweep_serve(args, specs=specs)
     if args.shard is not None:
         return _run_sweep_shard(specs, args)
     out = None
@@ -645,21 +692,16 @@ def _run_sweep_shard(specs, args) -> Tuple[str, int]:
     return status, EXIT_OK
 
 
-def _run_sweep_resume(args) -> Tuple[str, int]:
-    """``sweep --resume DIR``: finish an interrupted or degraded sweep.
-
-    Reconstructs the sweep from what DIR holds — ``manifest.json``
-    (or the checkpoint journal's embedded manifest), any
-    ``partial-*.json`` shard artifacts, and the ``cells.jsonl``
-    journal — then re-runs *only* the still-missing cells
-    (quarantined failures included) and writes the full exports.
-    Everything is digest-checked against the manifest, so resuming
-    against the wrong directory (or a tampered journal) is refused
-    up front.  By retry-determinism the final exports are
-    byte-identical to an uninterrupted fault-free sweep.
+def _load_resume_state(out):
+    """Reconstruct ``(manifest, specs, acc)`` from what an interrupted
+    sweep left in ``out`` — ``manifest.json`` (or the checkpoint
+    journal's embedded manifest), any ``partial-*.json`` shard
+    artifacts, and the ``cells.jsonl`` journal.  Everything is
+    digest-checked against the manifest, so resuming against the
+    wrong directory (or a tampered journal) is refused up front.
+    Shared by ``sweep --resume`` and ``sweep --resume --serve``.
     """
     import json
-    from pathlib import Path
 
     from repro.experiments.results import SweepResults
     from repro.experiments.sharding import (
@@ -669,13 +711,7 @@ def _run_sweep_resume(args) -> Tuple[str, int]:
         manifest_specs,
         partial_from_json,
     )
-    from repro.reporting import per_scenario_summary
 
-    out = Path(args.resume)
-    if not out.is_dir():
-        raise SystemExit(f"sweep: --resume {out} is not a directory")
-    if args.workers < 0:
-        raise SystemExit("sweep: --workers must be >= 0 (0 = one per CPU)")
     journal_path = out / JOURNAL_NAME
     partial_files = sorted(out.glob("partial-*.json"))
     manifest_path = out / "manifest.json"
@@ -683,9 +719,9 @@ def _run_sweep_resume(args) -> Tuple[str, int]:
     if manifest_path.is_file():
         try:
             manifest = json.loads(manifest_path.read_text())
-        except ValueError as exc:
+        except (OSError, ValueError) as exc:
             raise SystemExit(
-                f"sweep: {manifest_path} is not valid JSON ({exc})"
+                f"sweep: {manifest_path} is not readable JSON ({exc})"
             ) from exc
     elif journal_path.is_file():
         try:
@@ -701,7 +737,7 @@ def _run_sweep_resume(args) -> Tuple[str, int]:
     for path in partial_files:
         try:
             partials.append(partial_from_json(path.read_text()))
-        except ValueError as exc:
+        except (OSError, ValueError) as exc:
             raise SystemExit(f"sweep: {path}: {exc}") from exc
     if manifest is None:
         manifest = partials[0]["manifest"]
@@ -742,6 +778,35 @@ def _run_sweep_resume(args) -> Tuple[str, int]:
                 acc.add(cell)
         for failure in failures:
             acc.add_failure(failure)
+    return manifest, specs, acc
+
+
+def _run_sweep_resume(args) -> Tuple[str, int]:
+    """``sweep --resume DIR``: finish an interrupted or degraded sweep.
+
+    Reconstructs the sweep from what DIR holds (see
+    :func:`_load_resume_state`), then re-runs *only* the
+    still-missing cells (quarantined failures included) and writes
+    the full exports.  By retry-determinism the final exports are
+    byte-identical to an uninterrupted fault-free sweep.
+    """
+    from pathlib import Path
+
+    from repro.experiments.sharding import (
+        JOURNAL_NAME,
+        CellJournal,
+        manifest_digest,
+    )
+    from repro.reporting import per_scenario_summary
+
+    out = Path(args.resume)
+    if not out.is_dir():
+        raise SystemExit(f"sweep: --resume {out} is not a directory")
+    if args.workers < 0:
+        raise SystemExit("sweep: --workers must be >= 0 (0 = one per CPU)")
+    manifest, specs, acc = _load_resume_state(out)
+    digest = manifest_digest(manifest)
+    journal_path = out / JOURNAL_NAME
     todo = acc.missing_indices()
     print(
         f"sweep: resuming {out}: {len(acc)} of {acc.expected} cells "
@@ -769,6 +834,219 @@ def _run_sweep_resume(args) -> Tuple[str, int]:
         file=sys.stderr,
     )
     return per_scenario_summary(matrix), EXIT_OK
+
+
+def _run_sweep_serve(args, specs=None) -> Tuple[str, int]:
+    """``sweep --serve``: run the sweep as a coordinator service.
+
+    Instead of executing cells locally, serve them over HTTP to any
+    number of ``sweep --worker URL`` processes: lease cost-balanced
+    batches, expire leases whose heartbeats stop (re-leasing the
+    work), fold validated submissions into the accumulator
+    incrementally, and journal every accepted cell so a killed
+    coordinator resumes with ``sweep --resume DIR --serve`` re-leasing
+    only the missing cells.  Once drained, writes the same
+    byte-identical exports a local run writes (and the same exit
+    codes: 0 complete, 3 degraded).
+
+    ``specs`` is the fresh-serve scenario list; ``None`` means the
+    resume path (``args.resume`` names the directory).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.config import DEFAULT_SOC
+    from repro.experiments.execution import (
+        Coordinator,
+        CoordinatorServer,
+    )
+    from repro.experiments.results import cell_manifest
+    from repro.reporting import decision_summary, per_scenario_summary
+
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        raise SystemExit("sweep: --lease-ttl must be positive")
+    if args.lease_cost is not None and args.lease_cost < 1:
+        raise SystemExit("sweep: --lease-cost must be >= 1")
+    acc = None
+    if specs is None:
+        out = Path(args.resume)
+        if not out.is_dir():
+            raise SystemExit(
+                f"sweep: --resume {out} is not a directory"
+            )
+        manifest, specs, acc = _load_resume_state(out)
+        print(
+            f"sweep: re-serving {out}: {len(acc)} of {acc.expected} "
+            f"cells checkpointed, "
+            f"{len(acc.failed_indices())} quarantined, re-leasing "
+            f"{len(acc.missing_indices())}",
+            file=sys.stderr,
+        )
+    else:
+        out = _ensure_out_dir(args.out, args.force, "sweep")
+        _check_export_stems(spec.label for spec in specs)
+        if args.force:
+            from repro.experiments.sharding import JOURNAL_NAME
+
+            stale = out / JOURNAL_NAME
+            if stale.is_file():
+                stale.unlink()
+        manifest = cell_manifest(specs)
+    try:
+        coordinator = Coordinator(
+            manifest,
+            soc=DEFAULT_SOC,
+            lease_ttl=args.lease_ttl,
+            max_lease_cost=args.lease_cost,
+            out_dir=out,
+            acc=acc,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"sweep: {exc}") from exc
+    try:
+        server = CoordinatorServer(
+            coordinator, host=args.host, port=args.port
+        )
+    except OSError as exc:
+        coordinator.close()
+        raise SystemExit(
+            f"sweep: cannot bind {args.host}:{args.port} ({exc})"
+        ) from exc
+    server.start()
+    # Discovery file: scripts (and the two-terminal quickstart) read
+    # the bound URL from here instead of parsing stderr.  Removed on
+    # any orderly exit — like the journal, scaffolding must not make
+    # the export directory differ from a fault-free local run's.
+    discovery = out / "coordinator.json"
+    discovery.write_text(
+        json.dumps(
+            {
+                "url": server.url,
+                "manifest_digest": coordinator.digest,
+            },
+            indent=2,
+            sort_keys=True,
+        ) + "\n"
+    )
+    print(
+        f"sweep: coordinator serving "
+        f"{len(acc.missing_indices()) if acc else len(manifest['cells'])} "
+        f"cell(s) at {server.url}",
+        file=sys.stderr,
+    )
+    print(
+        f"sweep: start workers with: python -m repro.cli sweep "
+        f"--worker {server.url}",
+        file=sys.stderr,
+    )
+    interrupted = False
+    last_report = time.monotonic()
+    try:
+        while not coordinator.drained:
+            time.sleep(0.2)
+            coordinator.expire_leases()
+            now = time.monotonic()
+            if now - last_report >= 5.0:
+                print(coordinator.progress_line(), file=sys.stderr)
+                last_report = now
+    except KeyboardInterrupt:
+        interrupted = True
+    finally:
+        server.stop()
+    acc = coordinator.acc
+    if discovery.is_file():
+        discovery.unlink()
+    if interrupted:
+        coordinator.close()
+        raise SystemExit(
+            f"sweep: coordinator interrupted with {len(acc)} of "
+            f"{acc.expected} cells done; accepted work is "
+            f"journaled — continue with: sweep --resume {out} --serve"
+        )
+    if args.decisions:
+        print(decision_summary(acc.cells()), file=sys.stderr)
+    status = coordinator.status()
+    if status["warmup_timeouts"]:
+        print(
+            f"sweep: workers reported {status['warmup_timeouts']} "
+            f"warm-up rendezvous timeout(s)",
+            file=sys.stderr,
+        )
+    if not acc.complete:
+        coordinator.close()
+        return _failure_report(acc, out_dir=out), EXIT_DEGRADED
+    coordinator.discard_journal()
+    matrix = acc.matrix()
+    written = _write_sweep_exports(
+        matrix, specs, out, args.formats or _EXPORT_FORMATS,
+        policies=list(manifest["policies"]), clean=args.force,
+    )
+    print(
+        f"sweep: wrote {len(written)} file(s) to {out}",
+        file=sys.stderr,
+    )
+    return per_scenario_summary(matrix), EXIT_OK
+
+
+def _run_sweep_worker(args) -> Tuple[str, int]:
+    """``sweep --worker URL``: drain a coordinator as one worker.
+
+    Bootstraps the manifest from the coordinator (refusing a SoC
+    mismatch), then leases, executes and submits until the sweep is
+    drained.  Transport errors are retried with backoff (a
+    coordinator restart is survivable); a refused submission (the
+    lease expired and was re-leased) drops the orphaned results and
+    continues.  Exit 0 = drained; hard errors exit 1; an injected
+    ``crash`` fault kills the process with exit 86 (the whole worker
+    process is the disposable unit in this mode — its leases expire
+    and the coordinator re-issues them).
+    """
+    from repro.config import DEFAULT_SOC
+    from repro.experiments.execution import (
+        HttpTransport,
+        SweepWorker,
+        TransportError,
+    )
+    from repro.experiments.faults import activate_in_worker_process
+    from repro.experiments.parallel import Supervision
+
+    if args.workers < 0:
+        raise SystemExit("sweep: --workers must be >= 0 (0 = one per CPU)")
+    try:
+        # NB: the fault plan deliberately does NOT ride Supervision
+        # here — run_supervised installs a supervision plan with the
+        # process-fatal kinds suppressed (this process would survive
+        # its own crash fault).  Worker mode arms the plan
+        # process-level instead: see activate_in_worker_process.
+        supervision = Supervision(
+            max_retries=args.max_retries,
+            cell_timeout=args.cell_timeout,
+            backoff_base=args.retry_backoff,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"sweep: {exc}") from exc
+    if args.inject_faults is not None:
+        activate_in_worker_process(args.inject_faults)
+    try:
+        transport = HttpTransport(args.worker_url)
+    except ValueError as exc:
+        raise SystemExit(f"sweep: {exc}") from exc
+    worker = SweepWorker(
+        transport,
+        workers=args.workers,
+        soc=DEFAULT_SOC,
+        supervision=supervision,
+    )
+    try:
+        summary = worker.run()
+    except (TransportError, ValueError) as exc:
+        raise SystemExit(f"sweep: {exc}") from exc
+    return (
+        f"worker {summary['worker_id']}: coordinator drained — "
+        f"{summary['leases']} lease(s), {summary['cells']} cell(s) "
+        f"completed, {summary['failures']} quarantined, "
+        f"{summary['refused']} submission(s) refused"
+    ), EXIT_OK
 
 
 def _run_merge(args) -> str:
@@ -812,7 +1090,10 @@ def _run_merge(args) -> str:
     for path in files:
         try:
             partials.append(partial_from_json(path.read_text()))
-        except ValueError as exc:
+        except (OSError, ValueError) as exc:
+            # OSError covers unreadable files (permissions, a path
+            # that is a device/binary blob raising on decode...);
+            # both map to the same clean one-line refusal.
             raise SystemExit(f"merge: {path}: {exc}") from exc
     try:
         acc = SweepResults.from_partials(partials)
@@ -957,6 +1238,42 @@ def build_parser() -> argparse.ArgumentParser:
              "(byte-identical to an uninterrupted run); mutually "
              "exclusive with --scenarios/--shard and the scenario "
              "overrides",
+    )
+    p_sweep.add_argument(
+        "--serve", action="store_true",
+        help="serve this sweep's cells to 'sweep --worker URL' "
+             "processes over HTTP instead of executing locally; "
+             "requires --out DIR (receives the lease journal, "
+             "coordinator.json and the final exports); combine with "
+             "--resume DIR to re-serve only the missing cells",
+    )
+    p_sweep.add_argument(
+        "--worker", default=None, dest="worker_url", metavar="URL",
+        help="run as a worker draining the coordinator at URL "
+             "(printed by sweep --serve and written to its "
+             "DIR/coordinator.json); exits 0 once the sweep is "
+             "drained",
+    )
+    p_sweep.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="bind address for --serve (default 127.0.0.1)",
+    )
+    p_sweep.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="bind port for --serve (default 0 = ephemeral; the "
+             "bound port is printed and written to coordinator.json)",
+    )
+    p_sweep.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="--serve: seconds a lease survives between worker "
+             "heartbeats before its cells are re-leased to other "
+             "workers (default 30)",
+    )
+    p_sweep.add_argument(
+        "--lease-cost", type=int, default=None, metavar="COST",
+        help="--serve: cap on a single lease's summed cell cost "
+             "(default: the manifest's total cost spread over 8 "
+             "batches, LPT-balanced)",
     )
     p_sweep.add_argument(
         "--max-retries", type=int, default=2, metavar="N",

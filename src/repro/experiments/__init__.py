@@ -1,5 +1,15 @@
 """Experiment harness: one module per paper figure/table (DESIGN.md §3)."""
 
+from repro.experiments.execution import (
+    Coordinator,
+    CoordinatorServer,
+    HttpTransport,
+    InProcessTransport,
+    SweepWorker,
+    Transport,
+    TransportError,
+    WorkLedger,
+)
 from repro.experiments.parallel import CellTiming, ParallelRunner
 from repro.experiments.results import (
     CellResult,
@@ -25,12 +35,20 @@ from repro.experiments.sharding import (
 __all__ = [
     "CellResult",
     "CellTiming",
+    "Coordinator",
+    "CoordinatorServer",
+    "HttpTransport",
+    "InProcessTransport",
     "ParallelRunner",
     "PolicyFactory",
     "ScenarioResult",
     "ScenarioSpec",
     "ShardPlan",
     "SweepResults",
+    "SweepWorker",
+    "Transport",
+    "TransportError",
+    "WorkLedger",
     "cell_manifest",
     "default_policies",
     "manifest_digest",

@@ -1,0 +1,67 @@
+"""Coordinator/worker execution layer: dynamic lease-based sweeps.
+
+Layers (each importable on its own):
+
+- :mod:`~repro.experiments.execution.leases` — the work ledger:
+  per-cell lease state over the manifest, cost-aware batches,
+  heartbeat expiry, deterministic replay from an op log.
+- :mod:`~repro.experiments.execution.transport` — the transport
+  seam: four protocol verbs, in-process and HTTP implementations.
+- :mod:`~repro.experiments.execution.coordinator` — the ledger
+  served: incremental aggregation, the journal, the HTTP server.
+- :mod:`~repro.experiments.execution.worker` — the worker loop:
+  lease → execute → submit → heartbeat until drained.
+
+Static ``sweep --shard I/N`` runs through the same ledger
+(:meth:`WorkLedger.pre_lease_shard` + :func:`execute_lease`) as the
+dynamic ``sweep --serve`` / ``sweep --worker URL`` pair — one
+execution code path, byte-identical exports either way.
+"""
+
+from repro.experiments.execution.coordinator import (
+    LEASE_PARTIAL_FORMAT,
+    STATUS_FORMAT,
+    Coordinator,
+    CoordinatorServer,
+    build_lease_partial,
+)
+from repro.experiments.execution.leases import (
+    COMPLETED,
+    LEASED,
+    QUARANTINED,
+    UNLEASED,
+    Lease,
+    WorkLedger,
+)
+from repro.experiments.execution.transport import (
+    HttpTransport,
+    InProcessTransport,
+    Transport,
+    TransportError,
+)
+from repro.experiments.execution.worker import (
+    SweepWorker,
+    default_worker_id,
+    execute_lease,
+)
+
+__all__ = [
+    "COMPLETED",
+    "LEASED",
+    "LEASE_PARTIAL_FORMAT",
+    "QUARANTINED",
+    "STATUS_FORMAT",
+    "UNLEASED",
+    "Coordinator",
+    "CoordinatorServer",
+    "HttpTransport",
+    "InProcessTransport",
+    "Lease",
+    "SweepWorker",
+    "Transport",
+    "TransportError",
+    "WorkLedger",
+    "build_lease_partial",
+    "default_worker_id",
+    "execute_lease",
+]

@@ -1,0 +1,677 @@
+"""Coordinator service: the work ledger served over a transport.
+
+The long-lived side of the coordinator/worker architecture.  One
+:class:`Coordinator` owns a :class:`~repro.experiments.execution.
+leases.WorkLedger` and a :class:`~repro.experiments.results.
+SweepResults` accumulator for one manifest, and exposes exactly the
+four transport verbs:
+
+- ``lease_request`` — expire overdue leases, grant a cost-aware batch.
+- ``heartbeat`` — renew a lease, absorb worker telemetry (warm-pool
+  warmup timeouts ride this channel).
+- ``submit_partial`` — re-validate a worker's lease partial with the
+  same digest/tamper/coverage/overlap refusals the shard merge path
+  enforces, then fold it into the accumulator *incrementally* and
+  checkpoint every cell to the journal.
+- ``status`` — live progress, per-worker telemetry, and (on request)
+  the manifest itself, which is how workers bootstrap.
+
+Trust boundary: the transport is untrusted.  Every submitted partial
+embeds its manifest and the stored digest is re-verified against a
+recomputation (a tampered artifact cannot slip in), the SoC must
+match the coordinator's, the lease must still be live (a partial for
+expired — hence possibly re-leased — work is refused), and the cells
+must cover exactly the lease's slice.  Refusals raise ``ValueError``
+with one-line messages; the HTTP server maps them to 400 responses.
+
+Crash safety: the journal is PR 6's checksummed
+:class:`~repro.experiments.sharding.CellJournal` — every accepted
+cell/failure is appended (and flushed) the moment it folds in, plus
+``lease-op`` audit lines mirroring the ledger's op log.  A killed
+coordinator resumes from the journal (:meth:`Coordinator.resume`)
+re-leasing only the cells without a checkpointed result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.config import SoCConfig
+from repro.experiments.execution.leases import WorkLedger
+from repro.experiments.results import (
+    CellFailure,
+    CellResult,
+    SweepResults,
+    cell_from_dict,
+    cell_to_dict,
+    failure_from_dict,
+    failure_to_dict,
+)
+from repro.experiments.sharding import (
+    JOURNAL_NAME,
+    CellJournal,
+    manifest_digest,
+    manifest_specs,
+    verify_stored_digest,
+)
+
+__all__ = [
+    "LEASE_PARTIAL_FORMAT",
+    "STATUS_FORMAT",
+    "Coordinator",
+    "CoordinatorServer",
+    "build_lease_partial",
+]
+
+#: Format tag of lease partial artifacts (the dynamic-lease analogue
+#: of the static shard's ``repro-sweep-partial/1``).
+LEASE_PARTIAL_FORMAT = "repro-sweep-lease-partial/1"
+
+#: Format tag of coordinator status documents.
+STATUS_FORMAT = "repro-sweep-status/1"
+
+
+def build_lease_partial(
+    manifest: dict,
+    soc_dict: dict,
+    lease: dict,
+    cells: List[CellResult],
+    failures: List[CellFailure],
+) -> dict:
+    """Package one executed lease as a self-describing partial.
+
+    Mirrors the shard partial's shape — embedded manifest, stored
+    digest, recorded SoC — with a ``lease`` section instead of a
+    ``shard`` section, so the coordinator can apply the same
+    compatibility and tamper refusals the merge path uses.
+    """
+    return {
+        "format": LEASE_PARTIAL_FORMAT,
+        "manifest": manifest,
+        "manifest_digest": manifest_digest(manifest),
+        "soc": soc_dict,
+        "lease": {
+            "lease_id": lease["lease_id"],
+            "worker_id": lease["worker_id"],
+            "cell_indices": list(lease["cell_indices"]),
+        },
+        "cells": [cell_to_dict(c) for c in cells],
+        "failures": [failure_to_dict(f) for f in failures],
+    }
+
+
+def _validate_lease_partial_shape(partial: dict) -> None:
+    """Refuse a lease partial missing its top-level structure (the
+    ValueError family — clean one-line errors at the CLI/HTTP edge)."""
+    if not isinstance(partial, dict):
+        raise ValueError(
+            f"not a {LEASE_PARTIAL_FORMAT} document "
+            f"(got {type(partial).__name__})"
+        )
+    if partial.get("format") != LEASE_PARTIAL_FORMAT:
+        raise ValueError(
+            f"not a {LEASE_PARTIAL_FORMAT} document "
+            f"(format={partial.get('format')!r})"
+        )
+    missing = [
+        key
+        for key in (
+            "manifest", "manifest_digest", "soc", "lease", "cells",
+            "failures",
+        )
+        if key not in partial
+    ]
+    if missing:
+        raise ValueError(
+            f"malformed lease partial (missing {missing})"
+        )
+    if (
+        not isinstance(partial["manifest"], dict)
+        or not isinstance(partial["manifest_digest"], str)
+        or not isinstance(partial["soc"], dict)
+        or not isinstance(partial["cells"], list)
+        or not isinstance(partial["failures"], list)
+    ):
+        raise ValueError(
+            "malformed lease partial (wrongly typed manifest/"
+            "manifest_digest/soc/cells/failures)"
+        )
+    lease = partial["lease"]
+    if (
+        not isinstance(lease, dict)
+        or not isinstance(lease.get("lease_id"), int)
+        or isinstance(lease.get("lease_id"), bool)
+        or not isinstance(lease.get("worker_id"), str)
+        or not isinstance(lease.get("cell_indices"), list)
+        or not all(
+            isinstance(i, int) and not isinstance(i, bool)
+            for i in lease["cell_indices"]
+        )
+    ):
+        raise ValueError(
+            "malformed lease partial (incomplete or wrongly typed "
+            "'lease' section)"
+        )
+
+
+class Coordinator:
+    """The work ledger plus incremental aggregation behind a lock.
+
+    Thread-safe: the HTTP server handles each request on its own
+    thread, so every verb serialises on one re-entrant lock — the
+    ledger and accumulator stay single-writer value machines.
+
+    Args:
+        manifest: The sweep's cell manifest (round-trip validated).
+        soc: Simulated hardware config; submissions recorded under a
+            different SoC are refused (the manifest cannot see this).
+        lease_ttl: Seconds between heartbeats before a lease expires;
+            ``None`` disables expiry.
+        workers_hint: Expected worker count (sizes default lease
+            batches).
+        max_lease_cost: Optional hard cap on a single lease's summed
+            cell cost (the ``--lease-cost`` knob).
+        out_dir: Directory to journal into (``cells.jsonl``); ``None``
+            disables journaling (in-process tests/bench).
+        acc: Pre-populated accumulator (the resume path).  Cells it
+            already holds are marked completed in the ledger and never
+            re-leased; its quarantined failures stay *leasable* — a
+            resume re-runs them, and a fresh success supersedes.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        manifest: dict,
+        soc: Optional[SoCConfig] = None,
+        lease_ttl: Optional[float] = 30.0,
+        workers_hint: int = 2,
+        max_lease_cost: Optional[int] = None,
+        out_dir=None,
+        acc: Optional[SweepResults] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        from repro.config import DEFAULT_SOC
+
+        specs = manifest_specs(manifest)
+        self.manifest = manifest
+        self.digest = manifest_digest(manifest)
+        self.soc = soc if soc is not None else DEFAULT_SOC
+        self._soc_dict = dataclasses.asdict(self.soc)
+        self.acc = (
+            acc if acc is not None
+            else SweepResults(specs, list(manifest["policies"]))
+        )
+        self.ledger = WorkLedger(
+            manifest,
+            lease_ttl=lease_ttl,
+            workers_hint=workers_hint,
+            clock=clock,
+        )
+        self.max_lease_cost = max_lease_cost
+        self._lock = threading.RLock()
+        #: worker_id -> telemetry record (heartbeats carry it).
+        self.workers: Dict[str, dict] = {}
+        self._journal: Optional[CellJournal] = None
+        self._journaled_ops = 0
+        self._started = clock()
+        self._clock = clock
+        for cell in self.acc.cells():
+            self.ledger.complete(cell.index)
+        # Quarantined failures from a previous session stay unleased:
+        # serving again IS the resume, so they get re-run.
+        self._journaled_ops = len(self.ledger.log)
+        if out_dir is not None:
+            self._journal = CellJournal.open(
+                out_dir, manifest, self.soc
+            )
+
+    # -- resume --------------------------------------------------------
+
+    @classmethod
+    def resume(
+        cls, out_dir, soc: Optional[SoCConfig] = None, **kwargs
+    ) -> "Coordinator":
+        """Rebuild a coordinator from a killed one's journal.
+
+        Replays ``out_dir/cells.jsonl`` — checkpointed cells become
+        completed (never re-leased), checkpointed failures are
+        re-leasable — and reopens the journal for appending.  The
+        header binds the manifest and SoC, so resuming against the
+        wrong directory is refused before anything is leased.
+        """
+        from repro.config import DEFAULT_SOC
+
+        if soc is None:
+            soc = DEFAULT_SOC
+        journal_path = Path(out_dir) / JOURNAL_NAME
+        header = CellJournal._read_header(journal_path)
+        manifest = header["manifest"]
+        cells, failures, _skipped = CellJournal.read(
+            journal_path,
+            manifest_digest(manifest),
+            dataclasses.asdict(soc),
+        )
+        acc = SweepResults(
+            manifest_specs(manifest), list(manifest["policies"])
+        )
+        for cell in cells:
+            acc.add(cell)
+        for failure in failures:
+            acc.add_failure(failure)
+        return cls(
+            manifest, soc=soc, out_dir=out_dir, acc=acc, **kwargs
+        )
+
+    # -- protocol verbs ------------------------------------------------
+
+    def lease_request(
+        self, worker_id: str, max_cost: Optional[int] = None
+    ) -> Optional[dict]:
+        """Grant a batch of unleased cells (or ``None``)."""
+        with self._lock:
+            self.ledger.expire()
+            lease = self.ledger.request_lease(
+                worker_id,
+                max_cost=max_cost or self.max_lease_cost,
+            )
+            record = self._worker_record(worker_id)
+            if lease is None:
+                self._sync_journal()
+                return None
+            record["leases"] += 1
+            self._sync_journal()
+            return {
+                "lease_id": lease.lease_id,
+                "worker_id": lease.worker_id,
+                "cell_indices": list(lease.indices),
+                "cost": lease.cost,
+                "ttl": self.ledger.lease_ttl,
+                "manifest_digest": self.digest,
+            }
+
+    def heartbeat(
+        self,
+        lease_id: int,
+        worker_id: str,
+        telemetry: Optional[dict] = None,
+    ) -> dict:
+        """Renew a lease; fold the worker's telemetry in."""
+        with self._lock:
+            self.ledger.expire()
+            record = self._worker_record(worker_id)
+            record["heartbeats"] += 1
+            if telemetry:
+                timeouts = telemetry.get("warmup_timeouts")
+                if isinstance(timeouts, int) and not isinstance(
+                    timeouts, bool
+                ):
+                    record["warmup_timeouts"] = max(
+                        record["warmup_timeouts"], timeouts
+                    )
+            ok = self.ledger.heartbeat(lease_id)
+            self._sync_journal()
+            return {"ok": ok}
+
+    def submit_partial(self, partial: dict) -> dict:
+        """Validate and fold one lease partial (the trust boundary).
+
+        The refusals mirror :func:`~repro.experiments.sharding.
+        merge_partials` exactly where they share a failure mode:
+        stored-digest-vs-recomputation (tamper), digest-vs-sweep
+        (compatibility), SoC mismatch (hardware model), slice
+        coverage (truncated artifact), and already-completed cells
+        (overlap) — plus the lease-specific one: the lease must still
+        be live, so work that expired (and may have been re-leased)
+        cannot double-fold.
+        """
+        with self._lock:
+            _validate_lease_partial_shape(partial)
+            lease_doc = partial["lease"]
+            label = (
+                f"lease {lease_doc['lease_id']} "
+                f"({lease_doc['worker_id']})"
+            )
+            verify_stored_digest(partial, label)
+            if partial["manifest_digest"] != self.digest:
+                raise ValueError(
+                    f"{label}: partial from a different sweep "
+                    f"(manifest digest "
+                    f"{partial['manifest_digest'][:12]} vs "
+                    f"{self.digest[:12]})"
+                )
+            if partial["soc"] != self._soc_dict:
+                raise ValueError(
+                    f"{label}: partial computed under a different "
+                    f"SoC configuration; every worker must simulate "
+                    f"the identical hardware model"
+                )
+            self.ledger.expire()
+            lease = self.ledger.lease(lease_doc["lease_id"])
+            if lease is None:
+                raise ValueError(
+                    f"{label}: lease is not live (expired or already "
+                    f"settled); its cells were re-leased — drop this "
+                    f"partial"
+                )
+            if sorted(lease_doc["cell_indices"]) != list(lease.indices):
+                raise ValueError(
+                    f"{label}: declared slice does not match the "
+                    f"granted lease"
+                )
+            try:
+                cells = [cell_from_dict(c) for c in partial["cells"]]
+                failures = [
+                    failure_from_dict(f) for f in partial["failures"]
+                ]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{label}: malformed cell payload ({exc!r})"
+                ) from exc
+            covered = sorted(
+                [c.index for c in cells] + [f.index for f in failures]
+            )
+            if covered != list(lease.indices):
+                raise ValueError(
+                    f"{label}: cells present (succeeded + "
+                    f"quarantined) do not match the lease's slice "
+                    f"(truncated artifact?)"
+                )
+            # Validate the whole batch against the sweep shape before
+            # folding anything — a refusal must not half-apply.
+            for cell in cells:
+                if self.acc.has_cell(cell.index):
+                    raise ValueError(
+                        f"{label}: cell {cell.index} already has a "
+                        f"result — overlapping submission"
+                    )
+            for cell in cells:
+                self.acc.add(cell)
+                if self._journal is not None:
+                    self._journal.append_cell(cell)
+                self.ledger.complete(cell.index)
+            for failure in failures:
+                self.acc.add_failure(failure)
+                if self._journal is not None:
+                    self._journal.append_failure(failure)
+                self.ledger.quarantine(failure.index)
+            record = self._worker_record(lease.worker_id)
+            record["cells_completed"] += len(cells)
+            record["cells_quarantined"] += len(failures)
+            self._sync_journal()
+            return {
+                "accepted": len(cells),
+                "quarantined": len(failures),
+                "drained": self.ledger.drained,
+            }
+
+    def status(self, include_manifest: bool = False) -> dict:
+        """The live status document.
+
+        Always carries the digest and SoC (workers verify the trust
+        boundary from these), the ledger counts, the completion
+        flags, and per-worker telemetry — including the aggregated
+        warm-pool ``warmup_timeouts`` the workers report over the
+        heartbeat channel.  ``include_manifest=True`` adds the full
+        manifest (the worker bootstrap path).
+        """
+        with self._lock:
+            self.ledger.expire()
+            self._sync_journal()
+            counts = self.ledger.counts()
+            doc = {
+                "format": STATUS_FORMAT,
+                "manifest_digest": self.digest,
+                "soc": self._soc_dict,
+                "expected": self.acc.expected,
+                "completed": len(self.acc),
+                "quarantined": len(self.acc.failed_indices()),
+                "counts": counts,
+                "drained": self.ledger.drained,
+                "complete": self.acc.complete,
+                "degraded": self.acc.degraded,
+                "uptime_seconds": self._clock() - self._started,
+                "workers": {
+                    w: dict(r) for w, r in sorted(self.workers.items())
+                },
+                "warmup_timeouts": sum(
+                    r["warmup_timeouts"] for r in self.workers.values()
+                ),
+            }
+            if include_manifest:
+                doc["manifest"] = self.manifest
+            return doc
+
+    # -- serving helpers -----------------------------------------------
+
+    @property
+    def drained(self) -> bool:
+        """Whether every cell is settled (the serve loop's exit)."""
+        with self._lock:
+            return self.ledger.drained
+
+    def expire_leases(self) -> int:
+        """Expire overdue leases (the serve loop's periodic sweep);
+        returns how many expired."""
+        with self._lock:
+            expired = self.ledger.expire()
+            self._sync_journal()
+            return len(expired)
+
+    def progress_line(self) -> str:
+        """One human-readable live-progress line for stderr."""
+        with self._lock:
+            counts = self.ledger.counts()
+            return (
+                f"coordinator: {counts['completed']}/"
+                f"{len(self.ledger)} cells done, "
+                f"{counts['leased']} leased "
+                f"({counts['leases']} lease(s)), "
+                f"{counts['unleased']} waiting, "
+                f"{counts['quarantined']} quarantined, "
+                f"{len(self.workers)} worker(s) seen"
+            )
+
+    def close(self) -> None:
+        """Close the journal (leaving it on disk for resume)."""
+        with self._lock:
+            if self._journal is not None:
+                self._journal.close()
+
+    def discard_journal(self) -> None:
+        """Delete the journal — only once the sweep's export is
+        complete (scaffolding must not make the export directory
+        differ from a fault-free run's)."""
+        with self._lock:
+            if self._journal is not None:
+                self._journal.discard()
+
+    def _worker_record(self, worker_id: str) -> dict:
+        record = self.workers.get(worker_id)
+        if record is None:
+            record = {
+                "leases": 0,
+                "heartbeats": 0,
+                "cells_completed": 0,
+                "cells_quarantined": 0,
+                "warmup_timeouts": 0,
+            }
+            self.workers[worker_id] = record
+        return record
+
+    def _sync_journal(self) -> None:
+        """Mirror new ledger ops into the journal as audit lines.
+
+        The journal's ``lease-op`` lines carry the ledger's op log —
+        checksummed like every other line — so the full assignment
+        history of a sweep is reconstructible
+        (:meth:`WorkLedger.replay`) from the journal alone.  The
+        resume reader ignores unknown kinds, so these lines cost a
+        fresh coordinator nothing.
+        """
+        if self._journal is None:
+            self._journaled_ops = len(self.ledger.log)
+            return
+        while self._journaled_ops < len(self.ledger.log):
+            self._journal.append_event(
+                "lease-op", self.ledger.log[self._journaled_ops]
+            )
+            self._journaled_ops += 1
+
+
+class _CoordinatorHandler(BaseHTTPRequestHandler):
+    """Routes the four protocol verbs to the server's coordinator."""
+
+    server_version = "repro-coordinator/1"
+    protocol_version = "HTTP/1.1"
+
+    def _reply(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            return self._reply(
+                400, {"error": "bad Content-Length header"}
+            )
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw) if raw else {}
+        except ValueError:
+            return self._reply(
+                400, {"error": "request body is not JSON"}
+            )
+        if not isinstance(payload, dict):
+            return self._reply(
+                400, {"error": "request body must be a JSON object"}
+            )
+        coordinator = self.server.coordinator
+        try:
+            if self.path == "/lease":
+                worker = payload.get("worker")
+                if not isinstance(worker, str) or not worker:
+                    raise ValueError(
+                        "lease request needs a non-empty 'worker' id"
+                    )
+                max_cost = payload.get("max_cost")
+                if max_cost is not None and (
+                    not isinstance(max_cost, int)
+                    or isinstance(max_cost, bool)
+                ):
+                    raise ValueError("'max_cost' must be an integer")
+                lease = coordinator.lease_request(worker, max_cost)
+                return self._reply(200, {"lease": lease})
+            if self.path == "/heartbeat":
+                lease_id = payload.get("lease_id")
+                if not isinstance(lease_id, int) or isinstance(
+                    lease_id, bool
+                ):
+                    raise ValueError(
+                        "heartbeat needs an integer 'lease_id'"
+                    )
+                return self._reply(
+                    200,
+                    coordinator.heartbeat(
+                        lease_id,
+                        str(payload.get("worker", "anonymous")),
+                        payload.get("telemetry") or None,
+                    ),
+                )
+            if self.path == "/submit":
+                return self._reply(
+                    200, coordinator.submit_partial(payload)
+                )
+            if self.path == "/status":
+                return self._reply(
+                    200,
+                    coordinator.status(
+                        include_manifest=bool(
+                            payload.get("include_manifest")
+                        )
+                    ),
+                )
+        except ValueError as exc:
+            return self._reply(400, {"error": str(exc)})
+        return self._reply(
+            404, {"error": f"unknown endpoint {self.path}"}
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/status":
+            try:
+                return self._reply(
+                    200, self.server.coordinator.status()
+                )
+            except ValueError as exc:
+                return self._reply(400, {"error": str(exc)})
+        return self._reply(
+            404, {"error": f"unknown endpoint {self.path}"}
+        )
+
+    def log_message(self, format: str, *args) -> None:
+        """Silence per-request access logging (the serve loop prints
+        a periodic progress line instead)."""
+
+
+class CoordinatorServer:
+    """A :class:`Coordinator` on a threading HTTP server.
+
+    Binds immediately (``port=0`` picks an ephemeral port — the bound
+    :attr:`url` is known before :meth:`start`), serves on a daemon
+    thread, and leaves request handling to
+    :class:`_CoordinatorHandler`.  Stdlib only.
+    """
+
+    def __init__(
+        self,
+        coordinator: Coordinator,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.coordinator = coordinator
+        self._httpd = ThreadingHTTPServer(
+            (host, port), _CoordinatorHandler
+        )
+        self._httpd.coordinator = coordinator
+        self._httpd.daemon_threads = True
+        self.host = self._httpd.server_address[0]
+        self.port = self._httpd.server_address[1]
+        self.url = f"http://{self.host}:{self.port}"
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="coordinator-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "CoordinatorServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -288,6 +288,23 @@ def clear_plan() -> None:
     install_plan(None, in_worker=False)
 
 
+def activate_in_worker_process(plan: Optional[FaultPlan]) -> None:
+    """Arm ``plan`` treating the *whole current process* as the
+    disposable worker.
+
+    ``sweep --worker URL --inject-faults`` uses this: the entire
+    worker process is expendable from the coordinator's point of view
+    (its leases expire and the work is re-leased), so ``crash`` kills
+    the process itself — deterministically, with
+    :data:`CRASH_EXIT_STATUS` — instead of being suppressed as it is
+    in a supervising parent.  This must NOT be combined with routing
+    the same plan through ``Supervision`` (which installs it
+    parent-side with the fatal kinds suppressed, then clears it when
+    the supervised run returns).
+    """
+    install_plan(plan, in_worker=True)
+
+
 def installed_plan() -> Optional[FaultPlan]:
     """The plan active in this process, if any."""
     return _ACTIVE_PLAN

@@ -397,6 +397,11 @@ class ParallelRunner:
         #: Warm probes whose barrier rendezvous timed out in the most
         #: recent :meth:`start_pool` (0 = every worker rendezvoused).
         self.last_warmup_timeouts: int = 0
+        #: Same, accumulated over every pool this runner has started —
+        #: the telemetry workers report to a coordinator over the
+        #: heartbeat channel (a runner can warm several pools in one
+        #: sweep; the coordinator wants the run total, not the last).
+        self.total_warmup_timeouts: int = 0
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
 
@@ -464,6 +469,7 @@ class ParallelRunner:
             self.last_warmup_timeouts = sum(
                 1 for _, timed_out in answers if timed_out
             )
+            self.total_warmup_timeouts += self.last_warmup_timeouts
             if self.last_warmup_timeouts:
                 print(
                     f"parallel: warm-up rendezvous timed out on "

@@ -318,6 +318,18 @@ class SweepResults:
             i for i in range(len(self._slots)) if i not in self._cells
         ]
 
+    def progress(self) -> Dict[str, int]:
+        """Live progress counters (the coordinator's status report):
+        how many cells are expected, folded in, quarantined, and
+        still missing (quarantined cells also count as missing — a
+        resume re-runs them)."""
+        return {
+            "expected": len(self._slots),
+            "completed": len(self._cells),
+            "quarantined": len(self._failures),
+            "missing": len(self._slots) - len(self._cells),
+        }
+
     @classmethod
     def from_partials(
         cls, partials: Sequence[dict], require_complete: bool = True

@@ -258,14 +258,25 @@ def run_shard(
             the plain streaming path and any cell error aborts.
     """
     from repro.config import DEFAULT_SOC
+    # Imported lazily: the execution package imports this module for
+    # the plan/cost/journal machinery, so the dependency must point
+    # one way at import time.
+    from repro.experiments.execution.leases import WorkLedger
+    from repro.experiments.execution.worker import execute_lease
     from repro.experiments.parallel import ParallelRunner
     from repro.experiments.runner import default_policies
 
     if soc is None:
         soc = DEFAULT_SOC
     specs = manifest_specs(manifest)
-    plan = ShardPlan.from_manifest(manifest, num_shards)
-    indices = plan.shard(shard_index)
+    # Static sharding is the degenerate case of the work ledger:
+    # every host pre-leases its own deterministic ShardPlan slice
+    # from its own ledger (no coordination — the plan is a pure
+    # function of the manifest), then runs it through the same
+    # execute_lease code path the dynamic worker loop uses.
+    ledger = WorkLedger(manifest, lease_ttl=None)
+    lease = ledger.pre_lease_shard(num_shards, shard_index)
+    indices = lease.indices
     if policies is None:
         policies = default_policies()
     missing = [p for p in manifest["policies"] if p not in policies]
@@ -280,24 +291,14 @@ def run_shard(
     if runner is None:
         runner = ParallelRunner(workers=workers or None)
     t0 = time.perf_counter()
-    failures: List[CellFailure] = []
-    if supervision is not None:
-        acc = runner.run_supervised(
-            specs, ordered, soc, indices=indices,
-            supervision=supervision,
-        )
-        cells = acc.cells()
-        failures = acc.failures()
-    else:
-        cells = sorted(
-            runner.iter_cells(specs, ordered, soc, indices=indices),
-            key=lambda c: c.index,
-        )
+    cells, failures = execute_lease(
+        runner, specs, ordered, soc, indices, supervision
+    )
     wall_seconds = time.perf_counter() - t0
     return {
         "format": PARTIAL_FORMAT,
         "manifest": manifest,
-        "manifest_digest": plan.digest,
+        "manifest_digest": ledger.digest,
         # The manifest describes the workload; the SoC describes the
         # simulated hardware.  Recorded so merge can refuse partials
         # computed under different hardware models (the manifest
@@ -307,7 +308,7 @@ def run_shard(
             "index": shard_index,
             "count": num_shards,
             "cell_indices": list(indices),
-            "cost": plan.costs[shard_index],
+            "cost": lease.cost,
             "wall_seconds": wall_seconds,
             "workers": runner.workers,
             "mode": runner.last_mode,
@@ -377,6 +378,26 @@ def _validate_partial_shape(partial: dict) -> None:
             "malformed partial document (incomplete or wrongly "
             "typed 'shard' section)"
         )
+
+
+def verify_stored_digest(partial: dict, what: str) -> str:
+    """Re-verify a self-describing artifact's stored manifest digest
+    against a recomputation over its embedded manifest.
+
+    The tamper refusal, shared by the shard merge path and the
+    coordinator's submit validation: an artifact whose stored digest
+    does not match its own manifest was corrupted or hand-edited and
+    must not fold into any aggregate.  Returns the verified digest.
+    """
+    actual = manifest_digest(partial["manifest"])
+    if actual != partial["manifest_digest"]:
+        raise ValueError(
+            f"{what}: stored manifest digest "
+            f"{partial['manifest_digest'][:12]} does not match "
+            f"its manifest ({actual[:12]}) — corrupt or tampered "
+            f"artifact"
+        )
+    return actual
 
 
 def partial_from_json(text: str) -> dict:
@@ -500,6 +521,21 @@ class CellJournal:
         """Checkpoint a quarantined failure."""
         self._append("failure", failure_to_dict(failure))
 
+    def append_event(self, kind: str, data: dict) -> None:
+        """Checkpoint an extension event (checksummed like any line).
+
+        The coordinator journals its lease-op audit trail through
+        this (``kind="lease-op"``).  :meth:`read` ignores kinds it
+        does not aggregate, so extension lines never cost a resume
+        anything; consumers that care (``WorkLedger.replay``) read
+        them with :meth:`read_events`.
+        """
+        if kind in ("header", "cell", "failure"):
+            raise ValueError(
+                f"append_event cannot write reserved kind {kind!r}"
+            )
+        self._append(kind, data)
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.flush()
@@ -620,8 +656,10 @@ class CellJournal:
                     elif kind == "failure":
                         failure = failure_from_dict(data)
                         failures.setdefault(failure.index, failure)
-                    else:
-                        skipped += 1
+                    # Any other checksum-valid kind is an extension
+                    # event (e.g. the coordinator's lease-op audit
+                    # lines): not aggregated here, but not damage
+                    # either — see read_events().
                 except (KeyError, TypeError, ValueError):
                     skipped += 1
         if skipped:
@@ -637,6 +675,23 @@ class CellJournal:
             [failures[i] for i in sorted(failures)],
             skipped,
         )
+
+    @classmethod
+    def read_events(cls, path, kind: str) -> list:
+        """All checksum-valid extension events of one kind, in journal
+        order (damaged lines are silently skipped, matching
+        :meth:`read`).  This is how ``WorkLedger.replay`` recovers a
+        coordinator's lease-op audit trail."""
+        path = Path(path)
+        cls._read_header(path)
+        events = []
+        with path.open("rb") as fh:
+            fh.readline()  # header, already verified
+            for raw in fh:
+                verified = cls._verify_line(raw)
+                if verified is not None and verified[0] == kind:
+                    events.append(verified[1])
+        return events
 
 
 def merge_partials(
@@ -669,16 +724,11 @@ def merge_partials(
     reference = None
     for partial in partials:
         _validate_partial_shape(partial)
-        actual = manifest_digest(partial["manifest"])
-        if actual != partial["manifest_digest"]:
-            raise ValueError(
-                f"shard "
-                f"{_shard_label(partial['shard']['index'], partial['shard']['count'])}: "
-                f"stored manifest digest "
-                f"{partial['manifest_digest'][:12]} does not match "
-                f"its manifest ({actual[:12]}) — corrupt or tampered "
-                f"artifact"
-            )
+        verify_stored_digest(
+            partial,
+            f"shard "
+            f"{_shard_label(partial['shard']['index'], partial['shard']['count'])}",
+        )
         if reference is None:
             reference = partial
         elif partial["manifest_digest"] != reference["manifest_digest"]:

@@ -703,3 +703,126 @@ class TestDegradedShardResumeCli:
             assert (shards / name).read_bytes() == (
                 unsharded / name
             ).read_bytes(), name
+
+
+class TestDistributedSweepCli:
+    """PR 8: ``sweep --serve`` / ``sweep --worker URL`` flag wiring
+    and the coordinator/worker loop end-to-end at the CLI layer."""
+
+    def test_worker_refuses_conflicting_flags(self, tmp_path):
+        for extra in (
+            ["--scenarios", "ref-a-qos-m"],
+            ["--serve"],
+            ["--out", str(tmp_path)],
+            ["--shard", "1/2"],
+            ["--resume", str(tmp_path)],
+            ["--tasks", "8"],
+            ["--seeds", "1"],
+            ["--format", "json"],
+        ):
+            with pytest.raises(SystemExit, match="--worker"):
+                main(
+                    ["sweep", "--worker", "http://127.0.0.1:1"]
+                    + extra
+                )
+
+    def test_serve_requires_out(self):
+        with pytest.raises(SystemExit, match="--out"):
+            main([
+                "sweep", "--scenarios", "ref-a-qos-m",
+                "--tasks", "8", "--seeds", "1", "--serve",
+            ])
+
+    def test_serve_refuses_static_shard(self, tmp_path):
+        with pytest.raises(SystemExit, match="--shard"):
+            main([
+                "sweep", "--scenarios", "ref-a-qos-m",
+                "--tasks", "8", "--seeds", "1", "--serve",
+                "--shard", "1/2", "--out", str(tmp_path / "o"),
+            ])
+
+    def test_serve_validates_lease_knobs(self, tmp_path):
+        base = [
+            "sweep", "--scenarios", "ref-a-qos-m", "--tasks", "8",
+            "--seeds", "1", "--serve", "--out", str(tmp_path / "o"),
+        ]
+        with pytest.raises(SystemExit, match="lease-ttl"):
+            main(base + ["--lease-ttl", "0"])
+        with pytest.raises(SystemExit, match="lease-cost"):
+            main(base + ["--lease-cost", "0"])
+
+    def test_worker_refuses_non_http_url(self):
+        with pytest.raises(SystemExit, match="http"):
+            main(["sweep", "--worker", "ftp://127.0.0.1:1"])
+
+    def test_serve_and_worker_end_to_end(self, tmp_path):
+        """A coordinator served from one thread and a worker driven
+        through the real CLI entry point drain the sweep to exports
+        byte-identical to an unsharded run."""
+        import threading
+        import time
+
+        out = tmp_path / "served"
+        base = [
+            "sweep", "--scenarios", "ref-a-qos-m",
+            "--tasks", "8", "--seeds", "1",
+        ]
+        rc = {}
+
+        def serve():
+            rc["serve"] = main(
+                base + ["--out", str(out), "--serve"]
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        discovery = out / "coordinator.json"
+        url = None
+        for _ in range(200):
+            try:
+                url = json.loads(discovery.read_text())["url"]
+                break
+            except (OSError, ValueError):
+                time.sleep(0.05)
+        assert url, "coordinator.json never appeared"
+        assert main(["sweep", "--worker", url]) == 0
+        thread.join(timeout=60)
+        assert rc.get("serve") == 0
+        assert not discovery.exists()  # orderly exit cleans it up
+        unsharded = tmp_path / "unsharded"
+        assert main(base + ["--out", str(unsharded)]) == 0
+        names = sorted(p.name for p in out.iterdir())
+        assert names == sorted(p.name for p in unsharded.iterdir())
+        for name in names:
+            assert (out / name).read_bytes() == (
+                unsharded / name
+            ).read_bytes(), name
+
+
+class TestMergeInputHardening:
+    """PR 8 satellite: anything unreadable or non-partial handed to
+    ``merge`` dies with one clean line, never a traceback."""
+
+    def test_merge_binary_garbage_clean_error(self, tmp_path):
+        shards = tmp_path / "shards"
+        shards.mkdir()
+        (shards / "partial-1-of-2.json").write_bytes(
+            b"\x80\x81\xfe\xff not json at all"
+        )
+        with pytest.raises(SystemExit, match="merge: "):
+            main(["merge", str(shards)])
+
+    def test_merge_directory_partial_clean_error(self, tmp_path):
+        shards = tmp_path / "shards"
+        (shards / "partial-1-of-2.json").mkdir(parents=True)
+        with pytest.raises(SystemExit, match="merge: "):
+            main(["merge", str(shards)])
+
+    def test_merge_non_partial_json_clean_error(self, tmp_path):
+        shards = tmp_path / "shards"
+        shards.mkdir()
+        (shards / "partial-1-of-2.json").write_text(
+            json.dumps({"format": "not-a-partial"})
+        )
+        with pytest.raises(SystemExit, match="merge: "):
+            main(["merge", str(shards)])

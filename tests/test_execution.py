@@ -1,0 +1,671 @@
+"""Tests for the coordinator/worker execution layer
+(repro.experiments.execution): work ledger, transports, coordinator
+service, worker loop — and the lease-expiry determinism property the
+ISSUE acceptance criteria pin against the export goldens.
+"""
+
+import dataclasses
+import hashlib
+import json
+import random
+
+import pytest
+
+from repro.config import DEFAULT_SOC
+from repro.experiments.execution import (
+    COMPLETED,
+    LEASED,
+    QUARANTINED,
+    UNLEASED,
+    Coordinator,
+    CoordinatorServer,
+    HttpTransport,
+    InProcessTransport,
+    SweepWorker,
+    TransportError,
+    WorkLedger,
+    build_lease_partial,
+    execute_lease,
+)
+from repro.experiments.parallel import ParallelRunner, Supervision
+from repro.experiments.results import (
+    CellFailure,
+    SweepResults,
+    cell_manifest,
+)
+from repro.experiments.runner import ScenarioSpec, run_matrix
+from repro.experiments.sharding import (
+    CellJournal,
+    ShardPlan,
+    manifest_digest,
+)
+from repro.reporting import sweep_to_csv, sweep_to_json
+
+#: Tiny but real: 1 scenario x 4 policies x 1 seed = 4 cells.
+TINY_SPECS = [ScenarioSpec(workload_set="A", num_tasks=6, seeds=(1,))]
+
+SOC_DICT = dataclasses.asdict(DEFAULT_SOC)
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return cell_manifest(TINY_SPECS)
+
+
+@pytest.fixture(scope="module")
+def serial_matrix():
+    return run_matrix(TINY_SPECS)
+
+
+@pytest.fixture(scope="module")
+def tiny_cells(manifest):
+    """Every cell of the tiny manifest, computed once and reused to
+    craft submissions without re-simulating."""
+    runner = ParallelRunner(workers=1)
+    cells, failures = execute_lease(
+        runner, TINY_SPECS, None, DEFAULT_SOC,
+        tuple(range(len(manifest["cells"]))),
+    )
+    assert not failures
+    return {c.index: c for c in cells}
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _lease_doc(lease):
+    return {
+        "lease_id": lease["lease_id"],
+        "worker_id": lease["worker_id"],
+        "cell_indices": list(lease["cell_indices"]),
+    }
+
+
+def _partial_for(manifest, lease, cells_by_index, failures=()):
+    return build_lease_partial(
+        manifest,
+        SOC_DICT,
+        _lease_doc(lease),
+        [
+            cells_by_index[i]
+            for i in lease["cell_indices"]
+            if i not in {f.index for f in failures}
+        ],
+        list(failures),
+    )
+
+
+def _failure_for(manifest, index, kind="error"):
+    cell = manifest["cells"][index]
+    label = manifest["scenarios"][cell["spec_index"]]["label"]
+    return CellFailure(
+        index=index,
+        spec_index=cell["spec_index"],
+        label=label,
+        policy=cell["policy"],
+        seed=cell["seed"],
+        kind=kind,
+        attempts=3,
+        message="injected for test",
+    )
+
+
+# ----------------------------------------------------------------------
+# Work ledger
+# ----------------------------------------------------------------------
+
+
+class TestWorkLedger:
+    def test_initial_state(self, manifest):
+        led = WorkLedger(manifest)
+        assert len(led) == len(manifest["cells"])
+        assert all(
+            led.state(i) == UNLEASED for i in range(len(led))
+        )
+        assert not led.drained
+        assert led.digest == manifest_digest(manifest)
+
+    def test_lease_grants_costliest_first(self, manifest):
+        led = WorkLedger(manifest, lease_ttl=None, workers_hint=1)
+        lease = led.request_lease("w", max_cost=1)
+        # max_cost below any cell cost still grants exactly one cell
+        # — the costliest available (index 0 here: uniform costs tie-
+        # break ascending).
+        assert lease.indices == (0,)
+        assert led.state(0) == LEASED
+
+    def test_leases_are_exclusive_and_cover_everything(self, manifest):
+        led = WorkLedger(manifest, lease_ttl=None)
+        seen = []
+        while True:
+            lease = led.request_lease("w", max_cost=1)
+            if lease is None:
+                break
+            seen.extend(lease.indices)
+        assert sorted(seen) == list(range(len(led)))
+        assert len(set(seen)) == len(seen)
+
+    def test_default_batch_cost_spreads_total(self, manifest):
+        led = WorkLedger(manifest, workers_hint=2)
+        # 4 cells x cost 6 over 4x2 batches -> ceil(24/8) = 3, but
+        # never below the costliest single cell (6).
+        assert led.default_batch_cost() == 6
+
+    def test_heartbeat_renews_and_rejects_unknown(self, manifest):
+        clock = FakeClock()
+        led = WorkLedger(manifest, lease_ttl=10.0, clock=clock)
+        lease = led.request_lease("w")
+        clock.advance(8.0)
+        assert led.heartbeat(lease.lease_id)
+        clock.advance(8.0)  # would be past the original deadline
+        assert led.expire() == []
+        assert not led.heartbeat(999)
+
+    def test_expiry_returns_unsettled_cells(self, manifest):
+        clock = FakeClock()
+        led = WorkLedger(manifest, lease_ttl=5.0, clock=clock)
+        lease = led.request_lease("w", max_cost=10_000)  # everything
+        assert len(lease.indices) > 1
+        led.complete(lease.indices[0])
+        clock.advance(6.0)
+        expired = led.expire()
+        assert [e.lease_id for e in expired] == [lease.lease_id]
+        assert led.state(lease.indices[0]) == COMPLETED
+        for index in lease.indices[1:]:
+            assert led.state(index) == UNLEASED
+        # The freed cells are re-leasable by someone else.
+        again = led.request_lease("thief")
+        assert again is not None
+        assert set(again.indices) <= set(lease.indices[1:]) | {
+            i for i in range(len(led)) if led.state(i) == LEASED
+        }
+
+    def test_immortal_leases_never_expire(self, manifest):
+        clock = FakeClock()
+        led = WorkLedger(manifest, lease_ttl=None, clock=clock)
+        led.request_lease("w")
+        clock.advance(1e9)
+        assert led.expire() == []
+
+    def test_release_frees_immediately(self, manifest):
+        led = WorkLedger(manifest, lease_ttl=30.0)
+        lease = led.request_lease("w")
+        released = led.release(lease.lease_id)
+        assert released.lease_id == lease.lease_id
+        assert all(led.state(i) == UNLEASED for i in lease.indices)
+
+    def test_pre_lease_shard_matches_shard_plan(self, manifest):
+        plan = ShardPlan.from_manifest(manifest, 2)
+        led = WorkLedger(manifest)
+        lease0 = led.pre_lease_shard(2, 0)
+        lease1 = led.pre_lease_shard(2, 1)
+        assert lease0.indices == plan.shard(0)
+        assert lease1.indices == plan.shard(1)
+        assert lease0.cost == plan.costs[0]
+        assert led.request_lease("late") is None
+        led2 = WorkLedger(manifest)
+        led2.pre_lease_shard(2, 0)
+        with pytest.raises(ValueError, match="overlaps"):
+            led2.pre_lease_shard(1, 0)
+
+    def test_complete_refuses_duplicate(self, manifest):
+        led = WorkLedger(manifest)
+        led.complete(0)
+        with pytest.raises(ValueError, match="already completed"):
+            led.complete(0)
+        with pytest.raises(ValueError, match="outside manifest"):
+            led.complete(len(led))
+
+    def test_quarantine_then_heal(self, manifest):
+        led = WorkLedger(manifest)
+        led.quarantine(1)
+        assert led.state(1) == QUARANTINED
+        led.complete(1)  # a later worker healed it
+        assert led.state(1) == COMPLETED
+        led.quarantine(1)  # completed never regresses
+        assert led.state(1) == COMPLETED
+
+    def test_drained(self, manifest):
+        led = WorkLedger(manifest)
+        for i in range(len(led) - 1):
+            led.complete(i)
+        assert not led.drained
+        led.quarantine(len(led) - 1)
+        assert led.drained
+
+    def test_settled_lease_is_retired(self, manifest):
+        led = WorkLedger(manifest, lease_ttl=None)
+        lease = led.request_lease("w")
+        for i in lease.indices:
+            led.complete(i)
+        assert led.lease(lease.lease_id) is None
+        assert led.counts()["leases"] == 0
+
+    def test_replay_rebuilds_exact_state(self, manifest):
+        clock = FakeClock()
+        led = WorkLedger(manifest, lease_ttl=5.0, clock=clock)
+        rng = random.Random(7)
+        while not led.drained:
+            lease = led.request_lease(
+                f"w{rng.randrange(3)}", max_cost=rng.choice([1, 6, 12])
+            )
+            if lease is None:
+                clock.advance(10.0)
+                led.expire()
+                continue
+            action = rng.random()
+            if action < 0.3:
+                clock.advance(10.0)
+                led.expire()
+            elif action < 0.4:
+                led.quarantine(lease.indices[0])
+            else:
+                for i in lease.indices:
+                    led.complete(i)
+        replayed = WorkLedger.replay(manifest, led.log)
+        assert [replayed.state(i) for i in range(len(replayed))] == [
+            led.state(i) for i in range(len(led))
+        ]
+        assert replayed.counts() == led.counts()
+        assert [l.lease_id for l in replayed.live_leases()] == [
+            l.lease_id for l in led.live_leases()
+        ]
+        # Replay of the replay's log is a fixed point.
+        again = WorkLedger.replay(manifest, replayed.log)
+        assert again.counts() == led.counts()
+
+    def test_replay_unknown_op_refused(self, manifest):
+        with pytest.raises(ValueError, match="unknown ledger op"):
+            WorkLedger.replay(manifest, [{"op": "meddle"}])
+
+
+# ----------------------------------------------------------------------
+# Coordinator (in-process transport)
+# ----------------------------------------------------------------------
+
+
+class TestCoordinator:
+    def test_worker_drains_matches_serial(
+        self, manifest, serial_matrix
+    ):
+        coord = Coordinator(manifest, lease_ttl=None)
+        worker = SweepWorker(
+            InProcessTransport(coord), worker_id="solo", workers=1
+        )
+        summary = worker.run()
+        assert summary["cells"] == len(manifest["cells"])
+        assert summary["refused"] == 0
+        assert coord.acc.complete and coord.drained
+        assert coord.acc.matrix() == serial_matrix
+
+    def test_two_workers_split_the_manifest(
+        self, manifest, serial_matrix, tiny_cells
+    ):
+        coord = Coordinator(manifest, lease_ttl=None)
+        transport = InProcessTransport(coord)
+        workers = [
+            SweepWorker(transport, worker_id=w, workers=1)
+            for w in ("alpha", "beta")
+        ]
+        # Alternate single steps so both demonstrably contribute.
+        while not coord.drained:
+            for worker in workers:
+                worker.step()
+        status = coord.status()
+        assert set(status["workers"]) == {"alpha", "beta"}
+        assert (
+            status["workers"]["alpha"]["cells_completed"]
+            + status["workers"]["beta"]["cells_completed"]
+            == len(manifest["cells"])
+        )
+        assert coord.acc.matrix() == serial_matrix
+
+    def test_submit_tampered_partial_refused(
+        self, manifest, tiny_cells
+    ):
+        coord = Coordinator(manifest, lease_ttl=None)
+        t = InProcessTransport(coord)
+        lease = t.lease_request("w")
+        partial = _partial_for(manifest, lease, tiny_cells)
+        partial["manifest"] = json.loads(
+            json.dumps(partial["manifest"])
+        )
+        partial["manifest"]["cells"][0]["seed"] = 999
+        with pytest.raises(ValueError, match="tampered"):
+            t.submit_partial(partial)
+        # Nothing folded: the lease is still live and submittable.
+        good = _partial_for(manifest, lease, tiny_cells)
+        reply = t.submit_partial(good)
+        assert reply["accepted"] == len(lease["cell_indices"])
+
+    def test_submit_wrong_soc_refused(self, manifest, tiny_cells):
+        coord = Coordinator(manifest, lease_ttl=None)
+        t = InProcessTransport(coord)
+        lease = t.lease_request("w")
+        partial = _partial_for(manifest, lease, tiny_cells)
+        partial["soc"] = dict(partial["soc"], num_tiles=99)
+        with pytest.raises(ValueError, match="SoC"):
+            t.submit_partial(partial)
+
+    def test_submit_dead_lease_refused(self, manifest, tiny_cells):
+        clock = FakeClock()
+        coord = Coordinator(manifest, lease_ttl=5.0, clock=clock)
+        t = InProcessTransport(coord)
+        lease = t.lease_request("slow")
+        clock.advance(10.0)
+        # The expiry sweep runs on the next protocol call.
+        thief = t.lease_request("thief")
+        assert set(thief["cell_indices"]) & set(
+            lease["cell_indices"]
+        )
+        with pytest.raises(ValueError, match="not live"):
+            t.submit_partial(
+                _partial_for(manifest, lease, tiny_cells)
+            )
+        assert not t.heartbeat(lease["lease_id"], "slow")["ok"]
+
+    def test_submit_coverage_mismatch_refused(
+        self, manifest, tiny_cells
+    ):
+        coord = Coordinator(manifest, lease_ttl=None)
+        t = InProcessTransport(coord)
+        lease = t.lease_request("w")
+        partial = _partial_for(manifest, lease, tiny_cells)
+        partial["cells"] = partial["cells"][:-1]  # truncated
+        with pytest.raises(ValueError, match="do not match"):
+            t.submit_partial(partial)
+
+    def test_submit_wrong_slice_refused(self, manifest, tiny_cells):
+        coord = Coordinator(manifest, lease_ttl=None)
+        t = InProcessTransport(coord)
+        lease = t.lease_request("w")
+        doctored = dict(lease)
+        doctored["cell_indices"] = list(lease["cell_indices"])[:-1]
+        with pytest.raises(ValueError, match="declared slice"):
+            t.submit_partial(
+                _partial_for(manifest, doctored, tiny_cells)
+            )
+
+    def test_submit_not_a_lease_partial_refused(self, manifest):
+        coord = Coordinator(manifest, lease_ttl=None)
+        with pytest.raises(ValueError, match="not a repro-sweep"):
+            coord.submit_partial({"format": "something-else"})
+
+    def test_quarantined_failure_degrades(self, manifest, tiny_cells):
+        coord = Coordinator(manifest, lease_ttl=None)
+        t = InProcessTransport(coord)
+        lease = t.lease_request("w", max_cost=10_000)  # everything
+        failure = _failure_for(manifest, lease["cell_indices"][0])
+        reply = t.submit_partial(
+            _partial_for(manifest, lease, tiny_cells, [failure])
+        )
+        assert reply["quarantined"] == 1
+        assert coord.drained
+        assert not coord.acc.complete and coord.acc.degraded
+        status = coord.status()
+        assert status["degraded"] and status["drained"]
+        assert status["quarantined"] == 1
+
+    def test_status_reports_warmup_timeout_telemetry(self, manifest):
+        coord = Coordinator(manifest, lease_ttl=None)
+        t = InProcessTransport(coord)
+        lease = t.lease_request("w")
+        t.heartbeat(
+            lease["lease_id"], "w", {"warmup_timeouts": 2}
+        )
+        t.heartbeat(
+            lease["lease_id"], "w", {"warmup_timeouts": 3}
+        )
+        status = coord.status()
+        assert status["workers"]["w"]["warmup_timeouts"] == 3
+        assert status["warmup_timeouts"] == 3
+        assert status["expected"] == len(manifest["cells"])
+        assert not status["drained"]
+
+    def test_status_includes_manifest_on_request(self, manifest):
+        coord = Coordinator(manifest, lease_ttl=None)
+        assert "manifest" not in coord.status()
+        assert coord.status(include_manifest=True)["manifest"] == (
+            manifest
+        )
+
+    def test_worker_refuses_soc_mismatch(self, manifest):
+        coord = Coordinator(manifest, lease_ttl=None)
+        wrong = dataclasses.replace(DEFAULT_SOC, num_tiles=2)
+        worker = SweepWorker(
+            InProcessTransport(coord), worker_id="w", soc=wrong
+        )
+        with pytest.raises(ValueError, match="SoC"):
+            worker.run()
+
+
+class TestCoordinatorJournal:
+    def test_killed_coordinator_resumes_only_missing(
+        self, manifest, tiny_cells, tmp_path, serial_matrix
+    ):
+        coord = Coordinator(manifest, lease_ttl=None,
+                            out_dir=tmp_path)
+        t = InProcessTransport(coord)
+        first = t.lease_request("w", max_cost=12)
+        t.submit_partial(_partial_for(manifest, first, tiny_cells))
+        done = set(first["cell_indices"])
+        # Simulate a SIGKILL: no close(), no discard — just drop it.
+        del coord
+        resumed = Coordinator.resume(tmp_path, lease_ttl=None)
+        assert [
+            i for i in range(len(manifest["cells"]))
+            if resumed.ledger.state(i) == COMPLETED
+        ] == sorted(done)
+        # Only the missing cells get leased out again.
+        t2 = InProcessTransport(resumed)
+        lease = t2.lease_request("w2", max_cost=10_000)
+        assert sorted(lease["cell_indices"]) == sorted(
+            set(range(len(manifest["cells"]))) - done
+        )
+        t2.submit_partial(_partial_for(manifest, lease, tiny_cells))
+        assert resumed.acc.complete
+        assert resumed.acc.matrix() == serial_matrix
+
+    def test_journal_carries_replayable_lease_log(
+        self, manifest, tiny_cells, tmp_path
+    ):
+        coord = Coordinator(manifest, lease_ttl=None,
+                            out_dir=tmp_path)
+        t = InProcessTransport(coord)
+        while not coord.drained:
+            lease = t.lease_request("w")
+            t.submit_partial(
+                _partial_for(manifest, lease, tiny_cells)
+            )
+        coord.close()
+        ops = CellJournal.read_events(
+            tmp_path / "cells.jsonl", "lease-op"
+        )
+        replayed = WorkLedger.replay(manifest, ops)
+        assert replayed.drained
+        assert replayed.counts() == coord.ledger.counts()
+
+    def test_foreign_journal_refused(self, manifest, tmp_path):
+        other = cell_manifest(
+            [ScenarioSpec(workload_set="A", num_tasks=7, seeds=(1,))]
+        )
+        Coordinator(other, lease_ttl=None, out_dir=tmp_path).close()
+        with pytest.raises(ValueError, match="different sweep"):
+            Coordinator(manifest, lease_ttl=None, out_dir=tmp_path)
+
+
+# ----------------------------------------------------------------------
+# Lease-expiry determinism (ISSUE satellite): any interleaving of
+# worker deaths and re-leases yields byte-identical exports.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def golden_setup():
+    from test_reporting import GOLDEN_EXPORT_PATH, GOLDEN_EXPORT_SPECS
+
+    manifest = cell_manifest(GOLDEN_EXPORT_SPECS)
+    runner = ParallelRunner(workers=1)
+    cells, failures = execute_lease(
+        runner, GOLDEN_EXPORT_SPECS, None, DEFAULT_SOC,
+        tuple(range(len(manifest["cells"]))),
+    )
+    assert not failures
+    golden = json.loads(GOLDEN_EXPORT_PATH.read_text())
+    return manifest, {c.index: c for c in cells}, golden["digests"]
+
+
+class TestLeaseExpiryDeterminism:
+    @pytest.mark.parametrize("trial", range(4))
+    def test_any_death_interleaving_matches_golden(
+        self, golden_setup, trial
+    ):
+        """Workers lease, die (expiry), steal and re-submit in a
+        seeded random interleaving; the merged exports must carry the
+        same pinned digests as the serial golden run, every time.
+        Cells are precomputed (cell execution is a pure function of
+        the payload) so the property runs many interleavings without
+        re-simulating."""
+        manifest, cells_by_index, digests = golden_setup
+        clock = FakeClock()
+        coord = Coordinator(manifest, lease_ttl=5.0, clock=clock)
+        t = InProcessTransport(coord)
+        rng = random.Random(trial)
+        while not coord.drained:
+            worker = f"w{rng.randrange(3)}"
+            lease = t.lease_request(
+                worker, max_cost=rng.choice([None, 1, 16, 64])
+            )
+            if lease is None:
+                clock.advance(10.0)
+                coord.expire_leases()
+                continue
+            roll = rng.random()
+            if roll < 0.35:
+                # Worker dies mid-lease: heartbeats stop, the TTL
+                # runs out, the cells go back to the pool.
+                clock.advance(10.0)
+                coord.expire_leases()
+                with pytest.raises(ValueError, match="not live"):
+                    t.submit_partial(
+                        _partial_for(manifest, lease, cells_by_index)
+                    )
+            else:
+                t.submit_partial(
+                    _partial_for(manifest, lease, cells_by_index)
+                )
+        assert coord.acc.complete
+        matrix = coord.acc.matrix()
+        actual = {
+            "json": hashlib.sha256(
+                sweep_to_json(matrix).encode()
+            ).hexdigest()[:16],
+            "csv": hashlib.sha256(
+                sweep_to_csv(matrix).encode()
+            ).hexdigest()[:16],
+        }
+        assert actual == digests
+
+
+# ----------------------------------------------------------------------
+# HTTP transport end-to-end
+# ----------------------------------------------------------------------
+
+
+class TestHttpTransport:
+    def test_drain_over_http_with_worker_death(
+        self, manifest, serial_matrix
+    ):
+        """One worker leases over HTTP and dies silently; a second
+        worker steals the expired lease and drains the sweep to the
+        exact serial matrix."""
+        coord = Coordinator(manifest, lease_ttl=0.4)
+        with CoordinatorServer(coord) as server:
+            doomed = HttpTransport(server.url)
+            stolen = doomed.lease_request("doomed")
+            assert stolen is not None  # ...and never heard from again
+            survivor = SweepWorker(
+                HttpTransport(server.url),
+                worker_id="survivor",
+                workers=1,
+                poll_interval=0.1,
+            )
+            summary = survivor.run()
+        assert summary["cells"] == len(manifest["cells"])
+        assert coord.acc.complete
+        assert coord.acc.matrix() == serial_matrix
+        status = coord.status()
+        assert set(status["workers"]) >= {"doomed", "survivor"}
+
+    def test_refusal_maps_to_value_error(self, manifest):
+        coord = Coordinator(manifest, lease_ttl=None)
+        with CoordinatorServer(coord) as server:
+            t = HttpTransport(server.url)
+            with pytest.raises(ValueError, match="not a repro-sweep"):
+                t.submit_partial({"format": "nonsense"})
+            with pytest.raises(ValueError, match="worker"):
+                t._post("/lease", {})
+            with pytest.raises(TransportError, match="HTTP 404"):
+                t._post("/nonsense", {})
+
+    def test_unreachable_coordinator_is_transport_error(self):
+        t = HttpTransport("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(TransportError, match="unreachable"):
+            t.sweep_status()
+
+    def test_bad_url_refused(self):
+        with pytest.raises(ValueError, match="http"):
+            HttpTransport("ftp://example.com")
+
+    def test_worker_survives_transport_blips(self, manifest):
+        """A worker retries transport errors with backoff instead of
+        dying — a flaky wire must not strand a lease."""
+        coord = Coordinator(manifest, lease_ttl=None)
+        inner = InProcessTransport(coord)
+
+        class Flaky(InProcessTransport):
+            def __init__(self):
+                super().__init__(coord)
+                self.failures = 2
+
+            def lease_request(self, worker_id, max_cost=None):
+                if self.failures:
+                    self.failures -= 1
+                    raise TransportError("blip")
+                return inner.lease_request(worker_id, max_cost)
+
+        worker = SweepWorker(
+            Flaky(),
+            worker_id="w",
+            workers=1,
+            supervision=Supervision(backoff_base=0.01),
+        )
+        summary = worker.run()
+        assert summary["cells"] == len(manifest["cells"])
+
+
+# ----------------------------------------------------------------------
+# Static sharding rides the same ledger
+# ----------------------------------------------------------------------
+
+
+class TestStaticShardsOnLedger:
+    def test_run_shard_partial_unchanged(self, manifest):
+        """The re-routed run_shard must emit byte-identical partial
+        artifacts (slice, cost, digest) to the pre-refactor planner —
+        the partial format is an on-disk compatibility surface."""
+        from repro.experiments.sharding import run_shard
+
+        plan = ShardPlan.from_manifest(manifest, 2)
+        partial = run_shard(manifest, 1, 2)
+        assert partial["shard"]["cell_indices"] == list(plan.shard(1))
+        assert partial["shard"]["cost"] == plan.costs[1]
+        assert partial["manifest_digest"] == plan.digest

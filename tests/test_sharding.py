@@ -665,3 +665,79 @@ class TestCellJournal:
         assert path.exists()
         journal.discard()
         assert not path.exists()
+
+
+class TestJournalExtensionEvents:
+    """PR 8: the coordinator piggybacks its lease-op audit trail on
+    the cell journal as checksummed *extension events*.  ``read()``
+    must tolerate kinds it does not aggregate (silently — they are
+    not damage), and ``read_events()`` must recover them in order."""
+
+    @pytest.fixture()
+    def soc_dict(self):
+        import dataclasses
+
+        from repro.config import DEFAULT_SOC
+
+        return dataclasses.asdict(DEFAULT_SOC)
+
+    @pytest.fixture()
+    def cells(self, partials):
+        return [cell_from_dict(c) for c in partials[0]["cells"]]
+
+    def _open(self, tmp_path, manifest):
+        from repro.config import DEFAULT_SOC
+
+        return CellJournal.open(tmp_path, manifest, DEFAULT_SOC)
+
+    def test_read_ignores_extension_events_silently(
+        self, tmp_path, manifest, cells, soc_dict, capsys
+    ):
+        with self._open(tmp_path, manifest) as journal:
+            journal.append_event("lease-op", {"op": "lease", "id": 1})
+            journal.append_cell(cells[0])
+            journal.append_event("lease-op", {"op": "expire", "id": 1})
+        back, failures, skipped = CellJournal.read(
+            tmp_path / JOURNAL_NAME,
+            manifest_digest(manifest), soc_dict,
+        )
+        assert skipped == 0  # extension lines are not damage
+        assert [c.index for c in back] == [cells[0].index]
+        assert failures == []
+        assert capsys.readouterr().err == ""
+
+    def test_read_events_in_journal_order(
+        self, tmp_path, manifest, cells
+    ):
+        ops = [{"op": "lease", "id": i} for i in range(5)]
+        with self._open(tmp_path, manifest) as journal:
+            for op in ops[:3]:
+                journal.append_event("lease-op", op)
+            journal.append_cell(cells[0])
+            for op in ops[3:]:
+                journal.append_event("lease-op", op)
+            journal.append_event("other-kind", {"op": "noise"})
+        path = tmp_path / JOURNAL_NAME
+        assert CellJournal.read_events(path, "lease-op") == ops
+        assert CellJournal.read_events(path, "other-kind") == [
+            {"op": "noise"}
+        ]
+        assert CellJournal.read_events(path, "absent") == []
+
+    def test_damaged_event_lines_skipped(
+        self, tmp_path, manifest
+    ):
+        with self._open(tmp_path, manifest) as journal:
+            journal.append_event("lease-op", {"op": "lease", "id": 1})
+        path = tmp_path / JOURNAL_NAME
+        with path.open("ab") as fh:
+            fh.write(b'{"kind":"lease-op","sha2')  # torn tail
+        assert CellJournal.read_events(path, "lease-op") == [
+            {"op": "lease", "id": 1}
+        ]
+
+    def test_reserved_kinds_refused(self, tmp_path, manifest):
+        with self._open(tmp_path, manifest) as journal:
+            for kind in ("header", "cell", "failure"):
+                with pytest.raises(ValueError, match="reserved"):
+                    journal.append_event(kind, {})
