@@ -8,6 +8,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== repro-lint (determinism / lock coverage / purity) =="
+# Project-specific static analysis (src/repro/devtools/lint): exits
+# non-zero on any finding not suppressed inline with a reason or
+# recorded (with a reason) in lint_baseline.json.
+python scripts/lint_repro.py
+
+echo "== ruff + mypy (advisory tier, gated on availability) =="
+# Generic linters run when the environment has them; the image does
+# not ship them, so absence is a skip, not a failure.  Config (and
+# the ratchet knobs) lives in pyproject.toml.
+if python -m ruff --version >/dev/null 2>&1; then
+    python -m ruff check src scripts
+else
+    echo "ruff not installed; skipping (pip install ruff to enable)"
+fi
+if python -m mypy --version >/dev/null 2>&1; then
+    python -m mypy src/repro
+else
+    echo "mypy not installed; skipping (pip install mypy to enable)"
+fi
+
 echo "== tier-1 pytest =="
 python -m pytest -x -q
 
@@ -49,6 +70,18 @@ python -m repro.cli sweep \
     --out "$EXPORT_TMP/serial" --format json,csv
 diff -r "$EXPORT_TMP/streamed" "$EXPORT_TMP/serial"
 echo "exports byte-identical"
+
+echo "== sanitized run (REPRO_CHECK=1, byte-exact vs unchecked) =="
+# The runtime invariant sanitizer (vector-vs-scalar solver spot
+# checks, trusted-plan re-validation, ledger state-machine checks)
+# must be a pure observer: the same sweep under REPRO_CHECK=1 must
+# write byte-identical artifacts to the unchecked serial reference.
+REPRO_CHECK=1 python -m repro.cli sweep \
+    --scenarios bursty-mixed,diurnal-light \
+    --tasks 16 --seeds 1,2 --workers 1 \
+    --out "$EXPORT_TMP/sanitized" --format json,csv
+diff -r "$EXPORT_TMP/sanitized" "$EXPORT_TMP/serial"
+echo "sanitized run byte-identical"
 
 echo "== every-event cadence identity (explicit vs default, byte-exact) =="
 # ISSUE acceptance gate: the declarative plan seam under its default

@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""repro-lint CLI: the project's static-analysis gate.
+
+Runs the three rule families of :mod:`repro.devtools.lint` —
+D (determinism), R (lock coverage), P (value-object purity) — over
+``src/`` and ``scripts/`` and reports anything not suppressed inline
+or recorded (with a reason) in the checked-in baseline.
+
+Exit codes: 0 clean, 1 findings, 2 usage/config error.
+
+Examples::
+
+    python scripts/lint_repro.py                 # the CI gate
+    python scripts/lint_repro.py src/repro/cli.py --format json
+    python scripts/lint_repro.py --select R201,R202,R203
+    python scripts/lint_repro.py --write-baseline  # accept current findings
+    python scripts/lint_repro.py --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.devtools.lint import (  # noqa: E402 (path bootstrap above)
+    RULES,
+    LintConfig,
+    baseline_entries,
+    lint_paths,
+    load_baseline,
+    render_json,
+    render_text,
+    save_baseline,
+)
+
+DEFAULT_BASELINE = REPO_ROOT / "lint_baseline.json"
+DEFAULT_PATHS = ("src", "scripts")
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lint_repro",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"files/directories to lint (default: {DEFAULT_PATHS})",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE.name} at "
+             f"the repo root, when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report everything)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current findings into the baseline file "
+             "(existing reasons are preserved; new entries get a "
+             "TODO reason you must edit)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print(f"{rule}  {RULES[rule]}")
+        return EXIT_OK
+
+    config = LintConfig()
+    if args.select:
+        selected = frozenset(
+            r.strip() for r in args.select.split(",") if r.strip()
+        )
+        unknown = sorted(selected - set(RULES))
+        if unknown:
+            print(
+                f"lint_repro: unknown rule(s) {unknown}; see "
+                f"--list-rules", file=sys.stderr,
+            )
+            return EXIT_USAGE
+        config.select = selected
+
+    paths = args.paths or [REPO_ROOT / p for p in DEFAULT_PATHS]
+    for p in paths:
+        if not Path(p).exists():
+            print(f"lint_repro: no such path {p}", file=sys.stderr)
+            return EXIT_USAGE
+
+    baseline_path = Path(args.baseline) if args.baseline else (
+        DEFAULT_BASELINE
+    )
+    baseline = None
+    if not args.no_baseline and not args.write_baseline:
+        if baseline_path.is_file():
+            try:
+                baseline = load_baseline(baseline_path)
+            except ValueError as exc:
+                print(f"lint_repro: {exc}", file=sys.stderr)
+                return EXIT_USAGE
+        elif args.baseline:
+            print(
+                f"lint_repro: baseline {baseline_path} not found",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+
+    report = lint_paths(paths, REPO_ROOT, config, baseline)
+
+    if args.write_baseline:
+        existing = {}
+        if baseline_path.is_file():
+            try:
+                for entry in load_baseline(baseline_path):
+                    key = (
+                        entry["rule"], entry["path"], entry["snippet"]
+                    )
+                    existing[key] = entry["reason"]
+            except ValueError:
+                pass  # rewriting a broken baseline from scratch
+        entries = baseline_entries(report.findings)
+        for entry in entries:
+            key = (entry["rule"], entry["path"], entry["snippet"])
+            if key in existing:
+                entry["reason"] = existing[key]
+        save_baseline(baseline_path, entries)
+        print(
+            f"lint_repro: wrote {len(entries)} entr"
+            f"{'y' if len(entries) == 1 else 'ies'} to "
+            f"{baseline_path}"
+        )
+        todo = [
+            e for e in entries if e["reason"].startswith("TODO")
+        ]
+        if todo:
+            print(
+                f"lint_repro: {len(todo)} entr"
+                f"{'y needs' if len(todo) == 1 else 'ies need'} a "
+                f"real reason before the baseline will load",
+            )
+        return EXIT_OK
+
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return EXIT_OK if report.clean else EXIT_FINDINGS
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -914,20 +914,11 @@ def _run_sweep_serve(args, specs=None) -> Tuple[str, int]:
         ) from exc
     server.start()
     # Discovery file: scripts (and the two-terminal quickstart) read
-    # the bound URL from here instead of parsing stderr.  Removed on
-    # any orderly exit — like the journal, scaffolding must not make
-    # the export directory differ from a fault-free local run's.
-    discovery = out / "coordinator.json"
-    discovery.write_text(
-        json.dumps(
-            {
-                "url": server.url,
-                "manifest_digest": coordinator.digest,
-            },
-            indent=2,
-            sort_keys=True,
-        ) + "\n"
-    )
+    # the bound URL from here instead of parsing stderr.  The server
+    # owns it — stop() removes it on every exit path, orderly or not;
+    # like the journal, scaffolding must not make the export
+    # directory differ from a fault-free local run's.
+    server.publish_discovery(out / "coordinator.json")
     print(
         f"sweep: coordinator serving "
         f"{len(acc.missing_indices()) if acc else len(manifest['cells'])} "
@@ -954,8 +945,6 @@ def _run_sweep_serve(args, specs=None) -> Tuple[str, int]:
     finally:
         server.stop()
     acc = coordinator.acc
-    if discovery.is_file():
-        discovery.unlink()
     if interrupted:
         coordinator.close()
         raise SystemExit(

@@ -1,0 +1,8 @@
+"""Developer tooling for the reproduction itself.
+
+Nothing in here runs inside a simulation: these are the project's own
+correctness tools — currently :mod:`repro.devtools.lint`, the
+project-specific static-analysis pass (``scripts/lint_repro.py``).
+The package intentionally has no imports at package level so pulling
+in ``repro`` for a sweep never pays for the tooling.
+"""

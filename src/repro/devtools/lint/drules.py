@@ -1,0 +1,358 @@
+"""D-rules: determinism hygiene.
+
+Everything this reproduction exports is golden-pinned byte-for-byte
+across serial / parallel / sharded / distributed execution, so any
+source of run-to-run variation is a bug *before* it ever reaches the
+CI diffs.  The rules:
+
+- **D101** — unseeded RNGs: ``random.Random()`` with no arguments, or
+  any draw from the module-level RNG (``random.random()``,
+  ``random.choice()``, ...).  Seeded construction
+  (``random.Random(seed)``) is the sanctioned pattern.
+- **D102** — wall-clock reads (``time.time``, ``time.time_ns``,
+  ``datetime.now/utcnow/today``) outside the allowlisted CLI/bench
+  timing modules.  Monotonic/performance clocks are fine: they time,
+  they do not *date*, and nothing derived from them may enter an
+  artifact (the lease ledger logs decisions, never timestamps).
+- **D103** — iterating an unordered ``set`` (literal, comprehension,
+  ``set(...)`` call, or a local known to hold one) where the
+  consumer is order-sensitive: a ``for`` loop, a comprehension
+  generator, ``list()``/``tuple()``/``enumerate()``/``reversed()``/
+  ``iter()`` or ``str.join``.  Order-insensitive consumers
+  (``sorted``, ``len``, ``sum``, ``min``, ``max``, ``any``, ``all``,
+  membership) are not flagged.
+- **D104** — unsorted filesystem enumeration (``os.listdir``,
+  ``os.scandir``, ``glob.glob/iglob``, ``Path.glob/rglob/iterdir``)
+  unless the value flows through ``sorted(...)`` within the same
+  statement.  OS directory order is arbitrary; artifact discovery
+  (``merge``, ``--resume``) must not depend on it.
+- **D105** — builtin ``hash()``: salted per process for str/bytes
+  (PYTHONHASHSEED), so anything ordered or keyed by it varies across
+  runs.  The repo's content keys use ``hashlib`` digests instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.devtools.lint.core import Finding, LintConfig, snippet_at
+
+__all__ = ["check_drules"]
+
+#: Module-level draws from the shared random.Random instance.
+_GLOBAL_RNG_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate",
+    "getrandbits", "randbytes", "seed",
+})
+
+#: Wall-clock attribute reads on datetime/date objects.
+_WALLCLOCK_DT_ATTRS = frozenset({"now", "utcnow", "today"})
+
+#: Order-sensitive consumers of an iterable (builtin names).
+_ORDER_SENSITIVE_CALLS = frozenset({
+    "list", "tuple", "enumerate", "iter", "reversed",
+})
+
+#: Filesystem enumeration method names (attribute calls on anything).
+_FS_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+
+def check_drules(
+    tree: ast.AST,
+    lines: Sequence[str],
+    rel: str,
+    config: LintConfig,
+) -> List[Finding]:
+    visitor = _DeterminismVisitor(lines, rel, config)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(
+        self, lines: Sequence[str], rel: str, config: LintConfig
+    ) -> None:
+        self.lines = lines
+        self.rel = rel
+        self.config = config
+        self.findings: List[Finding] = []
+        self._wallclock_ok = config.path_allowed(
+            rel, config.wallclock_allow
+        )
+        self._hash_ok = config.path_allowed(rel, config.hash_allow)
+        #: local alias -> canonical module ("random", "time", ...).
+        self.module_aliases: Dict[str, str] = {}
+        #: local name -> (module, attr) for from-imports.
+        self.from_imports: Dict[str, Tuple[str, str]] = {}
+        #: stack of per-scope {name: holds-a-set} tables.
+        self._set_vars: List[Set[str]] = [set()]
+        #: ancestor stack for same-statement sorted() detection.
+        self._parents: List[ast.AST] = []
+
+    # -- plumbing ------------------------------------------------------
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule, path=self.rel, line=node.lineno,
+            col=node.col_offset, message=message,
+            snippet=snippet_at(self.lines, node.lineno),
+        ))
+
+    def generic_visit(self, node: ast.AST) -> None:
+        self._parents.append(node)
+        try:
+            super().generic_visit(node)
+        finally:
+            self._parents.pop()
+
+    def _resolve(self, func: ast.AST) -> Optional[Tuple[str, str]]:
+        """``(module, attr)`` a call target resolves to, if known."""
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            base = func.value.id
+            if base in self.module_aliases:
+                return self.module_aliases[base], func.attr
+            if base in self.from_imports:
+                # e.g. `from datetime import datetime` then
+                # `datetime.now()` -> ("datetime", "datetime").attr
+                mod, attr = self.from_imports[base]
+                return f"{mod}.{attr}", func.attr
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Attribute
+        ) and isinstance(func.value.value, ast.Name):
+            # e.g. `import datetime` then `datetime.datetime.now()`.
+            base = func.value.value.id
+            if base in self.module_aliases:
+                return (
+                    f"{self.module_aliases[base]}.{func.value.attr}",
+                    func.attr,
+                )
+        if isinstance(func, ast.Name) and func.id in self.from_imports:
+            mod, attr = self.from_imports[func.id]
+            return mod, attr
+        return None
+
+    # -- imports -------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.module_aliases[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module:
+            for alias in node.names:
+                self.from_imports[alias.asname or alias.name] = (
+                    node.module, alias.name
+                )
+        self.generic_visit(node)
+
+    # -- set-variable tracking ----------------------------------------
+
+    def _enter_scope(self) -> None:
+        self._set_vars.append(set())
+
+    def _exit_scope(self) -> None:
+        self._set_vars.pop()
+
+    def visit_FunctionDef(self, node) -> None:
+        self._enter_scope()
+        try:
+            self.generic_visit(node)
+        finally:
+            self._exit_scope()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._enter_scope()
+        try:
+            self.generic_visit(node)
+        finally:
+            self._exit_scope()
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Name
+        ) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self._set_vars)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            # set algebra propagates set-ness (a | b, a - b, ...).
+            return self._is_set_expr(node.left) or self._is_set_expr(
+                node.right
+            )
+        return False
+
+    @staticmethod
+    def _annotation_is_set(annotation: ast.AST) -> bool:
+        # Matches Set[...], set[...], FrozenSet[...], bare Set/set.
+        target = annotation
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute):
+            return target.attr in ("Set", "FrozenSet", "AbstractSet")
+        if isinstance(target, ast.Name):
+            return target.id in (
+                "set", "Set", "frozenset", "FrozenSet", "AbstractSet"
+            )
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        is_set = self._is_set_expr(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_set:
+                    self._set_vars[-1].add(target.id)
+                else:
+                    self._set_vars[-1].discard(target.id)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name):
+            if self._annotation_is_set(node.annotation) or (
+                node.value is not None
+                and self._is_set_expr(node.value)
+            ):
+                self._set_vars[-1].add(node.target.id)
+
+    # -- iteration sites (D103) ---------------------------------------
+
+    def _check_iteration(self, iter_node: ast.AST) -> None:
+        if self._is_set_expr(iter_node) and (
+            not self._sorted_in_statement()
+        ):
+            self._emit(
+                "D103", iter_node,
+                "iterating an unordered set; wrap in sorted(...) or "
+                "restructure so order cannot reach an artifact",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    visit_AsyncFor = visit_For
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    # -- calls (D101, D102, D104, D105, D103 consumers) ---------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self._resolve(node.func)
+        if resolved is not None:
+            self._check_resolved_call(node, *resolved)
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name == "hash" and not self._hash_ok:
+                self._emit(
+                    "D105", node,
+                    "builtin hash() is salted per process "
+                    "(PYTHONHASHSEED); use hashlib for stable keys",
+                )
+            if (
+                name in _ORDER_SENSITIVE_CALLS
+                and node.args
+                and self._is_set_expr(node.args[0])
+            ):
+                self._emit(
+                    "D103", node,
+                    f"{name}() over an unordered set fixes an "
+                    f"arbitrary order; use sorted(...)",
+                )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+            and self._is_set_expr(node.args[0])
+        ):
+            self._emit(
+                "D103", node,
+                "join over an unordered set serialises an arbitrary "
+                "order; use sorted(...)",
+            )
+        if (
+            resolved is None
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FS_METHODS
+            and not self._sorted_in_statement()
+        ):
+            self._emit(
+                "D104", node,
+                f".{node.func.attr}() order is OS-arbitrary; wrap "
+                f"the enumeration in sorted(...)",
+            )
+        self.generic_visit(node)
+
+    def _check_resolved_call(
+        self, node: ast.Call, module: str, attr: str
+    ) -> None:
+        if module == "random":
+            if attr == "Random" and not node.args and not node.keywords:
+                self._emit(
+                    "D101", node,
+                    "random.Random() with no seed draws from OS "
+                    "entropy; pass the cell's seed",
+                )
+            elif attr in _GLOBAL_RNG_FNS:
+                self._emit(
+                    "D101", node,
+                    f"random.{attr}() uses the shared module-level "
+                    f"RNG; use a seeded random.Random(seed) instance",
+                )
+        elif module == "time" and attr in ("time", "time_ns"):
+            if not self._wallclock_ok:
+                self._emit(
+                    "D102", node,
+                    f"time.{attr}() reads the wall clock; use "
+                    f"time.monotonic()/perf_counter() for intervals "
+                    f"(or allowlist genuine CLI timing)",
+                )
+        elif module in (
+            "datetime.datetime", "datetime.date", "datetime"
+        ) and attr in _WALLCLOCK_DT_ATTRS:
+            if not self._wallclock_ok:
+                self._emit(
+                    "D102", node,
+                    f"datetime {attr}() reads the wall clock; "
+                    f"timestamps must not influence artifacts",
+                )
+        elif module == "os" and attr in ("listdir", "scandir"):
+            if not self._sorted_in_statement():
+                self._emit(
+                    "D104", node,
+                    f"os.{attr}() order is OS-arbitrary; wrap in "
+                    f"sorted(...)",
+                )
+        elif module == "glob" and attr in ("glob", "iglob"):
+            if not self._sorted_in_statement():
+                self._emit(
+                    "D104", node,
+                    f"glob.{attr}() order is OS-arbitrary; wrap in "
+                    f"sorted(...)",
+                )
+
+    def _sorted_in_statement(self) -> bool:
+        """Whether any ancestor within the current statement is a
+        ``sorted(...)`` call — the sanctioned fix for D104."""
+        for ancestor in reversed(self._parents):
+            if isinstance(ancestor, ast.stmt):
+                return False
+            if isinstance(ancestor, ast.Call) and isinstance(
+                ancestor.func, ast.Name
+            ) and ancestor.func.id == "sorted":
+                return True
+        return False

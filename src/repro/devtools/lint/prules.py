@@ -1,0 +1,128 @@
+"""P-rules: value-object purity and the trusted-plan boundary.
+
+The sweep pipeline's correctness story leans on frozen value objects
+(:class:`AllocationPlan`, :class:`ScenarioSpec`, :class:`CellResult`,
+...) being *actually* immutable once they leave their module: they
+are hashed into manifests, pickled across processes and compared
+against goldens.  Python's only escape hatch, ``object.__setattr__``,
+is legitimate exactly twice — a frozen dataclass normalising its own
+fields in ``__post_init__`` (receiver ``self``), and a value object's
+own module building instances around the constructor (the
+``AllocationPlan.trusted`` pattern).  Everything else is a mutation
+of somebody else's sealed value:
+
+- **P301** — ``object.__setattr__`` (or a local alias of it) with a
+  receiver other than ``self``, outside the allowlisted value-object
+  modules.
+- **P302** — a call to ``AllocationPlan.trusted(...)`` outside the
+  allowlisted trust boundary (the built-in policies and the plan
+  module itself).  ``trusted`` skips the validating constructor, so
+  its callers carry proof obligations the validator never re-checks —
+  the PR 7 contract, previously enforced by convention only.  New
+  call sites must either go through ``AllocationPlan(...)`` or be
+  added to the allowlist with review.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Sequence, Set
+
+from repro.devtools.lint.core import Finding, LintConfig, snippet_at
+
+__all__ = ["check_prules"]
+
+
+def check_prules(
+    tree: ast.AST,
+    lines: Sequence[str],
+    rel: str,
+    config: LintConfig,
+) -> List[Finding]:
+    visitor = _PurityVisitor(lines, rel, config)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def _is_object_setattr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "__setattr__"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "object"
+    )
+
+
+class _PurityVisitor(ast.NodeVisitor):
+    def __init__(
+        self, lines: Sequence[str], rel: str, config: LintConfig
+    ) -> None:
+        self.lines = lines
+        self.rel = rel
+        self.config = config
+        self.findings: List[Finding] = []
+        self._setattr_ok = config.path_allowed(
+            rel, config.setattr_allow
+        )
+        self._trusted_ok = config.path_allowed(
+            rel, config.trusted_allow
+        )
+        #: local names bound to object.__setattr__ (the
+        #: ``st = object.__setattr__`` idiom).
+        self._setattr_aliases: Set[str] = set()
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule, path=self.rel, line=node.lineno,
+            col=node.col_offset, message=message,
+            snippet=snippet_at(self.lines, node.lineno),
+        ))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_object_setattr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._setattr_aliases.add(target.id)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self._setattr_ok and (
+            _is_object_setattr(node.func)
+            or (
+                isinstance(node.func, ast.Name)
+                and node.func.id in self._setattr_aliases
+            )
+        ):
+            receiver = node.args[0] if node.args else None
+            if not (
+                isinstance(receiver, ast.Name)
+                and receiver.id in ("self", "cls")
+            ):
+                self._emit(
+                    "P301", node,
+                    "object.__setattr__ on a non-self receiver "
+                    "mutates a frozen value object from outside its "
+                    "module; move the mutation into the value "
+                    "object's own module (or allowlist it)",
+                )
+        if not self._trusted_ok and (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "trusted"
+            and self._resolves_to_allocation_plan(node.func.value)
+        ):
+            self._emit(
+                "P302", node,
+                "AllocationPlan.trusted() skips validation and is "
+                "restricted to the plan trust boundary; use "
+                "AllocationPlan(...) or extend "
+                "LintConfig.trusted_allow with review",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _resolves_to_allocation_plan(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id == "AllocationPlan"
+        if isinstance(node, ast.Attribute):
+            return node.attr == "AllocationPlan"
+        return False

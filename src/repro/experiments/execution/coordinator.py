@@ -38,6 +38,7 @@ import dataclasses
 import json
 import threading
 import time
+import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
@@ -160,6 +161,7 @@ def _validate_lease_partial_shape(partial: dict) -> None:
         )
 
 
+# repro-lint: thread-shared lock=_lock guards=ledger,acc,workers
 class Coordinator:
     """The work ledger plus incremental aggregation behind a lock.
 
@@ -625,6 +627,7 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
         a periodic progress line instead)."""
 
 
+# repro-lint: thread-shared lock=_lock
 class CoordinatorServer:
     """A :class:`Coordinator` on a threading HTTP server.
 
@@ -632,6 +635,13 @@ class CoordinatorServer:
     :attr:`url` is known before :meth:`start`), serves on a daemon
     thread, and leaves request handling to
     :class:`_CoordinatorHandler`.  Stdlib only.
+
+    :meth:`stop` is idempotent and safe to race with a late caller of
+    :meth:`start` (both serialise on one lock): the serve thread is
+    joined with a timeout, the socket is closed exactly once, and the
+    discovery file — when the server was asked to
+    :meth:`publish_discovery` one — is removed even when shutdown
+    itself raises.
     """
 
     def __init__(
@@ -649,25 +659,74 @@ class CoordinatorServer:
         self.host = self._httpd.server_address[0]
         self.port = self._httpd.server_address[1]
         self.url = f"http://{self.host}:{self.port}"
+        self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self._discovery: Optional[Path] = None
 
     def start(self) -> None:
-        if self._thread is not None:
-            raise RuntimeError("server already started")
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            kwargs={"poll_interval": 0.1},
-            name="coordinator-http",
-            daemon=True,
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("server already stopped")
+            if self._thread is not None:
+                raise RuntimeError("server already started")
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.1},
+                name="coordinator-http",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def publish_discovery(self, path) -> None:
+        """Write the discovery file (bound URL + manifest digest) and
+        own its lifetime: :meth:`stop` removes it on every exit path,
+        so scaffolding never leaks into the export directory even when
+        the serve loop dies on an unexpected exception."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(
+                {
+                    "url": self.url,
+                    "manifest_digest": self.coordinator.digest,
+                },
+                indent=2,
+                sort_keys=True,
+            ) + "\n"
         )
-        self._thread.start()
+        with self._lock:
+            self._discovery = path
 
     def stop(self) -> None:
-        if self._thread is not None:
-            self._httpd.shutdown()
-            self._thread.join(timeout=10)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
             self._thread = None
-        self._httpd.server_close()
+            discovery = self._discovery
+            self._discovery = None
+        try:
+            if thread is not None:
+                self._httpd.shutdown()
+                thread.join(timeout=10)
+                if thread.is_alive():
+                    warnings.warn(
+                        "coordinator-http thread did not stop within "
+                        "10s; socket will be closed under it",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+            self._httpd.server_close()
+        finally:
+            # A worker request racing shutdown (or shutdown itself
+            # raising) must not leak the discovery file: a stale URL
+            # would point the next quickstart at a dead port.
+            if discovery is not None:
+                try:
+                    discovery.unlink()
+                except FileNotFoundError:
+                    pass
 
     def __enter__(self) -> "CoordinatorServer":
         self.start()

@@ -48,6 +48,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+import repro.sanitizer as sanitizer
 from repro.experiments.sharding import (
     ShardPlan,
     _cell_costs,
@@ -102,6 +103,7 @@ class Lease:
     expires_at: float
 
 
+# repro-lint: single-writer owner=Coordinator._lock
 class WorkLedger:
     """Per-cell lease state over one cell manifest.
 
@@ -304,6 +306,8 @@ class WorkLedger:
             "indices": list(indices),
             "cost": cost,
         })
+        if sanitizer.enabled:
+            self._check_invariants("issue")
         return lease
 
     def heartbeat(self, lease_id: int) -> bool:
@@ -321,6 +325,8 @@ class WorkLedger:
             self._expiry[lease_id]
         ):
             self._expiry[lease_id] = self._clock() + self.lease_ttl
+        if sanitizer.enabled:
+            self._check_invariants("heartbeat")
         return True
 
     def expire(self, now: Optional[float] = None) -> List[Lease]:
@@ -350,6 +356,8 @@ class WorkLedger:
             self.log.append({
                 "op": "expire", "lease_id": lease.lease_id,
             })
+        if sanitizer.enabled:
+            self._check_invariants("expire")
         return expired
 
     def release(self, lease_id: int) -> Optional[Lease]:
@@ -410,6 +418,67 @@ class WorkLedger:
             "op": "complete" if state == COMPLETED else "quarantine",
             "index": index,
         })
+        if sanitizer.enabled:
+            self._check_invariants("settle")
+
+    # -- sanitized mode ------------------------------------------------
+
+    def _check_invariants(self, after: str) -> None:
+        """Re-verify the full state-machine invariant set (sanitized
+        mode only — called after every mutating op).
+
+        The static race detector proves the ledger is only touched
+        under the coordinator's lock; this proves the value machine
+        itself stays coherent across any lease / heartbeat / expire /
+        settle interleaving.  A trip is a ledger bug, never load.
+        """
+        req = sanitizer.require
+        valid = {UNLEASED, LEASED, COMPLETED, QUARANTINED}
+        bad = sorted({s for s in self._state if s not in valid})
+        req(
+            not bad,
+            f"ledger corrupt after {after}: invalid cell state(s) "
+            f"{bad}",
+        )
+        req(
+            set(self._leases) == set(self._expiry),
+            f"ledger corrupt after {after}: lease ids "
+            f"{sorted(self._leases)} != expiry ids "
+            f"{sorted(self._expiry)}",
+        )
+        req(
+            all(i < self._next_lease_id for i in self._leases),
+            f"ledger corrupt after {after}: live lease id >= next id "
+            f"{self._next_lease_id}",
+        )
+        leased = {
+            i for i, s in enumerate(self._state) if s == LEASED
+        }
+        req(
+            set(self._owner) == leased,
+            f"ledger corrupt after {after}: owner map covers "
+            f"{sorted(self._owner)} but LEASED cells are "
+            f"{sorted(leased)}",
+        )
+        owned_by: Dict[int, int] = {}
+        for index, lease_id in self._owner.items():
+            lease = self._leases.get(lease_id)
+            req(
+                lease is not None,
+                f"ledger corrupt after {after}: cell {index} owned "
+                f"by dead lease {lease_id}",
+            )
+            req(
+                index in lease.indices,
+                f"ledger corrupt after {after}: cell {index} owned "
+                f"by lease {lease_id} which never covered it",
+            )
+            owned_by[lease_id] = owned_by.get(lease_id, 0) + 1
+        req(
+            all(lid in owned_by for lid in self._leases),
+            f"ledger corrupt after {after}: fully-settled lease(s) "
+            f"{sorted(set(self._leases) - set(owned_by))} not retired",
+        )
 
     # -- determinism ---------------------------------------------------
 

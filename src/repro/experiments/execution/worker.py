@@ -92,6 +92,7 @@ def execute_lease(
     return cells, []
 
 
+# repro-lint: thread-shared lock=none
 class _HeartbeatThread(threading.Thread):
     """Renews one lease every ``interval`` seconds until stopped.
 

@@ -1125,5 +1125,6 @@ class ParallelRunner:
                 # out of iter_cells) must not leave a persistent pool
                 # grinding through discarded chunks; cancel whatever
                 # has not started (in-flight chunks still finish).
+                # repro-lint: allow[D103] -- cancellation is order-insensitive; no output depends on iteration order
                 for future in pending:
                     future.cancel()

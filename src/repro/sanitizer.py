@@ -1,0 +1,103 @@
+"""Runtime invariant sanitizer (``REPRO_CHECK=1``).
+
+The static pass (:mod:`repro.devtools.lint`) proves what it can from
+source: no unseeded RNGs, no unordered iteration feeding ordered
+output, lock coverage over the thread-shared execution layer, frozen
+value objects only mutated inside their own modules.  What it cannot
+prove — that the vectorized solver really computes the scalar oracle's
+floats, that a *trusted* plan really satisfies the validation it was
+allowed to skip, that the work ledger's state machine stays coherent
+across a lease/expire/steal interleaving — this module cross-checks at
+runtime, behind one switch.
+
+Set ``REPRO_CHECK=1`` in the environment (or call :func:`enable`) and
+the guarded hot paths turn on their asserts:
+
+- :meth:`repro.sim.engine.Simulator._times_now` spot-checks the
+  vectorized block-time solve against the scalar oracle (first
+  recompute, then every 64th — the bit-identical contract, sampled).
+- :class:`repro.sim.plan.AllocationController` re-validates every
+  trusted :class:`~repro.sim.plan.AllocationPlan` through the public
+  constructor and the validated resolve before applying it — the
+  checks :meth:`AllocationPlan.trusted` exists to skip.
+- :class:`repro.experiments.execution.leases.WorkLedger` re-verifies
+  its full state-machine invariant set after every mutating op.
+
+Violations raise :class:`SanitizerError` (an ``AssertionError``
+subclass: a sanitizer trip is always a bug in this codebase, never a
+user error).  With the switch off the hooks cost one attribute read
+and a branch — the sanitized CI tier runs the same simulations as the
+unchecked tier and must produce byte-identical artifacts, which is
+itself asserted in ``scripts/ci.sh``.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "SanitizerError",
+    "disable",
+    "enable",
+    "enabled",
+    "require",
+]
+
+
+class SanitizerError(AssertionError):
+    """A runtime cross-check failed: two code paths that must agree
+    disagreed, or an internal state machine broke its invariants.
+    Always a bug in this codebase (file an issue with the traceback),
+    never a user input problem."""
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_CHECK", "") not in ("", "0")
+
+
+#: Whether sanitized mode is on.  Read via ``sanitizer.enabled`` (a
+#: live module attribute, so :func:`enable` in one test is seen by
+#: already-imported hot paths).  Seeded from ``REPRO_CHECK`` at import.
+enabled: bool = _env_enabled()
+
+
+def enable() -> None:
+    """Turn sanitized mode on for this process (tests use this
+    instead of re-execing with ``REPRO_CHECK=1``)."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Turn sanitized mode off again."""
+    global enabled
+    enabled = False
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`SanitizerError` unless ``condition`` holds."""
+    if not condition:
+        raise SanitizerError(message)
+
+
+def check_solver_agreement(
+    vector: dict, scalar: dict, now: float
+) -> None:
+    """Assert the vectorized and scalar block-time solves agree
+    exactly (same jobs, bit-identical floats)."""
+    if vector == scalar:
+        return
+    extra = sorted(set(vector) - set(scalar))
+    missing = sorted(set(scalar) - set(vector))
+    if extra or missing:
+        raise SanitizerError(
+            f"solver divergence at t={now}: vector solve has "
+            f"extra jobs {extra}, missing jobs {missing}"
+        )
+    for jid in sorted(scalar):
+        if vector[jid] != scalar[jid]:
+            raise SanitizerError(
+                f"solver divergence at t={now}: job {jid!r} "
+                f"vector={vector[jid]!r} scalar={scalar[jid]!r}"
+            )
+    raise SanitizerError(f"solver divergence at t={now}")

@@ -144,7 +144,10 @@ class ScenarioSpec:
             f.name for f in dataclasses.fields(ScenarioSpec)
         }
         return WorkloadConfig(
-            seed=seed, **{name: getattr(self, name) for name in shared}
+            seed=seed,
+            **{
+                name: getattr(self, name) for name in sorted(shared)
+            },
         )
 
     def to_dict(self) -> dict:

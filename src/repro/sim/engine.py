@@ -62,6 +62,7 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+import repro.sanitizer as sanitizer
 from repro.config import SoCConfig
 from repro.memory.arbiter import _REL_TOL, allocate_bandwidth, waterfill_grants
 from repro.memory.hierarchy import MemoryHierarchy
@@ -252,6 +253,7 @@ class Simulator:
         self._times_epoch = -1
         self._times_raw: Dict[str, float] = {}
         self._validated_state = (-1, -1)
+        self._solve_checks = 0
         self.events = 0
         self.block_time_recomputes = 0
         self.block_time_reuses = 0
@@ -605,6 +607,18 @@ class Simulator:
             self.block_time_recomputes += 1
             self._times_raw = self._solve()
             self._times_epoch = self._alloc_epoch
+            if sanitizer.enabled and self.solver == "vector":
+                # Spot-check the vectorized solve against the scalar
+                # oracle: the first recompute plus every 64th (the
+                # bit-identical contract, sampled so sanitized runs
+                # stay usable on full sweeps).
+                self._solve_checks += 1
+                if self._solve_checks == 1 or (
+                    self._solve_checks % 64 == 0
+                ):
+                    sanitizer.check_solver_agreement(
+                        self._times_raw, self._solve_scalar(), self.now
+                    )
         return self._times_raw
 
     def _solve_scalar(self) -> Dict[str, float]:

@@ -42,6 +42,8 @@ from typing import (
     Tuple,
 )
 
+import repro.sanitizer as sanitizer
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
     from repro.sim.job import Job
@@ -369,6 +371,33 @@ class AllocationController:
 
     # ------------------------------------------------------------------
 
+    def _sanitize_trusted(self, plan: AllocationPlan) -> None:
+        """Re-run, under ``REPRO_CHECK=1``, exactly the validation a
+        trusted plan was allowed to skip: rebuild it through the
+        public constructor (field normalisation, uniqueness, the
+        preempt/retile conflict scan) and resolve it through the
+        validated :meth:`_resolve` (unknown *and* finished jobs).
+        A failure is a broken proof obligation at the PR 7 trust
+        boundary — a bug in the calling policy, not user input."""
+        try:
+            AllocationPlan(
+                preemptions=plan.preemptions,
+                admissions=plan.admissions,
+                tiles=plan.tiles,
+                bw_caps=plan.bw_caps,
+                stalls=plan.stalls,
+            )
+            self._resolve(plan)
+        except Exception as exc:
+            from repro.sim.engine import SimulationError
+
+            if not isinstance(exc, (ValueError, SimulationError)):
+                raise
+            raise sanitizer.SanitizerError(
+                f"trusted plan failed the validation it skipped: "
+                f"{exc}"
+            ) from exc
+
     def _resolve(self, plan: AllocationPlan) -> Dict[str, "Job"]:
         """Map the plan's job ids to live jobs, or fail cleanly."""
         from repro.sim.engine import SimulationError
@@ -438,6 +467,8 @@ class AllocationController:
         if plan is None or plan is EMPTY_PLAN:
             self.plans_noop += 1
             return 0
+        if plan._trusted and sanitizer.enabled:
+            self._sanitize_trusted(plan)
         sim = self.sim
         if (
             plan._trusted

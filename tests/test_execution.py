@@ -653,6 +653,110 @@ class TestHttpTransport:
 
 
 # ----------------------------------------------------------------------
+# Server shutdown hardening
+# ----------------------------------------------------------------------
+
+
+class TestCoordinatorServerStop:
+    def test_stop_is_idempotent(self, manifest):
+        server = CoordinatorServer(Coordinator(manifest))
+        server.start()
+        server.stop()
+        server.stop()  # second stop is a no-op, not a crash
+
+    def test_stop_without_start(self, manifest):
+        server = CoordinatorServer(Coordinator(manifest))
+        server.stop()  # never started: still closes the socket
+
+    def test_start_after_stop_refused(self, manifest):
+        server = CoordinatorServer(Coordinator(manifest))
+        server.start()
+        server.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            server.start()
+
+    def test_concurrent_stops_close_once(self, manifest):
+        """stop() racing stop() from another thread: both return, the
+        socket closes exactly once (no double-close error), and the
+        discovery file is gone."""
+        import threading
+
+        server = CoordinatorServer(Coordinator(manifest))
+        server.start()
+        errors = []
+
+        def stopper():
+            try:
+                server.stop()
+            except Exception as exc:  # pragma: no cover - fail path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=stopper) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_discovery_file_removed_on_stop(self, manifest, tmp_path):
+        server = CoordinatorServer(Coordinator(manifest))
+        server.start()
+        discovery = tmp_path / "coordinator.json"
+        server.publish_discovery(discovery)
+        payload = json.loads(discovery.read_text())
+        assert payload["url"] == server.url
+        assert payload["manifest_digest"] == server.coordinator.digest
+        server.stop()
+        assert not discovery.exists()
+
+    def test_discovery_removed_even_when_already_unlinked(
+        self, manifest, tmp_path
+    ):
+        """A racing cleanup (or operator rm) deleting the file first
+        must not turn stop() into a crash."""
+        server = CoordinatorServer(Coordinator(manifest))
+        server.start()
+        discovery = tmp_path / "coordinator.json"
+        server.publish_discovery(discovery)
+        discovery.unlink()
+        server.stop()  # no FileNotFoundError
+        assert not discovery.exists()
+
+    def test_requests_during_stop_do_not_leak_discovery(
+        self, manifest, tmp_path
+    ):
+        """A worker hammering /status while stop() runs: the server
+        stays coherent and the discovery file is still removed."""
+        import threading
+
+        server = CoordinatorServer(Coordinator(manifest))
+        server.start()
+        discovery = tmp_path / "coordinator.json"
+        server.publish_discovery(discovery)
+        transport = HttpTransport(server.url, timeout=1.0)
+        halt = threading.Event()
+
+        def hammer():
+            while not halt.is_set():
+                try:
+                    transport.sweep_status()
+                except (TransportError, ValueError):
+                    return  # server went down mid-request: expected
+
+        t = threading.Thread(target=hammer)
+        t.start()
+        try:
+            server.stop()
+        finally:
+            halt.set()
+            t.join(timeout=5)
+        assert not t.is_alive()
+        assert not discovery.exists()
+
+
+# ----------------------------------------------------------------------
 # Static sharding rides the same ledger
 # ----------------------------------------------------------------------
 

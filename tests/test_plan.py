@@ -543,8 +543,14 @@ class TestTrustedPlans:
         assert job.stall_cycles == pytest.approx(charged)
 
     def test_trusted_caps_unknown_job_fails_cleanly(
-        self, soc, mem, task_factory
+        self, soc, mem, task_factory, monkeypatch
     ):
+        # Pin the *unchecked* error path (REPRO_CHECK=1 intercepts
+        # broken trusted plans earlier; tests/test_sanitizer.py
+        # covers that).
+        import repro.sanitizer as sanitizer
+
+        monkeypatch.setattr(sanitizer, "enabled", False)
         sim = _sim(soc, mem, task_factory)
         with pytest.raises(SimulationError, match="unknown job"):
             sim.controller.apply(
@@ -552,8 +558,11 @@ class TestTrustedPlans:
             )
 
     def test_trusted_general_unknown_job_fails_cleanly(
-        self, soc, mem, task_factory
+        self, soc, mem, task_factory, monkeypatch
     ):
+        import repro.sanitizer as sanitizer
+
+        monkeypatch.setattr(sanitizer, "enabled", False)
         sim = _sim(soc, mem, task_factory)
         with pytest.raises(SimulationError, match="unknown job"):
             sim.controller.apply(
