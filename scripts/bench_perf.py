@@ -71,10 +71,22 @@ invokes.
 
 from __future__ import annotations
 
+import os
+
+# Pin the BLAS/OpenMP thread pools to one thread BEFORE numpy can
+# load (the repro imports below pull it in): the bench measures
+# single-thread event rates and ratio A/Bs, and a library-spawned
+# thread pool would turn them into a function of the box's core
+# count.  ``setdefault`` so an explicit override in the environment
+# still wins.
+for _var in (
+    "OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"
+):
+    os.environ.setdefault(_var, "1")
+
 import argparse
 import json
 import multiprocessing
-import os
 import sys
 import time
 from typing import Dict, List, Optional
@@ -114,6 +126,20 @@ from repro.sim.workload import WorkloadConfig, WorkloadGenerator
 # parity within measurement noise on the 1-CPU reference box.  The
 # pre-fix seam regression measured ~0.92 and fails this floor.
 _PLAN_SEAM_FLOOR = 0.95
+
+# Floor for the horizon-kernel A/B gate (kernel vs incremental
+# single-step engine, best-of-rounds, same box/process): the kernel
+# measures ~1.5-1.8x on the reference workload, so 1.5 trips on a
+# real regression while the doubled-reps re-measure backstop absorbs
+# noise dips.
+_KERNEL_FLOOR = 1.5
+
+try:
+    import numpy as _numpy
+
+    _NUMPY_VERSION: Optional[str] = _numpy.__version__
+except ImportError:  # the engine's scalar paths run without numpy
+    _NUMPY_VERSION = None
 
 
 class _AlwaysRecomputeSimulator(Simulator):
@@ -175,13 +201,24 @@ class _ImperativeMoCA(MoCAPolicy):
 
 
 #: The engine microbench legs: label -> (simulator class, policy
-#: factory).  ``incremental`` is the shipping configuration; the rest
-#: are controlled comparators for the ratio metrics.
+#: factory).  ``kernel`` (the engine default: epoch-horizon batched
+#: advance) is the shipping configuration; ``incremental`` is the
+#: single-step vectorized path it replaced as default (kept as the
+#: kernel's oracle and as the reference leg of the historical
+#: ratios); the rest are controlled comparators.  The non-kernel legs
+#: pin their solver explicitly — the engine default is now the
+#: kernel, and each ratio must keep comparing what it always
+#: compared.
 _ENGINE_LEGS = (
-    ("incremental", Simulator, MoCAPolicy),
+    ("incremental",
+     lambda *a, **kw: Simulator(*a, solver="vector", **kw),
+     MoCAPolicy),
+    ("kernel", Simulator, MoCAPolicy),
     ("scalar", lambda *a, **kw: Simulator(*a, solver="scalar", **kw),
      MoCAPolicy),
-    ("imperative", Simulator, _ImperativeMoCA),
+    ("imperative",
+     lambda *a, **kw: Simulator(*a, solver="vector", **kw),
+     _ImperativeMoCA),
     ("always_recompute", _AlwaysRecomputeSimulator, _NoFastPathMoCA),
 )
 
@@ -191,18 +228,21 @@ def _bench_engine(
 ) -> Dict[str, object]:
     """Event-rate micro-benchmark of one reference MoCA simulation.
 
-    Four legs over the same task list: the shipping configuration
-    (vectorized solver, trusted plans, boundary fast path), the
-    scalar reference oracle, the imperative-seam comparator, and the
-    seed model (scalar, caches defeated).  Every leg is simulated
-    ``reps`` times in interleaved rounds and the fastest wall time is
-    kept (the simulation is deterministic; only the clock is noisy),
-    every leg must produce bit-identical results, and the ratios —
-    not the raw wall-clock rates — are what the gates read:
+    Five legs over the same task list: the epoch-horizon kernel (the
+    shipping engine default), the incremental single-step vectorized
+    path it replaced as default, the scalar reference oracle, the
+    imperative-seam comparator, and the seed model (scalar, caches
+    defeated).  Every leg is simulated ``reps`` times in interleaved
+    rounds and the fastest wall time is kept (the simulation is
+    deterministic; only the clock is noisy), every leg must produce
+    bit-identical results, and the ratios — not the raw wall-clock
+    rates — are what the gates read:
 
-    - ``event_rate_speedup``: shipping vs seed model (the ROADMAP
+    - ``event_rate_speedup``: incremental vs seed model (the ROADMAP
       item 2 trajectory number);
-    - ``plan_seam_speedup``: shipping (declarative) vs imperative
+    - ``kernel.event_rate_speedup``: horizon kernel vs the
+      incremental single-step engine, gated >= 1.5;
+    - ``plan_seam_speedup``: incremental (declarative) vs imperative
       seam — the plan-seam regression A/B, gated >= 0.95 (parity
       within noise; the pre-fix regression sat at ~0.92);
     - ``vector_speedup``: vectorized vs scalar solver,
@@ -280,6 +320,11 @@ def _bench_engine(
     )
     out["plan_seam_speedup"] = round(best_ratio("imperative"), 3)
     out["vector_speedup"] = round(best_ratio("scalar"), 3)
+    # The horizon-kernel A/B: kernel (shipping default) vs the
+    # incremental single-step engine it replaced, gated >= 1.5.
+    out["kernel"]["event_rate_speedup"] = round(
+        min(times["incremental"]) / min(times["kernel"]), 3
+    )
     return out
 
 
@@ -288,20 +333,29 @@ def _bench_engine_stable(
 ) -> Dict[str, object]:
     """``_bench_engine`` with one automatic re-measure backstop.
 
-    If the first measurement lands below the plan-seam floor, the
-    bench is re-run once with doubled rounds and that measurement is
-    the one reported.  A real seam regression (the pre-fix code sat
-    at ~0.92) fails both measurements; a one-off noise dip at true
-    parity almost never survives the doubled-reps re-measure, which
-    keeps the CI gate's flake rate negligible without loosening the
-    floor.
+    If the first measurement lands below the plan-seam or the
+    horizon-kernel floor, the bench is re-run once with doubled
+    rounds and that measurement is the one reported.  A real
+    regression (the pre-fix seam sat at ~0.92; a disabled kernel
+    measures ~1.0) fails both measurements; a one-off noise dip at
+    true parity almost never survives the doubled-reps re-measure,
+    which keeps the CI gate's flake rate negligible without loosening
+    the floors.
     """
     engine = _bench_engine(num_tasks, seed=seed, reps=reps)
-    if engine["plan_seam_speedup"] < _PLAN_SEAM_FLOOR:
+    below = [
+        f"plan seam x{engine['plan_seam_speedup']} < "
+        f"{_PLAN_SEAM_FLOOR}"
+    ] if engine["plan_seam_speedup"] < _PLAN_SEAM_FLOOR else []
+    if engine["kernel"]["event_rate_speedup"] < _KERNEL_FLOOR:
+        below.append(
+            f"kernel x{engine['kernel']['event_rate_speedup']} < "
+            f"{_KERNEL_FLOOR}"
+        )
+    if below:
         print(
-            f"plan seam x{engine['plan_seam_speedup']} below the "
-            f"{_PLAN_SEAM_FLOOR} floor; re-measuring once with "
-            f"{reps * 2} rounds",
+            f"{'; '.join(below)} below floor; re-measuring once "
+            f"with {reps * 2} rounds",
             file=sys.stderr,
         )
         engine = _bench_engine(num_tasks, seed=seed, reps=reps * 2)
@@ -407,10 +461,10 @@ def _engine_only(args) -> int:
     engine = _bench_engine_stable(args.tasks, seed=args.seeds[0],
                                   reps=args.engine_reps)
     print(
-        f"engine: {engine['incremental']['events_per_sec']:,} ev/s "
-        f"plan seam vs "
-        f"{engine['imperative']['events_per_sec']:,} ev/s imperative "
-        f"(x{engine['plan_seam_speedup']}), "
+        f"engine: {engine['kernel']['events_per_sec']:,} ev/s kernel "
+        f"vs {engine['incremental']['events_per_sec']:,} ev/s "
+        f"incremental (x{engine['kernel']['event_rate_speedup']}), "
+        f"x{engine['plan_seam_speedup']} vs imperative seam, "
         f"x{engine['event_rate_speedup']} vs seed model, "
         f"x{engine['vector_speedup']} vs scalar oracle",
         file=sys.stderr,
@@ -428,6 +482,15 @@ def _engine_only(args) -> int:
         print(
             f"FAIL: plan seam slower than imperative seam "
             f"(x{engine['plan_seam_speedup']} < {_PLAN_SEAM_FLOOR})",
+            file=sys.stderr,
+        )
+        failed = True
+    if engine["kernel"]["event_rate_speedup"] < _KERNEL_FLOOR:
+        print(
+            f"FAIL: horizon kernel below its floor vs the "
+            f"incremental engine "
+            f"(x{engine['kernel']['event_rate_speedup']} < "
+            f"{_KERNEL_FLOOR})",
             file=sys.stderr,
         )
         failed = True
@@ -468,6 +531,83 @@ def _prewarm_caches() -> None:
     soc = DEFAULT_SOC
     mem = MemoryHierarchy.from_soc(soc)
     warm_network_cost_cache(workload_set("C"), soc, mem)
+
+
+def _bench_precompute(num_tasks: int, seeds) -> Dict[str, object]:
+    """Cross-cell precompute sharing A/B on a 2-worker sweep.
+
+    Runs a reduced reference matrix through a cold 2-worker runner
+    (parent cache cleared, warm-start off) twice: once bare, once
+    against an on-disk :class:`~repro.core.latency.PrecomputeStore`
+    pre-seeded from this process's warm caches.  The per-cell
+    ``cost_cache_misses`` totals (deterministic cache telemetry, not
+    wall clock) are the measurement: the store leg must rebuild
+    strictly less than the cold leg — the sharing gate.  Runs LAST
+    (it clears this process's caches).
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.latency import (
+        clear_network_cost_cache,
+        precompute_stats,
+        reset_precompute_stats,
+        warm_network_cost_cache as warm,
+    )
+    from repro.experiments.parallel import _spec_model_names
+    from repro.models.zoo import build_model
+
+    specs = standard_matrix(num_tasks=num_tasks, seeds=seeds)
+    soc = DEFAULT_SOC
+    store_dir = tempfile.mkdtemp(prefix="bench-precompute-")
+    try:
+        reset_precompute_stats()
+        # Seed the store from the warm parent (pure cache hits +
+        # disk saves).
+        models = [
+            build_model(name) for name in _spec_model_names(specs)
+        ]
+        warm(models, soc, store=store_dir)
+        saves = precompute_stats()["precompute_saves"]
+
+        legs: Dict[str, object] = {}
+        matrices = {}
+        for leg, store in (("cold", None), ("with_store", store_dir)):
+            clear_network_cost_cache()
+            runner = ParallelRunner(
+                workers=2, warm_start=False, precompute_dir=store
+            )
+            t0 = time.perf_counter()
+            matrices[leg] = runner.run_matrix(specs)
+            seconds = time.perf_counter() - t0
+            cache = runner.last_sweep.cache_stats()
+            legs[leg] = {
+                "seconds": round(seconds, 3),
+                "mode": runner.last_mode,
+                "cost_cache_misses": cache["cost_cache_misses"],
+                "cost_cache_hits": cache["cost_cache_hits"],
+            }
+        cold = legs["cold"]["cost_cache_misses"]
+        shared = legs["with_store"]["cost_cache_misses"]
+        return {
+            **legs,
+            "store_entries_saved": saves,
+            "store_stats": precompute_stats(),
+            "identical_metrics": matrices_identical(
+                matrices["cold"], matrices["with_store"]
+            ),
+            "gate": {
+                "passed": cold > 0 and shared < cold,
+                "note": (
+                    "a 2-worker sweep warmed from the precompute "
+                    "store must rebuild strictly fewer network costs "
+                    "than the same sweep cold (per-cell "
+                    "cost_cache_misses totals; deterministic)"
+                ),
+            },
+        }
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -511,8 +651,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     engine = _bench_engine_stable(args.tasks, seed=args.seeds[0],
                                   reps=args.engine_reps)
     print(
-        f"engine: {engine['incremental']['events_per_sec']:,} ev/s "
-        f"incremental vs "
+        f"engine: {engine['kernel']['events_per_sec']:,} ev/s kernel "
+        f"vs {engine['incremental']['events_per_sec']:,} ev/s "
+        f"incremental (x{engine['kernel']['event_rate_speedup']}), "
         f"{engine['always_recompute']['events_per_sec']:,} ev/s "
         f"seed model (x{engine['event_rate_speedup']}), "
         f"x{engine['plan_seam_speedup']} vs imperative seam, "
@@ -679,6 +820,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         p["shard"]["wall_seconds"] for p in shard_partials
     ]
 
+    # Cross-cell precompute sharing A/B — LAST of the sweep legs (it
+    # clears this process's warm caches).  A reduced matrix keeps it
+    # cheap; the measurement is deterministic cache telemetry, not
+    # wall clock.
+    precompute = _bench_precompute(
+        max(args.tasks // 6, 10), seeds=args.seeds[:1]
+    )
+    print(
+        f"precompute:      cold 2-worker sweep rebuilt "
+        f"{precompute['cold']['cost_cache_misses']} network costs, "
+        f"store-warmed rebuilt "
+        f"{precompute['with_store']['cost_cache_misses']} "
+        f"(store: {precompute['store_entries_saved']} entries; gate "
+        f"{'ok' if precompute['gate']['passed'] else 'FAILED'})",
+        file=sys.stderr,
+    )
+
     identical = matrices_identical(serial_matrix, parallel_matrix)
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
     cell_seconds = sorted(t.seconds for t in parallel_timings)
@@ -690,12 +848,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     # wall-clock speedup stays recorded (informational) above.
     ratio_gates = {
         "event_rate_speedup": (engine["event_rate_speedup"], 1.0),
+        "kernel_event_rate_speedup": (
+            engine["kernel"]["event_rate_speedup"], _KERNEL_FLOOR
+        ),
         "plan_seam_speedup": (engine["plan_seam_speedup"],
                               _PLAN_SEAM_FLOOR),
         "epoch_reuse_ratio_improves": (
             1.0 if decisions["gate"]["passed"] else 0.0, 1.0
         ),
         "coordinator_efficiency": (coordinator_efficiency, 0.67),
+        "precompute_store_sharing": (
+            1.0 if precompute["gate"]["passed"] else 0.0, 1.0
+        ),
     }
     gate_ok = all(v >= floor for v, floor in ratio_gates.values())
 
@@ -710,6 +874,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "host": {
             "cpu_count": cpu_count,
             "start_method": start_method,
+            "numpy": _NUMPY_VERSION,
+            "thread_pins": {
+                var: os.environ.get(var)
+                for var in (
+                    "OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                    "MKL_NUM_THREADS",
+                )
+            },
         },
         "serial": {"seconds": round(serial_s, 3)},
         "parallel": {
@@ -719,7 +891,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "warmed_workers": len(warm_pids),
             "warmup_timeouts": warmup_timeouts,
             "worker_pids_seen": parallel_pids,
-            "cache": cell_cache,
+            "cache": {**cell_cache, "precompute": precompute},
             "cell_seconds_min": round(cell_seconds[0], 3),
             "cell_seconds_max": round(cell_seconds[-1], 3),
             "cell_seconds_mean": round(
@@ -830,6 +1002,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not coordinator_identical:
         print(
             "FAIL: coordinator-drained metrics differ from serial",
+            file=sys.stderr,
+        )
+        return 1
+    if not precompute["identical_metrics"]:
+        print(
+            "FAIL: store-warmed sweep metrics differ from the cold "
+            "sweep",
             file=sys.stderr,
         )
         return 1

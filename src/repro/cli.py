@@ -415,6 +415,21 @@ def _ordered_manifest_policies(manifest, prog: str):
     return {name: policies[name] for name in manifest["policies"]}
 
 
+def _sweep_runner(args):
+    """The :class:`~repro.experiments.parallel.ParallelRunner` a
+    sweep-family invocation asked for — worker count, engine solver
+    override and precompute-store directory all ride on the runner,
+    so the local, shard and coordinator-worker execution paths pick
+    them up identically."""
+    from repro.experiments.parallel import ParallelRunner
+
+    return ParallelRunner(
+        workers=args.workers or None,
+        solver=getattr(args, "solver", None),
+        precompute_dir=getattr(args, "precompute", None),
+    )
+
+
 def _supervised_sweep(specs, args, out=None, manifest=None, acc=None,
                       indices=None) -> Tuple[object, int]:
     """Run ``specs`` under supervision, journaling into ``out`` when
@@ -461,7 +476,7 @@ def _supervised_sweep(specs, args, out=None, manifest=None, acc=None,
         _ordered_manifest_policies(manifest, "sweep")
         if manifest is not None else None
     )
-    runner = ParallelRunner(workers=args.workers or None)
+    runner = _sweep_runner(args)
     try:
         acc = runner.run_supervised(
             specs, policies, indices=indices,
@@ -665,6 +680,7 @@ def _run_sweep_shard(specs, args) -> Tuple[str, int]:
         )
     partial = run_shard(
         manifest, shard_index, num_shards, workers=args.workers,
+        runner=_sweep_runner(args),
         supervision=_build_supervision(args),
     )
     out.mkdir(parents=True, exist_ok=True)
@@ -1022,7 +1038,7 @@ def _run_sweep_worker(args) -> Tuple[str, int]:
         raise SystemExit(f"sweep: {exc}") from exc
     worker = SweepWorker(
         transport,
-        workers=args.workers,
+        runner=_sweep_runner(args),
         soc=DEFAULT_SOC,
         supervision=supervision,
     )
@@ -1183,6 +1199,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes for the matrix cells "
              "(1 = serial, 0 = one per CPU)",
+    )
+    p_sweep.add_argument(
+        "--solver", choices=("kernel", "vector", "scalar"),
+        default=None,
+        help="engine block-time solver for every cell (default: the "
+             "engine's default, the epoch-horizon kernel); all three "
+             "are bit-identical — this is an operational/debugging "
+             "knob, never part of the sweep's identity",
+    )
+    p_sweep.add_argument(
+        "--precompute", default=None, dest="precompute", metavar="DIR",
+        help="on-disk precompute store: load network block costs "
+             "from DIR instead of rebuilding them, and save fresh "
+             "builds back; shared safely by concurrent sweeps and "
+             "workers (entries are keyed by a digest of the full "
+             "model + SoC configuration, so a stale entry can never "
+             "alias); treat DIR with the same trust as the source "
+             "tree",
     )
     p_sweep.add_argument(
         "--tasks", type=int, default=None,

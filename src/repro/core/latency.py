@@ -26,8 +26,12 @@ can re-evaluate predictions under changing resource allocations
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import threading
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.accelerator.tile import max_useful_tiles
 from repro.accelerator.tiling import plan_tiling
@@ -178,6 +182,14 @@ def estimate_layer(
     )
 
 
+#: Bound on each :class:`BlockCost`'s per-instance predict memo.
+#: Sized far above any single simulation's working set (the engine
+#: probes tens of distinct points per block) so eviction only ever
+#: engages on long continuous-style runs accumulating contended
+#: bandwidth points across many simulations.
+_PREDICT_MEMO_CAP = 4096
+
+
 @dataclass(frozen=True)
 class BlockCost:
     """Static shape accounting of a layer block, reusable across
@@ -232,8 +244,18 @@ class BlockCost:
         if memo is None:
             memo = {}
             object.__setattr__(self, "_predict_memo", memo)
-        cached = memo.get(key)
+        # Identity-pinned LRU: ``predict`` is a pure function of its
+        # key, so evicting an entry can never change a result — a
+        # re-probed point recomputes the identical float.  The bound
+        # matters because block costs are process-cached for their
+        # lifetime while contended bandwidth points vary continuously:
+        # a long continuous-style run would otherwise grow each memo
+        # without limit.  Hits reinsert their key (move-to-end), so
+        # insertion order is recency order and the oldest entry is
+        # the least recently used.
+        cached = memo.pop(key, None)
         if cached is not None:
+            memo[key] = cached
             _CACHE_STATS["predict_memo_hits"] += 1
             return cached
         _CACHE_STATS["predict_memo_misses"] += 1
@@ -242,6 +264,8 @@ class BlockCost:
         hi = max(compute, memory)
         lo = min(compute, memory)
         result = hi + lo * overlap_f
+        if len(memo) >= _PREDICT_MEMO_CAP:
+            del memo[next(iter(memo))]
         memo[key] = result
         return result
 
@@ -479,6 +503,30 @@ _NetworkCostKey = Tuple[
 
 _NETWORK_COST_CACHE: Dict[_NetworkCostKey, NetworkCost] = {}
 
+#: Default block granularity — the one :func:`build_network_cost`
+#: uses; the precompute-store warmers must key with the same value.
+_DEFAULT_BLOCK_GRANULARITY = 6
+
+
+def _cost_cache_key(
+    network: Network,
+    soc: SoCConfig,
+    mem: MemoryHierarchy,
+    num_sharers: int,
+    max_layers_per_block: int,
+) -> _NetworkCostKey:
+    """The full identity a cached :class:`NetworkCost` depends on —
+    shared by the in-process cache probe and the on-disk precompute
+    store's digest, so the two can never key differently."""
+    return (
+        network.name,
+        network.structural_digest,
+        soc,
+        mem,
+        num_sharers,
+        max_layers_per_block,
+    )
+
 #: The cache telemetry contract: every counter name consumers
 #: (``SimResult``, ``CellResult``, ``BENCH_perf.json``) carry.  Code
 #: that splats counter deltas into those dataclasses iterates THIS
@@ -607,13 +655,8 @@ def build_network_cost(
     """
     if mem is None:
         mem = MemoryHierarchy.from_soc(soc)
-    key = (
-        network.name,
-        network.structural_digest,
-        soc,
-        mem,
-        num_sharers,
-        max_layers_per_block,
+    key = _cost_cache_key(
+        network, soc, mem, num_sharers, max_layers_per_block
     )
     if key in _NETWORK_COST_CACHE:
         _CACHE_STATS["cost_cache_hits"] += 1
@@ -632,11 +675,210 @@ def build_network_cost(
     return cost
 
 
+#: Process-global telemetry for the on-disk precompute store (same
+#: inline-increment convention as ``_CACHE_STATS``; these counters are
+#: *not* part of ``CACHE_COUNTER_FIELDS`` — they are published by the
+#: perf bench and the CLI directly, not threaded through every
+#: ``CellResult``).
+PRECOMPUTE_COUNTER_FIELDS: Tuple[str, ...] = (
+    "precompute_loads",
+    "precompute_load_misses",
+    "precompute_saves",
+)
+
+_PRECOMPUTE_STATS: Dict[str, int] = {
+    name: 0 for name in PRECOMPUTE_COUNTER_FIELDS
+}
+
+
+def precompute_stats() -> Dict[str, int]:
+    """Snapshot of the process-global precompute-store counters."""
+    return dict(_PRECOMPUTE_STATS)
+
+
+def reset_precompute_stats() -> None:
+    """Zero the precompute-store telemetry counters."""
+    for key in _PRECOMPUTE_STATS:
+        _PRECOMPUTE_STATS[key] = 0
+
+
+def precompute_digest(key: _NetworkCostKey) -> str:
+    """Stable on-disk identity of one network-cost cache key.
+
+    Hashes the ``repr`` of the full in-memory key — the network name,
+    its order-sensitive structural digest, both frozen config
+    dataclasses, the sharer count and the block granularity — so a
+    store entry can only ever be served back to the exact
+    configuration that produced it.  ``repr`` of frozen dataclasses
+    of primitives is deterministic across processes (no ids, no
+    addresses), unlike ``hash()``, which is salted per process.
+    """
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+def _cost_to_payload(cost: NetworkCost) -> dict:
+    """JSON payload for one :class:`NetworkCost` with exact float
+    round-trip (``float.hex``)."""
+    return {
+        "version": 1,
+        "network_name": cost.network_name,
+        "blocks": [
+            {
+                "name": b.name,
+                "kind": b.kind.name,
+                "compute_terms": [
+                    [cycles.hex(), max_tiles]
+                    for cycles, max_tiles in b.compute_terms
+                ],
+                "from_dram_bytes": b.from_dram_bytes.hex(),
+                "total_mem_bytes": b.total_mem_bytes.hex(),
+                "scaling_alpha": b.scaling_alpha.hex(),
+            }
+            for b in cost.blocks
+        ],
+    }
+
+
+def _cost_from_payload(payload: dict) -> Optional[NetworkCost]:
+    """Rebuild a :class:`NetworkCost` from a store payload; ``None``
+    on any structural mismatch (a malformed or foreign file is a
+    cache miss, never an error)."""
+    try:
+        if payload["version"] != 1:
+            return None
+        blocks = tuple(
+            BlockCost(
+                name=b["name"],
+                kind=LayerKind[b["kind"]],
+                compute_terms=tuple(
+                    (float.fromhex(cycles), int(max_tiles))
+                    for cycles, max_tiles in b["compute_terms"]
+                ),
+                from_dram_bytes=float.fromhex(b["from_dram_bytes"]),
+                total_mem_bytes=float.fromhex(b["total_mem_bytes"]),
+                scaling_alpha=float.fromhex(b["scaling_alpha"]),
+            )
+            for b in payload["blocks"]
+        )
+        return NetworkCost(
+            network_name=payload["network_name"], blocks=blocks
+        )
+    except (KeyError, TypeError, ValueError, EstimationError):
+        return None
+
+
+# repro-lint: thread-shared lock=_lock
+class PrecomputeStore:
+    """On-disk cross-cell precompute store for network block costs.
+
+    One JSON file per :func:`precompute_digest` key under ``root``.
+    Multiple worker processes (a warm pool's initializers, several
+    ``sweep --worker`` hosts on a shared filesystem) read and write
+    the same directory concurrently: reads never block writers, and
+    writes go through a per-pid temp file plus an atomic
+    ``os.replace``, so a reader can never observe a torn entry.
+
+    Trust and keying story (also in the README): entries are plain
+    JSON — the store never unpickles anything — and floats round-trip
+    through ``float.hex``, so a loaded :class:`NetworkCost` is
+    bit-identical to the one that was saved.  The digest covers the
+    network's order-sensitive structural digest *and* every
+    configuration parameter the block accounting reads, so a stale,
+    reordered or differently-configured entry cannot alias; what the
+    digest cannot defend against is deliberate tampering inside the
+    directory, which therefore carries the same trust level as the
+    working tree itself (the solver-identity gates would catch a
+    divergence downstream, but treat ``--precompute DIR`` like code,
+    not like untrusted input).
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = os.fspath(root)
+        self._lock = threading.Lock()
+        self._stats: Dict[str, int] = {
+            name: 0 for name in PRECOMPUTE_COUNTER_FIELDS
+        }
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest + ".json")
+
+    def _count(self, name: str) -> None:
+        self._stats[name] += 1
+        _PRECOMPUTE_STATS[name] += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of this store's load/save counters."""
+        with self._lock:
+            return dict(self._stats)
+
+    def get(self, digest: str) -> Optional[NetworkCost]:
+        """Load the entry for ``digest``; ``None`` on miss (absent,
+        unreadable or malformed — all equivalent to cold)."""
+        path = self._path(digest)
+        cost: Optional[NetworkCost] = None
+        found = False
+        try:
+            fh = open(path)
+        except OSError:
+            fh = None
+        if fh is not None:
+            found = True
+            try:
+                with fh:
+                    payload = json.load(fh)
+            except (OSError, ValueError):
+                pass
+            else:
+                cost = _cost_from_payload(payload)
+        if cost is None and found:
+            # A malformed entry would otherwise shadow ``put``'s
+            # skip-if-exists forever; drop it so the next save heals
+            # the store.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        with self._lock:
+            if cost is None:
+                self._count("precompute_load_misses")
+            else:
+                self._count("precompute_loads")
+        return cost
+
+    def put(self, digest: str, cost: NetworkCost) -> bool:
+        """Persist ``cost`` under ``digest`` unless already present.
+
+        Returns whether a new entry was written.  Concurrent writers
+        racing on the same digest both compute the identical payload
+        (the entry is a pure function of its key), so the atomic
+        replace makes the race benign.
+        """
+        path = self._path(digest)
+        if os.path.exists(path):
+            return False
+        os.makedirs(self.root, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(_cost_to_payload(cost), fh)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        with self._lock:
+            self._count("precompute_saves")
+        return True
+
+
 def warm_network_cost_cache(
     networks: Sequence[Network],
     soc: SoCConfig,
     mem: Optional[MemoryHierarchy] = None,
     num_sharers: int = 1,
+    store: Optional[Union[PrecomputeStore, str, os.PathLike]] = None,
 ) -> int:
     """Pre-build network costs and pre-evaluate their predict memos.
 
@@ -650,13 +892,33 @@ def warm_network_cost_cache(
     process; ``scripts/bench_perf.py`` uses it to keep cold-start out
     of the timed legs.
 
+    With ``store`` (a :class:`PrecomputeStore` or a directory path),
+    cold networks are first looked up on disk — a hit installs the
+    saved :class:`NetworkCost` into the in-process cache instead of
+    rebuilding it — and fresh builds are saved back, so separate
+    processes (warm-pool workers, repeated sweeps) share the block
+    accounting instead of each redoing it.
+
     Returns:
         The number of networks warmed.
     """
     if mem is None:
         mem = MemoryHierarchy.from_soc(soc)
+    if store is not None and not isinstance(store, PrecomputeStore):
+        store = PrecomputeStore(store)
     for network in networks:
+        if store is not None:
+            key = _cost_cache_key(
+                network, soc, mem, num_sharers,
+                _DEFAULT_BLOCK_GRANULARITY,
+            )
+            if key not in _NETWORK_COST_CACHE:
+                loaded = store.get(precompute_digest(key))
+                if loaded is not None:
+                    _NETWORK_COST_CACHE[key] = loaded
         cost = build_network_cost(network, soc, mem, num_sharers)
+        if store is not None:
+            store.put(precompute_digest(key), cost)
         for block in cost.blocks:
             for tiles in range(1, soc.num_tiles + 1):
                 block.predict(

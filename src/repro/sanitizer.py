@@ -101,3 +101,34 @@ def check_solver_agreement(
                 f"vector={vector[jid]!r} scalar={scalar[jid]!r}"
             )
     raise SanitizerError(f"solver divergence at t={now}")
+
+
+def check_kernel_agreement(
+    kernel: dict, oracle: dict, now: float
+) -> None:
+    """Assert the horizon kernel's fused per-job block times match the
+    single-step incremental oracle's solve exactly.
+
+    ``kernel`` is the kernel's live per-job time map restricted to the
+    jobs it solved this epoch; ``oracle`` is the engine's incremental
+    solver (:meth:`~repro.sim.engine.Simulator._solve_vector`, itself
+    spot-checked against the scalar reference) run on the same state.
+    The kernel replicates the oracle's float sequence operation for
+    operation, so the comparison is exact equality, not tolerance.
+    """
+    if kernel == oracle:
+        return
+    extra = sorted(set(kernel) - set(oracle))
+    missing = sorted(set(oracle) - set(kernel))
+    if extra or missing:
+        raise SanitizerError(
+            f"horizon-kernel divergence at t={now}: kernel solve has "
+            f"extra jobs {extra}, missing jobs {missing}"
+        )
+    for jid in sorted(oracle):
+        if kernel[jid] != oracle[jid]:
+            raise SanitizerError(
+                f"horizon-kernel divergence at t={now}: job {jid!r} "
+                f"kernel={kernel[jid]!r} oracle={oracle[jid]!r}"
+            )
+    raise SanitizerError(f"horizon-kernel divergence at t={now}")

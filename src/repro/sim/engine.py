@@ -174,16 +174,17 @@ class Simulator:
         trace: bool = False,
         max_events: int = 20_000_000,
         cadence: Optional[DecisionCadence] = None,
-        solver: str = "vector",
+        solver: str = "kernel",
     ) -> None:
         if not tasks:
             raise SimulationError("no tasks to simulate")
         ids = [t.task_id for t in tasks]
         if len(set(ids)) != len(ids):
             raise SimulationError("duplicate task ids")
-        if solver not in ("vector", "scalar"):
+        if solver not in ("kernel", "vector", "scalar"):
             raise SimulationError(
-                f"unknown solver {solver!r} (expected 'vector' or 'scalar')"
+                f"unknown solver {solver!r} "
+                f"(expected 'kernel', 'vector' or 'scalar')"
             )
         self.soc = soc
         self.mem = mem if mem is not None else MemoryHierarchy.from_soc(soc)
@@ -241,8 +242,11 @@ class Simulator:
             # attribute read instead of a dict probe per job per
             # solve.
             job._table = self._job_tables[job.job_id]
+        # The kernel's external probe/oracle solve is the vectorized
+        # one: current_block_times() and the sanitizer spot-check stay
+        # correct (and epoch-cached) whichever loop is driving.
         self._solve = (
-            self._solve_vector if solver == "vector" else self._solve_scalar
+            self._solve_scalar if solver == "scalar" else self._solve_vector
         )
         # Constants the per-event solve would otherwise re-derive
         # through property chains.
@@ -473,36 +477,10 @@ class Simulator:
         from repro.core.latency import track_cache_deltas
 
         with track_cache_deltas() as cache_delta:
-            while len(self.finished) < len(self.jobs):
-                self.events += 1
-                if self.events > self._max_events:
-                    raise SimulationError(
-                        f"exceeded {self._max_events} events; "
-                        f"{len(self.finished)}/{len(self.jobs)} tasks done "
-                        f"at cycle {self.now:,.0f}"
-                    )
-                pending = self._pending
-                if pending and (
-                    pending[0][0] <= self.now + _COMPLETION_EPS
-                ):
-                    self._dispatch_arrivals()
-                if self._cadence_every or self._should_decide():
-                    self._consult_policy()
-                if (
-                    self._tiles_held, len(self.running)
-                ) != self._validated_state:
-                    self._validate()
-                if not self._step():
-                    if self._pending:
-                        # Idle gap: jump to the next arrival.
-                        self.now = self._pending[0][0]
-                        continue
-                    raise SimulationError(
-                        f"deadlock at cycle {self.now:,.0f}: "
-                        f"{len(self.ready)} ready, "
-                        f"{len(self.running)} running, "
-                        f"policy {self.policy.name!r} made no progress"
-                    )
+            if self.solver == "kernel":
+                self._advance_horizon()
+            else:
+                self._run_incremental()
         makespan = max((j.finished_at or 0.0) for j in self.finished)
         return SimResult(
             policy_name=self.policy.name,
@@ -518,6 +496,369 @@ class Simulator:
             plan_actions=self.controller.actions_applied,
             **cache_delta,
         )
+
+    def _run_incremental(self) -> None:
+        """The single-step reference loop: one solve, one advance, one
+        retirement pass per event, each through the documented
+        primitives.  Kept verbatim as the oracle the horizon kernel is
+        pinned against (property tests + the ``REPRO_CHECK=1`` spot
+        check)."""
+        while len(self.finished) < len(self.jobs):
+            self.events += 1
+            if self.events > self._max_events:
+                raise SimulationError(
+                    f"exceeded {self._max_events} events; "
+                    f"{len(self.finished)}/{len(self.jobs)} tasks done "
+                    f"at cycle {self.now:,.0f}"
+                )
+            pending = self._pending
+            if pending and (
+                pending[0][0] <= self.now + _COMPLETION_EPS
+            ):
+                self._dispatch_arrivals()
+            if self._cadence_every or self._should_decide():
+                self._consult_policy()
+            if (
+                self._tiles_held, len(self.running)
+            ) != self._validated_state:
+                self._validate()
+            if not self._step():
+                if self._pending:
+                    # Idle gap: jump to the next arrival.
+                    self.now = self._pending[0][0]
+                    continue
+                raise SimulationError(
+                    f"deadlock at cycle {self.now:,.0f}: "
+                    f"{len(self.ready)} ready, "
+                    f"{len(self.running)} running, "
+                    f"policy {self.policy.name!r} made no progress"
+                )
+
+    def _advance_horizon(self) -> None:
+        """The epoch-horizon kernel loop (``solver="kernel"``, the
+        default).
+
+        Between allocation-epoch bumps every live job's block
+        schedule is fixed, so the loop keeps the whole solve state in
+        per-job slots (``Job._kval`` table rows, ``Job._kT`` block
+        times) and locals, and advances horizon by horizon: each
+        iteration finds the next *epoch-relevant boundary* — the
+        earliest of next arrival, stall expiry, and block completion
+        under the current allocation — advances straight to it, and
+        retires every block that lands there in one fused sweep.
+        Decision points are gated exactly like the reference loop,
+        with two extra fusions:
+
+        - a policy implementing ``kernel_noop_guard`` lets provably
+          empty decision rounds skip the ``decide()`` call outright
+          (the bookkeeping the round would have performed — decision
+          count, cadence markers — still happens);
+        - a policy implementing ``kernel_decide_apply`` runs its
+          caps-only steady-state rounds fused, applying cap changes in
+          place through the controller's trusted journal instead of
+          round-tripping a plan object.
+
+        Every float operation replicates the reference loop's
+        sequence exactly — the solve is :meth:`_solve_vector`
+        specialised to slot state, the dt scan, progress accrual and
+        retirement order are verbatim — so results and makespans are
+        bit-identical to the incremental loop (property-pinned in
+        tests/test_kernel.py; goldens unchanged).  Under
+        ``REPRO_CHECK=1`` the fused apply is disabled (every plan
+        passes the sanitizer's trusted re-validation) and the fused
+        solve is spot-checked against the incremental oracle on the
+        first epoch and every 64th.
+        """
+        policy = self.policy
+        emits = self._policy_emits_plans
+        san_on = sanitizer.enabled
+        guard = policy.kernel_noop_guard
+        fused = None if san_on else policy.kernel_decide_apply
+        cadence_every = self._cadence_every
+        controller = self.controller
+        apply_plan = controller.apply
+        decide = policy.decide if emits else None
+        on_event = None if emits else policy.on_event
+        jobs_total = len(self.jobs)
+        finished = self.finished
+        running = self.running
+        pending = self._pending
+        max_events = self._max_events
+        trace = self.trace
+        eps = _COMPLETION_EPS
+        done_thr = 1.0 - eps
+        min_dt = _MIN_DT
+        inf = float("inf")
+        dram_bw = self._dram_bw
+        penalty = self._contention_penalty
+        rel1 = 1 + _REL_TOL
+        events = self.events
+        recomputes = self.block_time_recomputes
+        reuses = self.block_time_reuses
+        decisions = self.decisions
+        noops = 0
+        checks = self._solve_checks
+        solved_epoch = -1
+        # The running list partitioned by stalledness at the last
+        # recompute.  Valid until the next epoch bump: every mutation
+        # that moves a job between the partitions (stall expiry, new
+        # stall, retire, admission, preemption) bumps the allocation
+        # epoch, which forces a recompute that rebuilds both lists.
+        # ``act`` preserves running order, so the completion sweep
+        # retires blocks in the reference order.
+        act = []
+        stl = []
+        dispatch = self._dispatch_arrivals
+        next_arrival = pending[0][0] if pending else inf
+        try:
+            while len(finished) < jobs_total:
+                events += 1
+                if events > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; "
+                        f"{len(finished)}/{jobs_total} tasks done "
+                        f"at cycle {self.now:,.0f}"
+                    )
+                now = self.now
+                if next_arrival <= now + eps:
+                    dispatch()
+                    next_arrival = pending[0][0] if pending else inf
+                if cadence_every or self._should_decide():
+                    decisions += 1
+                    if not cadence_every:
+                        self._decided_boundaries = self._boundaries
+                        self._last_decision_at = now
+                    if emits:
+                        if guard is not None and guard(self):
+                            # Provably-empty round: same bookkeeping,
+                            # no decide() call.
+                            noops += 1
+                        elif fused is not None:
+                            fused(self)
+                        else:
+                            plan = decide(self)
+                            if plan is EMPTY_PLAN:
+                                noops += 1
+                            else:
+                                apply_plan(plan)
+                    else:
+                        on_event(self)
+                vstate = self._validated_state
+                if (
+                    vstate[0] != self._tiles_held
+                    or vstate[1] != len(running)
+                ):
+                    self._validate()
+                # ---- fused solve + next-boundary scan --------------
+                # _solve_vector + _step's dt scan specialised to slot
+                # state: same passes, same float sequence.
+                best = inf
+                if next_arrival != inf:
+                    c = next_arrival - now
+                    if c >= 0:
+                        best = c
+                epoch = self._alloc_epoch
+                if epoch != solved_epoch:
+                    recomputes += 1
+                    solved_epoch = epoch
+                    total_wants = 0.0
+                    streams = 0
+                    # One pass over the running list: stall candidates
+                    # fold into ``best`` here (``best`` is a pure min,
+                    # so candidate order is free), active jobs collect
+                    # into parallel job/want lists so the branch passes
+                    # below never re-read caps or re-check stalls.
+                    act = []
+                    stl = []
+                    wl = []
+                    for job in running:
+                        su = job.stall_until
+                        if now < su:
+                            stl.append(job)
+                            c = su - now
+                            if c < best:
+                                best = c
+                            continue
+                        bi = job.block_idx
+                        tiles = job.tiles
+                        v = job._kval
+                        if v is None or v[0] != bi or v[1] != tiles:
+                            table = job._table
+                            col = tiles - 1
+                            v = (
+                                bi, tiles,
+                                table.t_full_rows[bi][col],
+                                table.from_dram[bi],
+                                table.demand_rows[bi][col],
+                            )
+                            job._kval = v
+                        d = v[4]
+                        cap = job.bw_cap
+                        if cap is not None and cap < d:
+                            w = cap
+                        else:
+                            w = d
+                        total_wants += w
+                        if w > 0:
+                            streams += 1
+                        act.append(job)
+                        wl.append(w)
+                    if act:
+                        effective = dram_bw
+                        if total_wants > effective and streams > 1:
+                            effective *= (
+                                1.0 - penalty * (1.0 - 1.0 / streams)
+                            )
+                        if total_wants <= effective * rel1:
+                            # Undersubscribed: independent times; the
+                            # capped want is each job's share.
+                            for i, job in enumerate(act):
+                                v = job._kval
+                                fd = v[3]
+                                if fd <= 0:
+                                    T = v[2]
+                                else:
+                                    share = wl[i]
+                                    if share <= 0:
+                                        T = inf
+                                    else:
+                                        fdd = fd / share
+                                        tf = v[2]
+                                        T = tf if tf > fdd else fdd
+                                job._kT = T
+                                if T != inf:
+                                    c = (1.0 - job.progress) * T
+                                    if 0 <= c < best:
+                                        best = c
+                        else:
+                            # Oversubscribed: shared water-fill core.
+                            shares, _ = waterfill_grants(
+                                wl,
+                                [j._kval[4] for j in act],
+                                effective,
+                            )
+                            for i, job in enumerate(act):
+                                v = job._kval
+                                fd = v[3]
+                                share = shares[i]
+                                if fd <= 0:
+                                    T = v[2]
+                                elif share <= 0:
+                                    T = inf
+                                else:
+                                    fdd = fd / share
+                                    tf = v[2]
+                                    T = tf if tf > fdd else fdd
+                                job._kT = T
+                                if T != inf:
+                                    c = (1.0 - job.progress) * T
+                                    if 0 <= c < best:
+                                        best = c
+                    if san_on:
+                        checks += 1
+                        if checks == 1 or checks % 64 == 0:
+                            # The full agreement chain at the sample
+                            # point: vector vs scalar (the incremental
+                            # path's own spot-check), then the fused
+                            # kernel solve vs the vector oracle.
+                            oracle = self._solve()
+                            sanitizer.check_solver_agreement(
+                                oracle, self._solve_scalar(), now
+                            )
+                            kernel_times = {
+                                j.job_id: j._kT
+                                for j in running
+                                if now >= j.stall_until
+                            }
+                            sanitizer.check_kernel_agreement(
+                                kernel_times, oracle, now
+                            )
+                else:
+                    reuses += 1
+                    for job in stl:
+                        c = job.stall_until - now
+                        if c < best:
+                            best = c
+                    for job in act:
+                        T = job._kT
+                        if T != inf:
+                            c = (1.0 - job.progress) * T
+                            if 0 <= c < best:
+                                best = c
+                if best == inf:
+                    if pending:
+                        # Idle gap: jump to the next arrival.
+                        self.now = pending[0][0]
+                        continue
+                    raise SimulationError(
+                        f"deadlock at cycle {self.now:,.0f}: "
+                        f"{len(self.ready)} ready, "
+                        f"{len(running)} running, "
+                        f"policy {policy.name!r} made no progress"
+                    )
+                # ---- fused advance + batched retire sweep ----------
+                dt = best if best >= min_dt else min_dt
+                new_now = now + dt
+                stall_expired = False
+                completed = None
+                for job in stl:
+                    # A stall expiring re-activates the job: the
+                    # arbiter's active set changed even though no
+                    # allocation call ran.
+                    if job.stall_until <= new_now:
+                        stall_expired = True
+                for job in act:
+                    T = job._kT
+                    if T == inf or T <= 0:
+                        continue
+                    p = job.progress + dt / T
+                    if p > 1.0:
+                        p = 1.0
+                    job.progress = p
+                    if p >= done_thr:
+                        if completed is None:
+                            completed = [job]
+                        else:
+                            completed.append(job)
+                self.now = new_now
+                if stall_expired:
+                    self._alloc_epoch += 1
+                if completed:
+                    # Every block that landed on this horizon retires
+                    # in one sweep, in running order (the reference
+                    # _retire_completed order).
+                    trace_on = trace.enabled
+                    for job in completed:
+                        job.block_idx += 1
+                        job.progress = 0.0
+                        self._alloc_epoch += 1
+                        self._boundaries += 1
+                        if trace_on:
+                            trace.log(
+                                new_now, TraceEvent.BLOCK_DONE,
+                                job.job_id,
+                                f"block={job.block_idx - 1}",
+                            )
+                        if job.block_idx >= len(job.task.cost.blocks):
+                            job.phase = JobPhase.FINISHED
+                            job.finished_at = new_now
+                            self._tiles_held -= job.tiles
+                            job.tiles = 0
+                            job.bw_cap = None
+                            running.remove(job)
+                            finished.append(job)
+                            trace.log(
+                                new_now, TraceEvent.FINISH, job.job_id
+                            )
+                            policy.on_job_finished(self, job)
+        finally:
+            self.events = events
+            self.block_time_recomputes = recomputes
+            self.block_time_reuses = reuses
+            self.decisions = decisions
+            if san_on:
+                self._solve_checks = checks
+            controller.plans_noop += noops
 
     def _should_decide(self) -> bool:
         """Whether the cadence grants the policy this event.
@@ -607,7 +948,7 @@ class Simulator:
             self.block_time_recomputes += 1
             self._times_raw = self._solve()
             self._times_epoch = self._alloc_epoch
-            if sanitizer.enabled and self.solver == "vector":
+            if sanitizer.enabled and self.solver != "scalar":
                 # Spot-check the vectorized solve against the scalar
                 # oracle: the first recompute plus every 64th (the
                 # bit-identical contract, sampled so sanitized runs
@@ -958,7 +1299,7 @@ def run_simulation(
     mem: Optional[MemoryHierarchy] = None,
     trace: bool = False,
     cadence: Optional[DecisionCadence] = None,
-    solver: str = "vector",
+    solver: str = "kernel",
 ) -> SimResult:
     """Convenience wrapper: reset the policy, build and run a simulator."""
     policy.reset()

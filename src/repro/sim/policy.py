@@ -64,6 +64,22 @@ class Policy(abc.ABC):
     compute_reconfig_cycles: int = COMPUTE_RECONFIG_CYCLES
     memory_reconfig_cycles: int = MEMORY_RECONFIG_CYCLES
 
+    #: Horizon-kernel protocol (optional, engine-private).  A policy
+    #: may implement ``kernel_noop_guard(sim) -> bool`` — return True
+    #: only when this decision round *provably* returns
+    #: :data:`~repro.sim.plan.EMPTY_PLAN` with zero internal state
+    #: change, letting the kernel skip the call entirely — and
+    #: ``kernel_decide_apply(sim) -> None`` — a fused decision round
+    #: that makes exactly the same decisions as :meth:`decide` but
+    #: applies the steady-state caps-only overlay in place through the
+    #: controller's trusted journal.  Both default to None: the kernel
+    #: then drives the policy through the ordinary decide()/apply
+    #: seam.  Under ``REPRO_CHECK=1`` the engine ignores
+    #: ``kernel_decide_apply`` so every plan passes the sanitizer's
+    #: trusted-plan re-validation.
+    kernel_noop_guard = None
+    kernel_decide_apply = None
+
     def decide(self, sim: "Simulator") -> AllocationPlan:
         """Compute this decision point's allocation plan.
 

@@ -185,6 +185,88 @@ class TestCacheTelemetry:
         assert build_network_cost(net, DEFAULT_SOC, mem) is first
 
 
+class TestPredictMemoLRU:
+    def _point(self, mem, scale=1.0):
+        return (
+            1, mem.dram_bandwidth * scale, mem.l2_bandwidth,
+            DEFAULT_SOC.overlap_f,
+        )
+
+    def test_cap_bounds_memo(self, cold_cache, mem, monkeypatch):
+        """ISSUE satellite: the per-block predict memo is bounded —
+        flooding it with distinct bandwidth points (what a long
+        continuous-style run does) evicts instead of growing without
+        limit, and an evicted point recomputes the identical float."""
+        monkeypatch.setattr(latency, "_PREDICT_MEMO_CAP", 8)
+        cost = build_network_cost(build_model("kws"), DEFAULT_SOC, mem)
+        block = cost.blocks[0]
+        block.clear_predict_memo()
+        first_point = self._point(mem)
+        baseline = block.predict(*first_point)
+        for i in range(1, 50):
+            block.predict(*self._point(mem, scale=1.0 / (1.0 + i)))
+        memo = block.__dict__["_predict_memo"]
+        assert len(memo) <= 8
+        assert first_point not in memo  # evicted by the flood
+        assert block.predict(*first_point) == baseline
+
+    def test_hits_refresh_recency(self, cold_cache, mem, monkeypatch):
+        """A hit moves its entry to most-recently-used: after probing
+        cap distinct points, re-hitting the oldest and inserting one
+        more evicts the *second*-oldest, not the re-hit one."""
+        monkeypatch.setattr(latency, "_PREDICT_MEMO_CAP", 4)
+        cost = build_network_cost(build_model("kws"), DEFAULT_SOC, mem)
+        block = cost.blocks[0]
+        block.clear_predict_memo()
+        points = [
+            self._point(mem, scale=1.0 / (1.0 + i)) for i in range(4)
+        ]
+        for p in points:
+            block.predict(*p)
+        block.predict(*points[0])  # refresh the oldest
+        block.predict(*self._point(mem, scale=0.01))  # force eviction
+        memo = block.__dict__["_predict_memo"]
+        assert points[0] in memo
+        assert points[1] not in memo
+
+    def test_eviction_never_changes_metrics(
+        self, cold_cache, monkeypatch
+    ):
+        """The regression the ISSUE asks for: a full MoCA simulation
+        with the predict memo and the policy's per-job caches capped
+        to pathologically tiny sizes produces bit-identical results
+        to the unbounded run — eviction is identity-pinned, it can
+        only cost time, never change a number."""
+        import repro.core.policy as policy_mod
+        from repro.core.policy import MoCAPolicy
+        from repro.sim.engine import run_simulation
+        from repro.sim.qos import QosLevel
+        from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+        from repro.models.zoo import workload_set
+
+        mem = MemoryHierarchy.from_soc(DEFAULT_SOC)
+        gen = WorkloadGenerator(DEFAULT_SOC, workload_set("A"), mem)
+        tasks = gen.generate(
+            WorkloadConfig(
+                num_tasks=16, qos_level=QosLevel.MEDIUM, seed=7
+            )
+        )
+
+        def run():
+            clear_network_cost_cache()
+            clear_predict_memos()
+            return run_simulation(
+                DEFAULT_SOC, tasks, MoCAPolicy(), mem=mem
+            )
+
+        reference = run()
+        monkeypatch.setattr(latency, "_PREDICT_MEMO_CAP", 4)
+        monkeypatch.setattr(policy_mod, "_JOB_CACHE_CAP", 1)
+        capped = run()
+        assert capped.results == reference.results
+        assert capped.makespan == reference.makespan
+
+
 class TestPredictMemo:
     def test_clear_predict_memos_invalidates(
         self, cold_cache, mem, monkeypatch

@@ -227,9 +227,76 @@ THREADED_OK = """
 """
 
 
+#: The shape of the on-disk precompute store (ISSUE 10): file I/O on
+#: locals stays outside the lock, the shared counter dict is only
+#: touched through a lock-holding helper.
+PRECOMPUTE_STORE_OK = """
+    import json
+    import threading
+
+    # repro-lint: thread-shared lock=_lock guards=_stats
+    class Store:
+        def __init__(self, root):
+            self.root = root
+            self._lock = threading.Lock()
+            self._stats = {"loads": 0, "misses": 0}
+
+        def get(self, digest):
+            try:
+                with open(digest) as fh:
+                    payload = json.load(fh)
+            except OSError:
+                payload = None
+            with self._lock:
+                self._count("loads" if payload else "misses")
+            return payload
+
+        def _count(self, field):
+            self._stats[field] += 1
+
+        def stats(self):
+            with self._lock:
+                return dict(self._stats)
+"""
+
+
 class TestRRules:
     def test_compliant_class_clean(self):
         assert check(THREADED_OK) == []
+
+    def test_precompute_store_shape_clean(self):
+        """The store's idiom — unlocked file I/O on locals, counters
+        only via a lock-held private helper — is R-clean."""
+        assert check(PRECOMPUTE_STORE_OK) == []
+
+    def test_precompute_store_unlocked_counter_r203(self):
+        """Dropping the lock around the counter helper is the store's
+        characteristic race; the fixed-point helper analysis flags
+        the unlocked call."""
+        findings = check(
+            PRECOMPUTE_STORE_OK.replace(
+                "            with self._lock:\n"
+                "                self._count(\"loads\" if payload"
+                " else \"misses\")",
+                "            self._count(\"loads\" if payload"
+                " else \"misses\")",
+            )
+        )
+        assert "R203" in rules_of(findings)
+
+    def test_precompute_store_unlocked_stats_read_r202(self):
+        """A public snapshot of the guarded counter dict taken
+        without the lock is flagged."""
+        findings = check(
+            PRECOMPUTE_STORE_OK.replace(
+                "        def stats(self):\n"
+                "            with self._lock:\n"
+                "                return dict(self._stats)",
+                "        def stats(self):\n"
+                "            return dict(self._stats)",
+            )
+        )
+        assert "R202" in rules_of(findings)
 
     def test_unlocked_write_r201(self):
         findings = check("""

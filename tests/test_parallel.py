@@ -167,12 +167,17 @@ class TestEpochCachedBlockTimes:
     def test_full_run_cross_checked(self):
         """Every solve of a whole MoCA simulation agrees with a
         from-scratch recompute (stall expiries, block retirements,
-        repartitions, the lot)."""
+        repartitions, the lot).  Pinned to the incremental engine:
+        ``_times_now`` is that path's cache seam — the horizon
+        kernel's own epoch cache is pinned bit-identical against this
+        path in tests/test_kernel.py."""
         soc, mem, tasks = _tasks(num_tasks=10, seed=5)
         policy = MoCAPolicy()
         policy.reset()
         _CheckedSimulator.checks = 0
-        sim = _CheckedSimulator(soc, tasks, policy, mem=mem)
+        sim = _CheckedSimulator(
+            soc, tasks, policy, mem=mem, solver="vector"
+        )
         result = sim.run()
         assert len(result.results) == 10
         assert _CheckedSimulator.checks > 0
